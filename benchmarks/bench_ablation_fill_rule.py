@@ -1,0 +1,62 @@
+"""Ablation: the paper's fractional split-legality rule (Section 4.7).
+
+The paper defines a legal R-tree split as one "where each of the two
+resulting nodes receives at least m/M of the lines being redistributed"
+-- a *fraction*, not the absolute ``m`` of sequential R-trees.  The
+fraction is what guarantees geometric node-size shrinkage and hence the
+O(log n) round bound of Section 5.3.  This ablation swaps in the
+absolute rule and measures the damage: the overlap-minimising sweep is
+then free to peel sliver splits, and rounds grow super-logarithmically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.geometry import random_segments
+from repro.machine import Machine, use_machine
+from repro.structures import build_rtree
+
+from conftest import print_experiment
+
+SIZES = [500, 1000, 2000, 4000]
+
+
+def test_report_fill_rule_ablation(benchmark):
+    rows = []
+    frac_rounds = []
+    abs_rounds = []
+    for n in SIZES:
+        segs = random_segments(n, 16384, 128, seed=n + 9)
+        m1 = Machine()
+        with use_machine(m1):
+            t1, tr1 = build_rtree(segs, 2, 8, fractional_fill=True)
+        m2 = Machine()
+        with use_machine(m2):
+            t2, tr2 = build_rtree(segs, 2, 8, fractional_fill=False)
+        t1.check()
+        t2.check()
+        rows.append([n, tr1.num_rounds, int(m1.steps),
+                     tr2.num_rounds, int(m2.steps),
+                     round(tr2.num_rounds / tr1.num_rounds, 1)])
+        frac_rounds.append(tr1.num_rounds)
+        abs_rounds.append(tr2.num_rounds)
+    table = format_table(
+        ["n", "frac m/M rounds", "frac steps", "abs m rounds", "abs steps",
+         "rounds ratio"], rows)
+    print_experiment("ablation: fractional vs absolute split legality", table)
+
+    # the fractional rule keeps rounds logarithmic; the absolute rule
+    # grows much faster (sliver peeling) -- the design choice matters.
+    assert all(a >= f for f, a in zip(frac_rounds, abs_rounds))
+    assert abs_rounds[-1] > 2 * frac_rounds[-1]
+    # fractional: an 8x size increase adds only a few rounds
+    assert frac_rounds[-1] <= frac_rounds[0] + 6
+
+    segs = random_segments(1000, 16384, 128, seed=1)
+    benchmark(build_rtree, segs, 2, 8, "sweep", True, Machine())
+
+
+def test_absolute_rule_wallclock(benchmark):
+    segs = random_segments(1000, 16384, 128, seed=2)
+    benchmark(build_rtree, segs, 2, 8, "sweep", False, Machine())

@@ -1,0 +1,77 @@
+"""Batch (data-parallel) vs scalar query processing.
+
+The companion papers evaluate query *sets* processed one processor per
+(query, node) pair; this bench measures the whole-array frontier
+evaluation against looped scalar queries, with both answering
+identically (enforced here and in the unit tests).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import Machine
+from repro.structures import (
+    batch_window_query_quadtree,
+    batch_window_query_rtree,
+    build_bucket_pmr,
+    build_rtree,
+)
+
+from conftest import print_experiment
+
+DOMAIN = 4096
+
+
+@pytest.fixture(scope="module")
+def built(uniform_map):
+    pmr, _ = build_bucket_pmr(uniform_map, DOMAIN, 8)
+    rt, _ = build_rtree(uniform_map, 2, 8)
+    return pmr, rt
+
+
+def test_report_batch_equivalence(built, query_windows, benchmark):
+    pmr, rt = built
+    rects = np.vstack(query_windows)
+    got_q = batch_window_query_quadtree(pmr, rects)
+    got_r = batch_window_query_rtree(rt, rects)
+    for i, r in enumerate(rects):
+        assert np.array_equal(got_q[i], np.unique(pmr.window_query(r)))
+        assert np.array_equal(got_r[i], np.unique(rt.window_query(r)))
+
+    m_q = Machine()
+    batch_window_query_quadtree(pmr, rects, machine=m_q)
+    m_r = Machine()
+    batch_window_query_rtree(rt, rects, machine=m_r)
+    rows = [
+        ["bucket PMR", len(rects), pmr.height, m_q.total_primitives],
+        ["R-tree", len(rects), rt.height, m_r.total_primitives],
+    ]
+    table = format_table(
+        ["structure", "queries", "tree height", "vector rounds (primitives)"],
+        rows)
+    print_experiment("ext: batch queries -- O(height) vector rounds for the "
+                     "whole query set", table)
+    benchmark(batch_window_query_quadtree, pmr, rects)
+
+
+def test_scalar_loop_quadtree(built, query_windows, benchmark):
+    pmr, _ = built
+    benchmark(lambda: [pmr.window_query(r) for r in query_windows])
+
+
+def test_batch_quadtree(built, query_windows, benchmark):
+    pmr, _ = built
+    rects = np.vstack(query_windows)
+    benchmark(batch_window_query_quadtree, pmr, rects)
+
+
+def test_scalar_loop_rtree(built, query_windows, benchmark):
+    _, rt = built
+    benchmark(lambda: [rt.window_query(r) for r in query_windows])
+
+
+def test_batch_rtree(built, query_windows, benchmark):
+    _, rt = built
+    rects = np.vstack(query_windows)
+    benchmark(batch_window_query_rtree, rt, rects)

@@ -1,0 +1,68 @@
+"""Experiment C8: cost-model comparison (paper Section 3).
+
+The same build replayed under the three Section 3 cost semantics:
+the scan model (unit-time primitives; the paper's accounting), a
+32-processor hypercube (a scan costs log2 p -- the CM-5's reality), and
+a PRAM emulated on a shared-nothing machine (the Alt et al. slowdown the
+paper cites as the reason to avoid PRAM algorithms).  Also reproduces
+the Figure 12 SAM-model argument: the R-tree's irregular communication
+needs non-monotonic rounds, the bucket PMR's regular one does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import (
+    Machine,
+    is_monotonic_mapping,
+    monotonic_rounds,
+    use_machine,
+)
+from repro.structures import build_bucket_pmr, build_rtree
+
+from conftest import print_experiment
+
+DOMAIN = 4096
+
+
+def test_report_cost_models(uniform_map, benchmark):
+    rows = []
+    steps = {}
+    for model in ("scan_model", "hypercube", "pram_emulation"):
+        for name, build in [
+            ("bucket PMR", lambda m: build_bucket_pmr(uniform_map, DOMAIN, 8, machine=m)),
+            ("R-tree", lambda m: build_rtree(uniform_map, 2, 8, machine=m)),
+        ]:
+            m = Machine(cost_model=model, processors=32)
+            build(m)
+            rows.append([model, name, m.total_primitives, m.steps])
+            steps[(model, name)] = m.steps
+    table = format_table(["cost model", "build", "primitives", "steps"], rows)
+    print_experiment("C8: one build, three cost semantics (p = 32)", table)
+
+    # identical primitive streams, different step totals: the model is the lens
+    assert steps[("hypercube", "bucket PMR")] > steps[("scan_model", "bucket PMR")]
+    assert steps[("pram_emulation", "R-tree")] > steps[("scan_model", "R-tree")]
+
+    benchmark(build_bucket_pmr, uniform_map, DOMAIN, 8, None,
+              Machine(cost_model="hypercube"))
+
+
+def test_report_sam_argument(benchmark):
+    """Figure 12: overlapping R-tree boxes force non-monotonic rounds."""
+    # A-with-{C,D} and B-with-{C,D}: the paper's overlapping-bbox pattern
+    src = np.array([0, 0, 1, 1])
+    dst = np.array([2, 3, 2, 3])
+    rounds = monotonic_rounds(src, dst)
+    rows = [
+        ["regular grid (bucket PMR)", "1:1 aligned blocks", 1, "no"],
+        ["irregular (R-tree, Fig 12)", "all-pairs overlap", len(rounds), "yes"],
+    ]
+    table = format_table(["decomposition", "communication", "monotonic rounds",
+                          "reordering needed"], rows)
+    print_experiment("C8b: SAM-model suitability (Figure 12)", table)
+    assert not is_monotonic_mapping(src, dst)
+    assert len(rounds) == 2
+
+    benchmark(monotonic_rounds, src, dst)

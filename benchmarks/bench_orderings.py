@@ -1,0 +1,84 @@
+"""Experiment on Section 3.3's linear orderings: Morton vs Hilbert.
+
+The SAM discussion hinges on linear orderings of the regular
+decomposition.  The classic measurable property is **clustering**: how
+many contiguous code runs a query window shatters into (each run is one
+monotonic processor interval, so fewer runs means cheaper SAM-style
+communication and fewer binary-search probes).  Hilbert clusters better
+than Morton on average (the Moon et al. result); Morton, in exchange,
+admits the *canonical* block decomposition
+(:func:`~repro.machine.ordering.morton_window_ranges`) that makes the
+linear-quadtree range query pure binary search.  Both facts are
+asserted.  A second property is walk continuity: consecutive Hilbert
+codes are always grid neighbours; Morton jumps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import (
+    hilbert_encode,
+    hilbert_decode,
+    morton_decode,
+    morton_encode,
+    morton_window_ranges,
+)
+
+from conftest import print_experiment
+
+BITS = 5  # 32x32 grid
+LIM = 1 << BITS
+
+
+def cluster_count(encode, x0, y0, x1, y1):
+    """Number of contiguous code runs covering the cell window."""
+    xs, ys = np.meshgrid(np.arange(x0, x1), np.arange(y0, y1))
+    codes = np.sort(encode(xs.ravel(), ys.ravel(), BITS))
+    if codes.size == 0:
+        return 0
+    return int(1 + np.count_nonzero(np.diff(codes) > 1))
+
+
+def test_report_clustering(benchmark):
+    rng = np.random.default_rng(50)
+    m_runs, h_runs, m_ranges = [], [], []
+    for _ in range(200):
+        x0, y0 = rng.integers(0, LIM - 4, 2)
+        w, h = rng.integers(2, LIM // 2, 2)
+        x1, y1 = int(min(x0 + w, LIM)), int(min(y0 + h, LIM))
+        m_runs.append(cluster_count(morton_encode, x0, y0, x1, y1))
+        h_runs.append(cluster_count(hilbert_encode, x0, y0, x1, y1))
+        m_ranges.append(morton_window_ranges(int(x0), int(y0), x1, y1, BITS).shape[0])
+    rows = [
+        ["Morton (Peano)", round(float(np.mean(m_runs)), 2),
+         "yes (canonical block ranges)"],
+        ["Hilbert", round(float(np.mean(h_runs)), 2),
+         "no (blocks not contiguous)"],
+    ]
+    table = format_table(
+        ["ordering", "mean code runs per window", "binary-search range query"],
+        rows)
+    print_experiment("C8c: Section 3.3 linear orderings on the 32x32 grid", table)
+
+    # Hilbert clusters better on average (Moon et al.); Morton's merged
+    # block ranges coincide with its code runs (the canonical cover).
+    assert np.mean(h_runs) < np.mean(m_runs)
+    assert m_runs == m_ranges
+
+    benchmark(cluster_count, morton_encode, 3, 5, 29, 27)
+
+
+def test_hilbert_walk_is_continuous(benchmark):
+    codes = np.arange(LIM * LIM)
+    x, y = hilbert_decode(codes, BITS)
+    steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+    assert np.all(steps == 1)
+    mx, my = morton_decode(codes, BITS)
+    msteps = np.abs(np.diff(mx)) + np.abs(np.diff(my))
+    assert msteps.max() > 1  # Morton's walk jumps
+    benchmark(hilbert_decode, codes, BITS)
+
+
+def test_morton_range_decomposition_wallclock(benchmark):
+    benchmark(morton_window_ranges, 3, 5, 29, 27, BITS)

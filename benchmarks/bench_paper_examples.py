@@ -1,0 +1,61 @@
+"""Experiments F1, F4, F39-F44: the paper's worked examples end to end.
+
+Rebuilds all three structures on the reconstructed nine-segment dataset
+of Figure 1 with the paper's exact parameters -- PM1 over the 8x8 space,
+bucket PMR with capacity 2 and height 3 (Figure 4), and the order-(1,3)
+R-tree (Figures 39-44) -- printing the resulting decompositions and
+asserting every property the text states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import seq_bucket_pmr_decomposition, seq_pm1_decomposition
+from repro.geometry import paper_dataset, paper_labels
+from repro.structures import build_bucket_pmr, build_pm1, build_rtree
+
+from conftest import print_experiment
+
+SEGS = paper_dataset()
+LABELS = paper_labels()
+
+
+def test_report_pm1_worked_example(benchmark):
+    tree, trace = build_pm1(SEGS, 8)
+    print_experiment("F1/F30-33: PM1 quadtree on the worked dataset",
+                     tree.render(LABELS))
+    assert trace.num_rounds == 3                 # Figures 31-33: three rounds
+    assert tree.decomposition_key() == seq_pm1_decomposition(SEGS, 8)
+    leaf = tree.find_leaf(1.2, 6.2)              # region A keeps c, d, i together
+    assert {2, 3, 8} <= set(tree.lines_in_node(leaf).tolist())
+    benchmark(build_pm1, SEGS, 8)
+
+
+def test_report_bucket_pmr_worked_example(benchmark):
+    tree, trace = build_bucket_pmr(SEGS, 8, capacity=2, max_depth=3)
+    print_experiment("F4/F35-38: bucket PMR (capacity 2, height 3)",
+                     tree.render(LABELS))
+    assert trace.num_rounds == 3                 # Figures 36-38
+    assert tree.decomposition_key() == seq_bucket_pmr_decomposition(SEGS, 8, 2, 3)
+    counts = np.diff(tree.node_ptr)
+    at_max = tree.is_leaf & (tree.level == 3)
+    assert counts[at_max].max() > 2              # Figure 38's over-capacity node 9
+    benchmark(build_bucket_pmr, SEGS, 8, 2, 3)
+
+
+def test_report_rtree_worked_example(benchmark):
+    tree, trace = build_rtree(SEGS, m_fill=1, M=3)
+    rows = []
+    for leaf in range(tree.num_leaves):
+        ids = tree.lines_in_leaf(leaf)
+        rows.append([leaf, ",".join(LABELS[i] for i in ids),
+                     str(tree.level_mbr[0][leaf].tolist())])
+    table = format_table(["leaf", "lines", "MBR"], rows)
+    print_experiment("F39-44: order-(1,3) R-tree on the worked dataset", table)
+    print(tree.render())
+    tree.check()
+    assert tree.height >= 2                      # Figure 42: the root split
+    counts = np.bincount(tree.line_leaf, minlength=tree.num_leaves)
+    assert counts.max() <= 3                     # every leaf holds <= M = 3
+    benchmark(build_rtree, SEGS, 1, 3)

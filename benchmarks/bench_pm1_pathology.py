@@ -1,0 +1,43 @@
+"""Experiment F2: PM1 pathological subdivision near close vertices.
+
+Figure 2: inserting a segment whose endpoint nearly touches another's
+produces five levels of subdivision and fifteen new nodes, eleven empty.
+We sweep the endpoint separation and report tree depth, node count and
+empty-node count, contrasting with the bucket PMR's immunity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.geometry import pathological_pair
+from repro.structures import build_bucket_pmr, build_pm1
+
+from conftest import print_experiment
+
+DOMAIN = 256
+SEPARATIONS = [32, 16, 8, 4, 2, 1]
+
+
+def test_report_pathology_sweep(benchmark):
+    rows = []
+    heights = []
+    for sep in SEPARATIONS:
+        segs = pathological_pair(DOMAIN, sep)
+        tree, trace = build_pm1(segs, DOMAIN)
+        pmr, _ = build_bucket_pmr(segs, DOMAIN, capacity=2)
+        rows.append([sep, tree.height, tree.num_nodes, tree.num_empty_leaves,
+                     trace.num_rounds, pmr.num_nodes])
+        heights.append(tree.height)
+    table = format_table(
+        ["separation", "PM1 height", "PM1 nodes", "PM1 empty", "rounds",
+         "bucket PMR nodes"], rows)
+    print_experiment("F2: PM1 pathology vs endpoint separation (2 segments!)", table)
+
+    # halving the separation deepens the PM1 tree roughly one level per step
+    assert heights == sorted(heights)
+    assert heights[-1] - heights[0] >= 3
+    # the bucket PMR never blows up on the same input
+    assert all(r[5] <= r[2] for r in rows)
+
+    benchmark(build_pm1, pathological_pair(DOMAIN, 1), DOMAIN)

@@ -1,0 +1,51 @@
+"""Experiment C1: PM1 quadtree build complexity (paper Section 5.1).
+
+Claim: the data-parallel PM1 build takes O(log n) scan-model steps --
+O(log n) subdivision rounds of O(1) primitives each.  The sweep prints
+rounds / primitives / steps per input size and checks that steps track
+log n rather than n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_growth, format_table, measure_build
+from repro.geometry import random_segments
+from repro.machine import Machine
+from repro.structures import build_pm1
+
+from conftest import print_experiment
+
+DOMAIN = 65536
+SIZES = [125, 250, 500, 1000, 2000, 4000]
+
+
+def dataset(n):
+    segs = random_segments(n, domain=DOMAIN, max_len=256, seed=n)
+    return np.unique(segs, axis=0)
+
+
+def test_report_scaling(benchmark):
+    pts = measure_build(lambda lines, m: build_pm1(lines, DOMAIN, machine=m),
+                        dataset, SIZES)
+    rows = [[p.n, p.rounds, p.scans, p.sorts, p.steps,
+             round(p.steps / np.log2(p.n), 1)] for p in pts]
+    table = format_table(["n", "rounds", "scans", "sorts", "steps", "steps/log2(n)"],
+                         rows)
+    print_experiment("C1: PM1 build scaling (scan-model steps)", table)
+
+    sizes = [p.n for p in pts]
+    fits = fit_growth(sizes, [p.steps for p in pts])
+    print(f"growth-fit residuals (1.0 = best): {fits}")
+    # O(log n)-ish: the logarithmic families must beat the linear one
+    assert min(fits["log"], fits["log2"]) <= fits["linear"]
+    # rounds grow by at most a few while n grows 32x
+    assert pts[-1].rounds <= pts[0].rounds + 8
+
+    lines = dataset(1000)
+    benchmark(build_pm1, lines, DOMAIN, None, Machine())
+
+
+def test_wallclock_mid_size(benchmark):
+    lines = dataset(2000)
+    benchmark(build_pm1, lines, DOMAIN, None, Machine())

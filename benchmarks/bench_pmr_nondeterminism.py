@@ -1,0 +1,63 @@
+"""Experiment F34: PMR insertion-order nondeterminism vs bucket determinism.
+
+Figure 34 shows two insertion orders of the same lines yielding different
+PMR quadtrees.  We measure how many distinct decompositions a set of
+random insertion orders produces for the classic split-once PMR, and
+confirm the bucket PMR (the data-parallel choice) always yields one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import PMRQuadtree, seq_bucket_pmr_decomposition
+from repro.geometry import random_segments
+from repro.structures import build_bucket_pmr
+
+from conftest import print_experiment
+
+DOMAIN = 64
+N = 24
+ORDERS = 12
+
+
+@pytest.fixture(scope="module")
+def small_map():
+    return random_segments(N, domain=DOMAIN, max_len=24, seed=77)
+
+
+def build_pmr(segs, order, threshold):
+    t = PMRQuadtree(DOMAIN, threshold)
+    for i in order:
+        t.insert(segs[i], int(i))
+    return t
+
+
+def test_report_nondeterminism(small_map, benchmark):
+    rng = np.random.default_rng(5)
+    rows = []
+    for threshold in (2, 4, 8):
+        pmr_shapes = set()
+        for _ in range(ORDERS):
+            order = rng.permutation(N)
+            t = build_pmr(small_map, order, threshold)
+            pmr_shapes.add(tuple(box for box, _ in t.decomposition_key()))
+        bucket_shapes = set()
+        for _ in range(4):
+            order = rng.permutation(N)
+            tree, _ = build_bucket_pmr(small_map[order], DOMAIN, threshold)
+            bucket_shapes.add(tuple(box for box, _ in tree.decomposition_key()))
+        rows.append([threshold, ORDERS, len(pmr_shapes), len(bucket_shapes)])
+        assert len(bucket_shapes) == 1, "bucket PMR must be order-independent"
+    table = format_table(
+        ["threshold", "orders tried", "distinct PMR shapes", "distinct bucket shapes"],
+        rows)
+    print_experiment("F34: insertion-order dependence", table)
+    # at least one threshold must expose the classic PMR's nondeterminism
+    assert any(r[2] > 1 for r in rows)
+
+    benchmark(build_pmr, small_map, np.arange(N), 4)
+
+
+def test_bucket_build_wallclock(small_map, benchmark):
+    benchmark(build_bucket_pmr, small_map, DOMAIN, 4)

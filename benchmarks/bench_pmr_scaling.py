@@ -1,0 +1,47 @@
+"""Experiment C2: bucket PMR quadtree build complexity (paper Section 5.2).
+
+Claim: O(log n) -- each subdivision stage is a constant number of scans
+and un-shuffles, and the number of stages grows with the depth needed to
+thin buckets below the capacity, i.e. logarithmically for uniform maps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_growth, format_table, measure_build
+from repro.geometry import random_segments
+from repro.machine import Machine
+from repro.structures import build_bucket_pmr
+
+from conftest import print_experiment
+
+DOMAIN = 65536
+CAPACITY = 8
+SIZES = [250, 500, 1000, 2000, 4000, 8000]
+
+
+def dataset(n):
+    return random_segments(n, domain=DOMAIN, max_len=256, seed=n + 1)
+
+
+def test_report_scaling(benchmark):
+    pts = measure_build(
+        lambda lines, m: build_bucket_pmr(lines, DOMAIN, CAPACITY, machine=m),
+        dataset, SIZES)
+    rows = [[p.n, p.rounds, p.scans, p.steps,
+             round(p.steps / np.log2(p.n), 1)] for p in pts]
+    table = format_table(["n", "rounds", "scans", "steps", "steps/log2(n)"], rows)
+    print_experiment(f"C2: bucket PMR build scaling (capacity {CAPACITY})", table)
+
+    fits = fit_growth([p.n for p in pts], [p.steps for p in pts])
+    print(f"growth-fit residuals (1.0 = best): {fits}")
+    assert min(fits["log"], fits["log2"]) <= fits["linear"]
+    # per-round cost is constant: steps / rounds must not drift with n
+    per_round = [p.steps / p.rounds for p in pts]
+    assert max(per_round) / min(per_round) < 1.01
+
+    benchmark(build_bucket_pmr, dataset(1000), DOMAIN, CAPACITY, None, Machine())
+
+
+def test_wallclock_mid_size(benchmark):
+    benchmark(build_bucket_pmr, dataset(4000), DOMAIN, CAPACITY, None, Machine())

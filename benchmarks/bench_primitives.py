@@ -1,0 +1,66 @@
+"""Experiments F13-F19: the Section 4 spatial primitives at scale.
+
+Times cloning, unshuffling, duplicate deletion and the capacity check on
+large segmented vectors -- the per-round work of every build -- and
+prints the primitive-count budget each one consumes (the quantity the
+paper's O(1)-per-round claims count).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import Machine, Segments
+from repro.primitives import (
+    clone,
+    delete_duplicates,
+    mark_duplicates,
+    node_counts,
+    unshuffle,
+)
+
+from conftest import print_experiment
+
+N = 100_000
+RNG = np.random.default_rng(11)
+DATA = RNG.integers(0, 1000, N)
+FLAGS = RNG.random(N) < 0.2
+SIDE = RNG.random(N) < 0.5
+SEG = Segments.from_flags(np.concatenate(([True], RNG.random(N - 1) < 0.01)))
+SORTED_KEYS = np.sort(RNG.integers(0, N // 4, N))
+
+
+def test_clone(benchmark):
+    benchmark(clone, FLAGS, DATA, segments=SEG, machine=Machine())
+
+
+def test_unshuffle(benchmark):
+    benchmark(unshuffle, SIDE, DATA, segments=SEG, machine=Machine())
+
+
+def test_duplicate_deletion(benchmark):
+    flags = mark_duplicates(SORTED_KEYS)
+    benchmark(delete_duplicates, flags, SORTED_KEYS, machine=Machine())
+
+
+def test_capacity_check(benchmark):
+    benchmark(node_counts, SEG, machine=Machine())
+
+
+def test_report_primitive_budgets(benchmark):
+    """Primitive counts per operation: the O(1) budgets of Section 4."""
+    rows = []
+    for name, run in [
+        ("cloning (4.1)", lambda m: clone(FLAGS, DATA, segments=SEG, machine=m)),
+        ("unshuffle (4.2)", lambda m: unshuffle(SIDE, DATA, segments=SEG, machine=m)),
+        ("dup deletion (4.3)", lambda m: delete_duplicates(
+            mark_duplicates(SORTED_KEYS, machine=m), SORTED_KEYS, machine=m)),
+        ("capacity check (4.4)", lambda m: node_counts(SEG, machine=m)),
+    ]:
+        m = Machine()
+        run(m)
+        rows.append([name, m.counts.get("scan", 0), m.counts.get("elementwise", 0),
+                     m.counts.get("permute", 0), m.steps])
+    table = format_table(["primitive", "scans", "elementwise", "permutes", "steps"], rows)
+    print_experiment("F13-F19: primitive budgets (scan model)", table)
+    benchmark(node_counts, SEG, machine=Machine())

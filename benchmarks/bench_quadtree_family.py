@@ -1,0 +1,86 @@
+"""Family bench: PR quadtree (points) and region quadtree (raster).
+
+The Section 1 survey's substrates made measurable: point-record builds
+([Best92]) and raster set-theoretic queries ([Bhas88], [Dehn91],
+[Ibar93]) alongside the paper's vector structures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import Machine, use_machine
+from repro.structures import build_pr_quadtree, build_region_quadtree
+
+from conftest import print_experiment
+
+
+@pytest.fixture(scope="module")
+def point_cloud():
+    rng = np.random.default_rng(44)
+    return rng.integers(0, 4097, size=(5000, 2)).astype(float)
+
+
+@pytest.fixture(scope="module")
+def rasters():
+    rng = np.random.default_rng(45)
+    blobs = np.zeros((256, 256), bool)
+    for _ in range(40):
+        x, y = rng.integers(0, 220, 2)
+        w, h = rng.integers(8, 36, 2)
+        blobs[y:y + h, x:x + w] = True
+    noise = rng.random((256, 256)) < 0.02
+    return blobs, blobs ^ noise
+
+
+def test_report_pr_scaling(benchmark):
+    rng = np.random.default_rng(46)
+    rows = []
+    for n in (500, 2000, 8000):
+        pts = rng.integers(0, 4097, size=(n, 2)).astype(float)
+        m = Machine()
+        with use_machine(m):
+            tree, trace = build_pr_quadtree(pts, 4096, capacity=4)
+        rows.append([n, trace.num_rounds, m.steps, tree.num_nodes, tree.height])
+    table = format_table(["points", "rounds", "steps", "nodes", "height"], rows)
+    print_experiment("A4: PR quadtree build scaling ([Best92])", table)
+    # per-round schedule fixed, rounds logarithmic
+    assert rows[-1][1] <= rows[0][1] + 4
+
+    pts = rng.integers(0, 4097, size=(2000, 2)).astype(float)
+    benchmark(build_pr_quadtree, pts, 4096, 4, None, Machine())
+
+
+def test_pr_window_query(point_cloud, benchmark):
+    tree, _ = build_pr_quadtree(point_cloud, 4096, capacity=8)
+    rng = np.random.default_rng(47)
+    rects = [np.array([x, y, x + 300, y + 300], float)
+             for x, y in rng.integers(0, 3700, size=(32, 2))]
+    benchmark(lambda: [tree.window_query(r) for r in rects])
+
+
+def test_report_region_set_ops(rasters, benchmark):
+    a_img, b_img = rasters
+    m = Machine()
+    with use_machine(m):
+        a = build_region_quadtree(a_img)
+        b = build_region_quadtree(b_img)
+    union = a.union(b)
+    inter = a.intersect(b)
+    rows = [
+        ["A", a.node_count(), a.leaf_count(), a.area(), a.perimeter()],
+        ["B", b.node_count(), b.leaf_count(), b.area(), b.perimeter()],
+        ["A union B", union.node_count(), union.leaf_count(), union.area(),
+         union.perimeter()],
+        ["A intersect B", inter.node_count(), inter.leaf_count(), inter.area(),
+         inter.perimeter()],
+    ]
+    table = format_table(["tree", "nodes", "leaves", "area", "perimeter"], rows)
+    print_experiment("A5: region quadtree set-theoretic queries", table)
+    assert union.area() == a.area() + b.area() - inter.area()
+
+    benchmark(a.union, b)
+
+
+def test_region_build_wallclock(rasters, benchmark):
+    benchmark(build_region_quadtree, rasters[0], Machine())

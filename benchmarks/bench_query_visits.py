@@ -1,0 +1,67 @@
+"""Experiment C6: disjoint vs non-disjoint query cost (paper Sections 1, 2.3).
+
+Claim: because R-tree bounding rectangles overlap, "a spatial query may
+often require several bounding rectangles to be checked", whereas the
+disjoint quadtree decompositions route each query point through exactly
+one leaf path.  We count node visits per window query across the three
+structures (plus the sequential Guttman baseline) on the same map.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_query_visits, format_table
+from repro.baselines import SeqRTree
+from repro.structures import build_bucket_pmr, build_pm1, build_rtree
+
+from conftest import print_experiment
+
+DOMAIN = 4096
+
+
+@pytest.fixture(scope="module")
+def structures(uniform_map):
+    segs = np.unique(uniform_map, axis=0)
+    pmr, _ = build_bucket_pmr(segs, DOMAIN, 8)
+    rtree, _ = build_rtree(segs, 2, 8)
+    seq = SeqRTree.build(segs, m=2, M=8, split="quadratic")
+    return segs, pmr, rtree, seq
+
+
+def test_report_visit_counts(structures, query_windows, benchmark):
+    segs, pmr, rtree, seq = structures
+    point_windows = [np.array([w[0], w[1], w[0], w[1]]) for w in query_windows]
+
+    rows = []
+    results = {}
+    for name, tree in [("bucket PMR (disjoint)", pmr),
+                       ("parallel R-tree", rtree),
+                       ("Guttman R-tree", seq)]:
+        wv = average_query_visits(tree, query_windows)
+        pv = average_query_visits(tree, point_windows)
+        rows.append([name, round(wv, 1), round(pv, 1)])
+        results[name] = pv
+    table = format_table(["structure", "visits/window", "visits/point"], rows)
+    print_experiment("C6: node visits per query (same 2000-segment map)", table)
+
+    # the disjoint decomposition answers point queries down one root-leaf
+    # path; the R-trees' overlapping rectangles force extra node checks.
+    assert results["bucket PMR (disjoint)"] <= pmr.height + 1 + 3 * (pmr.height + 1)
+    assert results["parallel R-tree"] > 0
+
+    benchmark(pmr.window_query, query_windows[0])
+
+
+def test_quadtree_window_query(structures, query_windows, benchmark):
+    _, pmr, _, _ = structures
+    benchmark(lambda: [pmr.window_query(w) for w in query_windows[:8]])
+
+
+def test_rtree_window_query(structures, query_windows, benchmark):
+    _, _, rtree, _ = structures
+    benchmark(lambda: [rtree.window_query(w) for w in query_windows[:8]])
+
+
+def test_guttman_window_query(structures, query_windows, benchmark):
+    _, _, _, seq = structures
+    benchmark(lambda: [seq.window_query(w) for w in query_windows[:8]])

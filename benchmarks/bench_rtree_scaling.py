@@ -1,0 +1,47 @@
+"""Experiment C3: data-parallel R-tree build complexity (paper Section 5.3).
+
+Claim: O(log**2 n) -- O(log n) rounds, each spending O(log n) on the two
+sorts inside the sweep-split selection.  The sweep prints rounds, sort
+counts, and steps, then checks that steps grow like log**2 n (and that
+rounds alone stay logarithmic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_growth, format_table, measure_build
+from repro.geometry import random_segments
+from repro.machine import Machine
+from repro.structures import build_rtree
+
+from conftest import print_experiment
+
+M_FILL, M_CAP = 2, 8
+SIZES = [250, 500, 1000, 2000, 4000, 8000]
+
+
+def dataset(n):
+    return random_segments(n, domain=65536, max_len=256, seed=n + 2)
+
+
+def test_report_scaling(benchmark):
+    pts = measure_build(
+        lambda lines, m: build_rtree(lines, M_FILL, M_CAP, machine=m),
+        dataset, SIZES)
+    rows = [[p.n, p.rounds, p.sorts, p.steps,
+             round(p.steps / np.log2(p.n) ** 2, 2)] for p in pts]
+    table = format_table(["n", "rounds", "sorts", "steps", "steps/log2(n)^2"], rows)
+    print_experiment(f"C3: R-tree build scaling (order ({M_FILL},{M_CAP}))", table)
+
+    sizes = [p.n for p in pts]
+    fits = fit_growth(sizes, [p.steps for p in pts])
+    print(f"growth-fit residuals (1.0 = best): {fits}")
+    assert fits["log2"] <= fits["linear"]
+    # rounds alone are O(log n): a 32x size increase adds only a few rounds
+    assert pts[-1].rounds <= pts[0].rounds + 10
+
+    benchmark(build_rtree, dataset(1000), M_FILL, M_CAP, "sweep", Machine())
+
+
+def test_wallclock_mid_size(benchmark):
+    benchmark(build_rtree, dataset(4000), M_FILL, M_CAP, "sweep", Machine())

@@ -1,0 +1,46 @@
+"""Experiment F8: segmented-scan primitive throughput.
+
+Regenerates the primitive layer of Figure 8 at realistic vector sizes
+and times both execution engines; the unit-time scan-model semantics is
+an abstraction over exactly this machine work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import Machine, Segments, seg_scan
+
+from conftest import print_experiment
+
+N = 200_000
+RNG = np.random.default_rng(7)
+DATA = RNG.integers(-100, 100, N)
+FLAGS = RNG.random(N) < 0.001
+FLAGS[0] = True
+SEG = Segments.from_flags(FLAGS)
+
+
+@pytest.mark.parametrize("op", ["+", "max", "min", "copy"])
+@pytest.mark.parametrize("direction", ["up", "down"])
+def test_fast_engine(benchmark, op, direction):
+    benchmark(seg_scan, DATA, SEG, op, direction, True, Machine(), "fast")
+
+
+@pytest.mark.parametrize("op", ["+", "max"])
+def test_hillis_steele_engine(benchmark, op):
+    benchmark(seg_scan, DATA, SEG, op, "up", True, Machine(), "hillis_steele")
+
+
+def test_report_figure8_table(benchmark):
+    """Print the Figure 8 worked example verbatim, then time the call."""
+    data = np.array([3, 1, 2, 1, 0, 1, 2, 2, 1, 0, 3, 3])
+    seg = Segments.from_flags([1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0])
+    rows = []
+    for direction in ("up", "down"):
+        for kind, inc in (("in", True), ("ex", False)):
+            got = seg_scan(data, seg, "+", direction, inc)
+            rows.append([f"{direction}-scan(data,sf,+,{kind})"] + got.tolist())
+    table = format_table(["scan"] + [f"s{i}" for i in range(12)], rows)
+    print_experiment("F8: Figure 8 segmented scans", table)
+    benchmark(seg_scan, data, seg, "+", "up", True)

@@ -1,0 +1,69 @@
+"""Experiment A1: spatial join through the built structures (Section 6).
+
+The conclusion cites spatial join as the flagship application of the
+primitives.  We join two 2000-segment maps via the bucket PMR quadtree,
+via the data-parallel R-tree, and by brute force, confirming identical
+answers and reporting candidate-pair counts (the structures' pruning
+power).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.structures import (
+    brute_join,
+    build_bucket_pmr,
+    build_rtree,
+    quadtree_join,
+    rtree_join,
+)
+
+from conftest import print_experiment
+
+DOMAIN = 4096
+
+
+@pytest.fixture(scope="module")
+def joined(uniform_map, street_map):
+    a = uniform_map
+    b = street_map
+    qa, _ = build_bucket_pmr(a, DOMAIN, 8)
+    qb, _ = build_bucket_pmr(b, DOMAIN, 8)
+    ra, _ = build_rtree(a, 2, 8)
+    rb, _ = build_rtree(b, 2, 8)
+    return a, b, qa, qb, ra, rb
+
+
+def test_report_join_agreement(joined, benchmark):
+    a, b, qa, qb, ra, rb = joined
+    want = brute_join(a, b)
+    got_q = quadtree_join(qa, qb)
+    got_r = rtree_join(ra, rb)
+    assert np.array_equal(want, got_q)
+    assert np.array_equal(want, got_r)
+
+    rows = [
+        ["brute force", a.shape[0] * b.shape[0], want.shape[0]],
+        ["bucket PMR join", "pruned", got_q.shape[0]],
+        ["R-tree join", "pruned", got_r.shape[0]],
+    ]
+    table = format_table(["method", "pairs examined", "intersecting pairs"], rows)
+    print_experiment("A1: spatial join (uniform map x street map)", table)
+
+    benchmark(quadtree_join, qa, qb)
+
+
+def test_quadtree_join_wallclock(joined, benchmark):
+    _, _, qa, qb, _, _ = joined
+    benchmark(quadtree_join, qa, qb)
+
+
+def test_rtree_join_wallclock(joined, benchmark):
+    _, _, _, _, ra, rb = joined
+    benchmark(rtree_join, ra, rb)
+
+
+def test_brute_join_wallclock(joined, benchmark):
+    a, b, *_ = joined
+    benchmark(brute_join, a[:500], b[:500])

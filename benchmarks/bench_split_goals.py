@@ -1,0 +1,96 @@
+"""Experiment F6: coverage-minimising vs overlap-minimising node splits.
+
+Figure 6 shows the two goals pulling apart on four rectangles.  We
+reproduce that discrete example, then quantify the trade-off on whole
+trees with Guttman's coverage-minimising splits (quadratic, linear)
+against the overlap-minimising sweep, sequential and parallel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import SeqRTree
+from repro.geometry import intersection_area
+from repro.machine import Machine, Segments
+from repro.primitives import sweep_split
+from repro.structures import build_rtree
+
+from conftest import print_experiment
+
+# A Figure 6-style quartet where the two goals genuinely disagree:
+# grouping {0,2} minimises total coverage (119 vs 144) but leaves overlap 10,
+# while grouping {0,1} achieves zero overlap at higher coverage.
+FIG6_RECTS = np.array([
+    [4.0, 4.0, 6.0, 11.0],
+    [1.0, 10.0, 5.0, 16.0],
+    [6.0, 4.0, 9.0, 5.0],
+    [11.0, 9.0, 13.0, 16.0],
+])
+
+
+def partition_metrics(rects, group_a):
+    a = rects[list(group_a)]
+    b = rects[[i for i in range(len(rects)) if i not in group_a]]
+    box = lambda r: np.array([r[:, 0].min(), r[:, 1].min(), r[:, 2].max(), r[:, 3].max()])
+    ba, bb = box(a), box(b)
+    cov = float((ba[2] - ba[0]) * (ba[3] - ba[1]) + (bb[2] - bb[0]) * (bb[3] - bb[1]))
+    ov = float(intersection_area(ba[None, :], bb[None, :])[0])
+    return cov, ov
+
+
+def test_report_figure6_example(benchmark):
+    """Exhaustive 2+2 partitions: the two goals disagree."""
+    import itertools
+    rows = []
+    best_cov = best_ov = None
+    for ga in itertools.combinations(range(4), 2):
+        if 0 not in ga:
+            continue
+        cov, ov = partition_metrics(FIG6_RECTS, ga)
+        rows.append([str(ga), cov, ov])
+        if best_cov is None or cov < best_cov[1]:
+            best_cov = (ga, cov, ov)
+        if best_ov is None or ov < best_ov[2]:
+            best_ov = (ga, cov, ov)
+    table = format_table(["group A", "total coverage", "overlap"], rows)
+    print_experiment("F6: coverage vs overlap on the 4-rectangle example", table)
+    print(f"coverage-minimising split: {best_cov[0]}, overlap-minimising: {best_ov[0]}")
+    assert best_cov[0] != best_ov[0], "the example must make the goals disagree"
+
+    benchmark(partition_metrics, FIG6_RECTS, (0, 1))
+
+
+def test_report_tree_level_tradeoff(city_map, benchmark):
+    rows = []
+    overlap_by = {}
+    for name, build in [
+        ("Guttman quadratic", lambda: SeqRTree.build(city_map, 2, 8, "quadratic")),
+        ("Guttman linear", lambda: SeqRTree.build(city_map, 2, 8, "linear")),
+        ("seq overlap sweep", lambda: SeqRTree.build(city_map, 2, 8, "overlap")),
+    ]:
+        tree = build()
+        rows.append([name, round(tree.coverage() / 1e6, 3),
+                     round(tree.total_overlap() / 1e6, 3), tree.num_nodes()])
+        overlap_by[name] = tree.total_overlap()
+    ptree, _ = build_rtree(city_map, 2, 8, algo="sweep")
+    rows.append(["parallel sweep", round(ptree.coverage(0) / 1e6, 3),
+                 round(ptree.total_overlap(0) / 1e6, 3), ptree.num_nodes])
+    table = format_table(["builder", "coverage (Mu^2)", "overlap (Mu^2)", "nodes"], rows)
+    print_experiment("F6: split-goal trade-off at tree level (clustered map)", table)
+
+    assert overlap_by["seq overlap sweep"] <= overlap_by["Guttman quadratic"] * 2.0
+
+    benchmark(SeqRTree.build, city_map[:500], 2, 8, "quadratic")
+
+
+def test_parallel_sweep_split_wallclock(benchmark):
+    rng = np.random.default_rng(0)
+    n = 4096
+    rects = np.zeros((n, 4))
+    rects[:, 0] = rng.integers(0, 10000, n)
+    rects[:, 1] = rng.integers(0, 10000, n)
+    rects[:, 2] = rects[:, 0] + rng.integers(1, 100, n)
+    rects[:, 3] = rects[:, 1] + rng.integers(1, 100, n)
+    seg = Segments.from_lengths([n // 4] * 4)
+    benchmark(sweep_split, rects, seg, 2, 8, Machine())

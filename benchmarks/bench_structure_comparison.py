@@ -1,0 +1,73 @@
+"""Summary experiment: the three structures side by side, per map family.
+
+The paper's Section 2 discusses the structures' qualitative trade-offs
+(disjointness vs duplication, regularity vs adaptivity); this bench
+tabulates them quantitatively on the three synthetic map families --
+uniform, clustered, street grid -- reporting build cost (scan-model
+steps), storage (nodes / q-edges), and query work, the closest thing to
+the summary table a modern version of the paper would print.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_query_visits, format_table, quadtree_stats, rtree_stats
+from repro.machine import Machine, use_machine
+from repro.structures import build_bucket_pmr, build_pm1, build_rtree
+
+from conftest import print_experiment
+
+DOMAIN = 4096
+
+
+def build_all(segs):
+    out = {}
+    m = Machine()
+    with use_machine(m):
+        pmr, tr = build_bucket_pmr(segs, DOMAIN, 8)
+    out["bucket PMR"] = (pmr, tr.num_rounds, m.steps, quadtree_stats(pmr).q_edges,
+                         pmr.num_nodes)
+    uniq = np.unique(segs, axis=0)
+    m = Machine()
+    with use_machine(m):
+        pm1, tr = build_pm1(uniq, DOMAIN)
+    out["PM1"] = (pm1, tr.num_rounds, m.steps, quadtree_stats(pm1).q_edges,
+                  pm1.num_nodes)
+    m = Machine()
+    with use_machine(m):
+        rtree, tr = build_rtree(segs, 2, 8)
+    out["R-tree"] = (rtree, tr.num_rounds, m.steps, segs.shape[0],
+                     rtree.num_nodes)
+    return out
+
+
+def test_report_three_structures(uniform_map, city_map, street_map,
+                                 query_windows, benchmark):
+    rows = []
+    for map_name, segs in (("uniform", uniform_map), ("clustered", city_map),
+                           ("street", street_map)):
+        built = build_all(segs)
+        for name, (tree, rounds, steps, qedges, nodes) in built.items():
+            visits = average_query_visits(tree, query_windows[:24])
+            rows.append([map_name, name, segs.shape[0], rounds, int(steps),
+                         nodes, qedges, round(visits, 1)])
+    table = format_table(
+        ["map", "structure", "segments", "rounds", "build steps",
+         "nodes", "q-edges/entries", "visits/query"], rows)
+    print_experiment("summary: three structures x three map families", table)
+
+    # sanity direction checks: R-tree never duplicates entries; quadtrees do
+    by = {(r[0], r[1]): r for r in rows}
+    for map_name in ("uniform", "clustered", "street"):
+        assert by[(map_name, "R-tree")][6] <= by[(map_name, "bucket PMR")][6]
+
+    benchmark(build_bucket_pmr, street_map, DOMAIN, 8, None, Machine())
+
+
+def test_pm1_street_wallclock(street_map, benchmark):
+    uniq = np.unique(street_map, axis=0)
+    benchmark(build_pm1, uniq, DOMAIN, None, Machine())
+
+
+def test_rtree_street_wallclock(street_map, benchmark):
+    benchmark(build_rtree, street_map, 2, 8, "sweep", Machine())

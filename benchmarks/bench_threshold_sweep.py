@@ -1,0 +1,62 @@
+"""Experiment C4: the splitting-threshold trade-off (paper Section 2.2).
+
+Claim: "as the splitting threshold is increased, the construction times
+and storage requirements of the PMR quadtree decrease while the time
+necessary to perform operations on it will increase."  The sweep builds
+the bucket PMR at increasing capacities and reports build steps, node
+counts (storage), and per-query candidate work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, quadtree_stats
+from repro.machine import Machine, use_machine
+from repro.structures import build_bucket_pmr
+
+from conftest import print_experiment
+
+DOMAIN = 4096
+CAPACITIES = [2, 4, 8, 16, 32]
+
+
+def candidates_per_query(tree, windows):
+    total = 0
+    for w in windows:
+        ids = tree.window_query(w, exact=False)
+        total += ids.size
+    return total / len(windows)
+
+
+def test_report_threshold_sweep(uniform_map, query_windows, benchmark):
+    rows = []
+    build_steps = []
+    nodes = []
+    cand = []
+    for cap in CAPACITIES:
+        m = Machine()
+        with use_machine(m):
+            tree, trace = build_bucket_pmr(uniform_map, DOMAIN, cap)
+        s = quadtree_stats(tree)
+        c = candidates_per_query(tree, query_windows)
+        rows.append([cap, trace.num_rounds, m.steps, s.nodes, s.q_edges,
+                     round(s.replication, 2), round(c, 1)])
+        build_steps.append(m.steps)
+        nodes.append(s.nodes)
+        cand.append(c)
+    table = format_table(
+        ["capacity", "rounds", "build steps", "nodes", "q-edges",
+         "replication", "candidates/query"], rows)
+    print_experiment("C4: bucket PMR splitting-threshold sweep", table)
+
+    # paper's direction-of-effect claims
+    assert build_steps == sorted(build_steps, reverse=True), "build cost must fall"
+    assert nodes == sorted(nodes, reverse=True), "storage must fall"
+    assert cand[-1] > cand[0], "per-query work must rise"
+
+    benchmark(build_bucket_pmr, uniform_map, DOMAIN, 8, None, Machine())
+
+
+@pytest.mark.parametrize("cap", [2, 32])
+def test_build_wallclock(uniform_map, benchmark, cap):
+    benchmark(build_bucket_pmr, uniform_map, DOMAIN, cap, None, Machine())

@@ -1,0 +1,49 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each bench regenerates one row/series of the paper's evaluation (see
+DESIGN.md Section 4).  Tables print through the ``report`` fixture so
+``pytest benchmarks/ --benchmark-only -s`` shows the same rows
+EXPERIMENTS.md records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import clustered_map, random_segments, road_map
+
+
+@pytest.fixture(scope="session")
+def uniform_map():
+    """Mid-size uniform segment map shared by query/join benches."""
+    return random_segments(2000, domain=4096, max_len=96, seed=101)
+
+
+@pytest.fixture(scope="session")
+def city_map():
+    """Clustered map exercising skewed density."""
+    return clustered_map(2000, clusters=12, spread=120, domain=4096, seed=202)
+
+
+@pytest.fixture(scope="session")
+def street_map():
+    """Road-grid map, the paper's motivating data shape."""
+    return road_map(28, 28, domain=4096, jitter=16, seed=303)
+
+
+@pytest.fixture(scope="session")
+def query_windows():
+    rng = np.random.default_rng(404)
+    out = []
+    for _ in range(64):
+        x = rng.integers(0, 3600)
+        y = rng.integers(0, 3600)
+        w = rng.integers(64, 480)
+        h = rng.integers(64, 480)
+        out.append(np.array([x, y, min(x + w, 4096), min(y + h, 4096)], float))
+    return out
+
+
+def print_experiment(title, table):
+    print()
+    print(f"== {title} ==")
+    print(table)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Dynamic map maintenance: insert and delete with the bucket PMR quadtree.
+
+Simulates an evolving utility map: segments appear (new cables) and
+disappear (decommissioning), maintained through the bucket PMR quadtree
+whose deletion rule merges sparse sibling blocks (paper Section 2.2).
+Shape-determinism is the star: after every batch of updates the
+maintained tree is *identical* to a from-scratch rebuild.
+
+Run:  python examples/dynamic_maps.py
+"""
+
+import numpy as np
+
+from repro import (
+    build_bucket_pmr,
+    delete_lines,
+    insert_lines,
+    print_table,
+    random_segments,
+)
+
+DOMAIN = 1024
+CAPACITY = 6
+
+
+def main() -> None:
+    rng = np.random.default_rng(55)
+    lines = random_segments(400, domain=DOMAIN, max_len=48, seed=56)
+    tree, _ = build_bucket_pmr(lines, DOMAIN, CAPACITY)
+    print(f"initial map: {lines.shape[0]} segments, "
+          f"{tree.num_nodes} quadtree nodes\n")
+
+    rows = []
+    epoch_lines = lines
+    for epoch in range(1, 6):
+        # decommission a random tenth of the map...
+        drop = rng.choice(epoch_lines.shape[0],
+                          size=epoch_lines.shape[0] // 10, replace=False)
+        tree, survivors = delete_lines(tree, drop, CAPACITY)
+        epoch_lines = epoch_lines[survivors]
+
+        # ...and lay some new cable
+        fresh = random_segments(60, domain=DOMAIN, max_len=48,
+                                seed=1000 + epoch)
+        tree, _ = insert_lines(tree, fresh, CAPACITY)
+        epoch_lines = np.vstack([epoch_lines, fresh])
+
+        # determinism check: maintained == rebuilt
+        rebuilt, _ = build_bucket_pmr(epoch_lines, DOMAIN, CAPACITY)
+        assert tree.decomposition_key() == rebuilt.decomposition_key()
+        rows.append([epoch, epoch_lines.shape[0], tree.num_nodes,
+                     tree.num_leaves, tree.height])
+
+    print_table(["epoch", "segments", "nodes", "leaves", "height"], rows,
+                title="five update epochs (each verified against a fresh rebuild)")
+    print("\nevery epoch's maintained tree is bit-identical to a from-scratch "
+          "build:\nthe bucket PMR's shape is a pure function of the line set "
+          "(paper Section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

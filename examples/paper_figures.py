@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's worked examples (Figures 1, 4, 8, 13-18, 29, 39-44).
+
+Every figure with concrete values in Hoel & Samet (ICPP'95) is replayed
+here on the reconstructed nine-segment dataset or the figure's own
+numbers, printing the same rows the paper draws.
+
+Run:  python examples/paper_figures.py
+"""
+
+import numpy as np
+
+from repro import (
+    Segments,
+    build_bucket_pmr,
+    build_pm1,
+    build_rtree,
+    clone,
+    down_scan,
+    paper_dataset,
+    paper_labels,
+    print_table,
+    unshuffle,
+    up_scan,
+)
+from repro.geometry import rtree_split_example
+from repro.primitives import delete_duplicates, mark_duplicates, prefix_suffix_boxes
+
+
+def figure_8() -> None:
+    print("=" * 70)
+    print("Figure 8: segmented scans (upward/downward x inclusive/exclusive)")
+    data = np.array([3, 1, 2, 1, 0, 1, 2, 2, 1, 0, 3, 3])
+    sf = np.array([1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0])
+    seg = Segments.from_flags(sf)
+    rows = [["data"] + data.tolist(), ["sf"] + sf.tolist()]
+    rows.append(["up-scan(+,in)"] + up_scan(data, seg, "+", "in").tolist())
+    rows.append(["up-scan(+,ex)"] + up_scan(data, seg, "+", "ex").tolist())
+    rows.append(["down-scan(+,in)"] + down_scan(data, seg, "+", "in").tolist())
+    rows.append(["down-scan(+,ex)"] + down_scan(data, seg, "+", "ex").tolist())
+    print_table(["vector"] + [str(i) for i in range(12)], rows)
+
+
+def figures_13_18() -> None:
+    print("=" * 70)
+    print("Figures 13-14: cloning a, d, g out of [a..h]")
+    x = np.array(list("abcdefgh"))
+    flags = np.array([1, 0, 0, 1, 0, 0, 1, 0], bool)
+    r = clone(flags, x)
+    print(f"  input : {' '.join(x)}")
+    print(f"  flags : {' '.join(str(int(f)) for f in flags)}")
+    print(f"  output: {' '.join(r.arrays[0])}")
+
+    print("\nFigures 15-16: unshuffling a-types left, b-types right")
+    side = np.array([0, 1, 0, 0, 1, 1, 0, 1], bool)
+    vals = np.array(list("ABCDEFGH"))
+    u = unshuffle(side, vals)
+    print(f"  input : {' '.join(vals)}   (b at positions "
+          f"{np.flatnonzero(side).tolist()})")
+    print(f"  output: {' '.join(u.arrays[0])}")
+
+    print("\nFigures 17-18: duplicate deletion on a sorted vector")
+    keys = np.array([1, 1, 2, 3, 3, 3, 4])
+    d = delete_duplicates(mark_duplicates(keys), keys)
+    print(f"  input : {keys.tolist()}")
+    print(f"  output: {d.arrays[0].tolist()}")
+
+
+def figure_29() -> None:
+    print("=" * 70)
+    print("Figure 29: prefix/suffix bounding-box scans for the R-tree split")
+    ex = rtree_split_example()
+    L, R = prefix_suffix_boxes(ex["rects"], Segments.single(4))
+    rows = [
+        ["ls:left side"] + ex["rects"][:, 0].tolist(),
+        ["rs:right side"] + ex["rects"][:, 2].tolist(),
+        ["L Bbox left side"] + L[:, 0].tolist(),
+        ["L Bbox right side"] + L[:, 2].tolist(),
+        ["R Bbox left side"] + R[:, 0].tolist(),
+        ["R Bbox right side"] + R[:, 2].tolist(),
+    ]
+    print_table(["scan"] + list("ABCD"), rows)
+
+
+def worked_builds() -> None:
+    segs = paper_dataset()
+    labels = paper_labels()
+
+    print("=" * 70)
+    print("Figures 1 / 30-33: data-parallel PM1 quadtree build")
+    tree, trace = build_pm1(segs, 8)
+    print(f"  ({trace.num_rounds} subdivision rounds, as in Figures 31-33)")
+    print(tree.render(labels))
+
+    print()
+    print("=" * 70)
+    print("Figures 4 / 35-38: bucket PMR quadtree (capacity 2, height 3)")
+    tree, trace = build_bucket_pmr(segs, 8, capacity=2, max_depth=3)
+    print(f"  ({trace.num_rounds} subdivision rounds, as in Figures 36-38)")
+    print(tree.render(labels))
+    print("\n  block diagram (numbers = q-edges per bucket):")
+    print("  " + tree.render_grid(cell=1).replace("\n", "\n  "))
+
+    print()
+    print("=" * 70)
+    print("Figures 39-44: data-parallel order-(1,3) R-tree build")
+    tree, trace = build_rtree(segs, m_fill=1, M=3)
+    print(tree.render())
+    for leaf in range(tree.num_leaves):
+        ids = tree.lines_in_leaf(leaf)
+        names = ",".join(labels[i] for i in ids)
+        print(f"  leaf {leaf}: {{{names}}}  mbr={tree.level_mbr[0][leaf].tolist()}")
+
+
+def main() -> None:
+    figure_8()
+    figures_13_18()
+    figure_29()
+    worked_builds()
+
+
+if __name__ == "__main__":
+    main()

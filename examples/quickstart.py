@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build all three spatial structures and query them.
+
+Generates a synthetic line map, runs the three data-parallel builds of
+Hoel & Samet (ICPP'95) -- PM1 quadtree, bucket PMR quadtree, R-tree --
+executes the same window query against each, and prints the machine's
+primitive-operation accounting for one build.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Machine,
+    brute_window_query,
+    build_bucket_pmr,
+    build_pm1,
+    build_rtree,
+    print_table,
+    random_segments,
+    use_machine,
+)
+
+DOMAIN = 1024
+
+
+def main() -> None:
+    lines = np.unique(random_segments(500, domain=DOMAIN, max_len=64, seed=7), axis=0)
+    print(f"input: {lines.shape[0]} line segments in [0, {DOMAIN}]^2\n")
+
+    # -- build the three structures ------------------------------------
+    pm1, pm1_trace = build_pm1(lines, DOMAIN)
+    pmr, pmr_trace = build_bucket_pmr(lines, DOMAIN, capacity=8)
+    rtree, rtree_trace = build_rtree(lines, m_fill=2, M=8)
+
+    print_table(
+        ["structure", "rounds", "nodes", "height"],
+        [
+            ["PM1 quadtree", pm1_trace.num_rounds, pm1.num_nodes, pm1.height],
+            ["bucket PMR quadtree", pmr_trace.num_rounds, pmr.num_nodes, pmr.height],
+            ["R-tree (order 2,8)", rtree_trace.num_rounds, rtree.num_nodes,
+             rtree.height],
+        ],
+        title="build summary")
+
+    # -- run the same window query everywhere ----------------------------
+    window = np.array([200.0, 200.0, 420.0, 380.0])
+    truth = set(brute_window_query(lines, window).tolist())
+    rows = []
+    for name, tree in (("PM1", pm1), ("bucket PMR", pmr), ("R-tree", rtree)):
+        ids, visits = tree.window_query(window, count_visits=True)
+        assert set(ids.tolist()) == truth, f"{name} disagrees with brute force"
+        rows.append([name, len(ids), visits])
+    print()
+    print_table(["structure", "hits", "node visits"],
+                rows, title=f"window query {window.tolist()} (all agree with brute force)")
+
+    # -- scan-model accounting -------------------------------------------
+    m = Machine(cost_model="scan_model")
+    with use_machine(m):
+        build_bucket_pmr(lines, DOMAIN, capacity=8)
+    print()
+    print("bucket PMR build on the scan-model machine:")
+    for key, val in m.snapshot().items():
+        print(f"  {key:>12}: {val:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Raster overlay with region quadtrees (the paper's Section 1 substrate).
+
+A land-use GIS miniature: one raster layer marks forest, another marks
+flood plain; region-quadtree set operations answer "forested flood
+plain" and "forest outside the flood plain" with exact areas, and the
+quadtree's block structure compresses the uniform regions.
+
+Run:  python examples/raster_overlay.py
+"""
+
+import numpy as np
+
+from repro import print_table
+from repro.structures import build_region_quadtree
+
+SIDE = 128
+
+
+def make_layers(seed=61):
+    rng = np.random.default_rng(seed)
+    forest = np.zeros((SIDE, SIDE), bool)
+    for _ in range(10):  # forest patches
+        x, y = rng.integers(0, SIDE - 24, 2)
+        w, h = rng.integers(10, 32, 2)
+        forest[y:y + h, x:x + w] = True
+    flood = np.zeros((SIDE, SIDE), bool)
+    yy = np.arange(SIDE)
+    center = SIDE // 2 + (8 * np.sin(yy / 9)).astype(int)  # a river corridor
+    for y in range(SIDE):
+        flood[y, max(center[y] - 12, 0):min(center[y] + 12, SIDE)] = True
+    return forest, flood
+
+
+def main() -> None:
+    forest_img, flood_img = make_layers()
+    forest = build_region_quadtree(forest_img)
+    flood = build_region_quadtree(flood_img)
+
+    risk = forest.intersect(flood)          # forested flood plain
+    safe = forest.intersect(flood.complement())
+    either = forest.union(flood)
+
+    rows = []
+    for name, tree in [("forest", forest), ("flood plain", flood),
+                       ("forest AND flood", risk),
+                       ("forest NOT flood", safe),
+                       ("forest OR flood", either)]:
+        rows.append([name, tree.area(),
+                     f"{100 * tree.area() / SIDE ** 2:.1f}%",
+                     tree.node_count(), tree.leaf_count()])
+    print_table(["layer", "area (px)", "coverage", "nodes", "leaves"], rows,
+                title=f"region-quadtree overlay on a {SIDE}x{SIDE} raster")
+
+    # conservation-of-pixels checks
+    assert risk.area() + safe.area() == forest.area()
+    assert either.area() == forest.area() + flood.area() - risk.area()
+    raw_cells = SIDE * SIDE
+    print(f"\ncompression: {raw_cells} pixels -> {forest.node_count()} forest "
+          f"nodes, {flood.node_count()} flood nodes "
+          "(uniform blocks collapse, Section 1's raster representation)")
+
+
+if __name__ == "__main__":
+    main()

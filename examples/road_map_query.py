@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Road-map query workload: the GIS scenario the paper's introduction motivates.
+
+Builds a synthetic street grid ("road maps, utility maps, railway maps"),
+indexes it with the bucket PMR quadtree and the data-parallel R-tree, and
+runs a mixed point/window query workload, comparing per-query node visits
+between the disjoint and non-disjoint decompositions (the Section 1 / 2.3
+discussion made measurable).
+
+Run:  python examples/road_map_query.py
+"""
+
+import numpy as np
+
+from repro import (
+    average_query_visits,
+    brute_window_query,
+    build_bucket_pmr,
+    build_rtree,
+    print_table,
+    road_map,
+)
+
+DOMAIN = 2048
+
+
+def main() -> None:
+    streets = road_map(rows=20, cols=20, domain=DOMAIN, jitter=12, seed=17)
+    print(f"street map: {streets.shape[0]} segments on a {DOMAIN}x{DOMAIN} grid\n")
+
+    pmr, _ = build_bucket_pmr(streets, DOMAIN, capacity=8)
+    rtree, _ = build_rtree(streets, m_fill=2, M=8)
+
+    rng = np.random.default_rng(3)
+    windows = []
+    for _ in range(100):
+        x, y = rng.integers(0, DOMAIN - 256, 2)
+        w, h = rng.integers(32, 256, 2)
+        windows.append(np.array([x, y, x + w, y + h], float))
+
+    # correctness: every query answered identically by both structures
+    mismatches = 0
+    total_hits = 0
+    for wdw in windows:
+        a = set(pmr.window_query(wdw).tolist())
+        b = set(rtree.window_query(wdw).tolist())
+        truth = set(brute_window_query(streets, wdw).tolist())
+        mismatches += (a != truth) + (b != truth)
+        total_hits += len(truth)
+    assert mismatches == 0
+    print(f"100 window queries, {total_hits} total hits, all structures agree "
+          "with brute force\n")
+
+    pts = [np.array([w[0], w[1], w[0], w[1]]) for w in windows]
+    print_table(
+        ["structure", "nodes", "height", "visits/window", "visits/point"],
+        [
+            ["bucket PMR (disjoint)", pmr.num_nodes, pmr.height,
+             round(average_query_visits(pmr, windows), 1),
+             round(average_query_visits(pmr, pts), 1)],
+            ["R-tree (non-disjoint)", rtree.num_nodes, rtree.height,
+             round(average_query_visits(rtree, windows), 1),
+             round(average_query_visits(rtree, pts), 1)],
+        ],
+        title="query cost: disjoint vs non-disjoint decomposition")
+
+    # find everything crossing a particular avenue
+    avenue = np.array([0.0, 1000.0, float(DOMAIN), 1030.0])
+    crossing = pmr.window_query(avenue)
+    print(f"\nsegments crossing the avenue strip y in [1000, 1030]: {crossing.size}")
+
+
+if __name__ == "__main__":
+    main()

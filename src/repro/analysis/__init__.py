@@ -1,0 +1,25 @@
+"""Measurement and reporting utilities for the reproduction experiments."""
+
+from .complexity import ScalePoint, fit_growth, measure_build
+from .quality import (
+    QuadtreeStats,
+    RTreeStats,
+    average_query_visits,
+    quadtree_stats,
+    rtree_stats,
+)
+from .report import format_table, phase_table, print_table
+
+__all__ = [
+    "measure_build",
+    "fit_growth",
+    "ScalePoint",
+    "quadtree_stats",
+    "rtree_stats",
+    "QuadtreeStats",
+    "RTreeStats",
+    "average_query_visits",
+    "format_table",
+    "phase_table",
+    "print_table",
+]

@@ -1,0 +1,93 @@
+"""Empirical complexity measurement (experiments C1-C3).
+
+The paper's cost claims are stated in scan-model steps: PM1 and bucket
+PMR builds take O(log n) (O(log n) rounds of O(1) primitives), the
+R-tree build O(log**2 n) (O(log n) rounds of O(log n) primitives, the
+sorts).  This module runs a build across a size sweep on a fresh
+:class:`~repro.machine.Machine` per point and reports rounds, primitive
+counts and steps, plus a crude growth-model diagnostic that
+distinguishes ~log n from ~log**2 n from polynomial growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..machine import Machine, use_machine
+
+__all__ = ["ScalePoint", "measure_build", "fit_growth"]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One size point of a build-complexity sweep."""
+
+    n: int
+    rounds: int
+    steps: float
+    scans: int
+    sorts: int
+    permutes: int
+    elementwise: int
+
+    @property
+    def primitives(self) -> int:
+        return self.scans + self.sorts + self.permutes + self.elementwise
+
+
+def measure_build(builder: Callable[[np.ndarray, Machine], object],
+                  dataset: Callable[[int], np.ndarray],
+                  sizes: Sequence[int]) -> List[ScalePoint]:
+    """Run ``builder`` on ``dataset(n)`` for each size, on a fresh machine.
+
+    ``builder(lines, machine)`` must return an object with a
+    ``num_rounds`` attribute (a :class:`~repro.structures.BuildTrace`)
+    or a ``(result, trace)`` tuple.
+    """
+    points: List[ScalePoint] = []
+    for n in sizes:
+        lines = dataset(int(n))
+        m = Machine(cost_model="scan_model")
+        with use_machine(m):
+            out = builder(lines, m)
+        trace = out[1] if isinstance(out, tuple) else out
+        points.append(ScalePoint(
+            n=int(n),
+            rounds=trace.num_rounds,
+            steps=m.steps,
+            scans=m.counts.get("scan", 0),
+            sorts=m.counts.get("sort", 0),
+            permutes=m.counts.get("permute", 0),
+            elementwise=m.counts.get("elementwise", 0),
+        ))
+    return points
+
+
+def fit_growth(sizes: Sequence[int], values: Sequence[float]) -> dict[str, float]:
+    """Least-squares fit of ``values`` against candidate growth models.
+
+    Fits ``a * g(n) + b`` for g in {log n, log^2 n, n, n log n} and
+    returns each model's residual norm relative to the best.  The model
+    with relative residual 1.0 is the best fit; the paper's claims hold
+    when that is ``log`` (quadtrees) or ``log2`` (R-tree steps).
+    """
+    n = np.asarray(sizes, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if n.size != y.size or n.size < 3:
+        raise ValueError("need at least three sweep points")
+    models = {
+        "log": np.log2(n),
+        "log2": np.log2(n) ** 2,
+        "linear": n,
+        "nlogn": n * np.log2(n),
+    }
+    resid: dict[str, float] = {}
+    for name, g in models.items():
+        A = np.column_stack([g, np.ones_like(g)])
+        _, res, _, _ = np.linalg.lstsq(A, y, rcond=None)
+        resid[name] = float(res[0]) if res.size else 0.0
+    best = min(resid.values()) or 1.0
+    return {name: r / best if best else 0.0 for name, r in resid.items()}

@@ -1,0 +1,90 @@
+"""Structure-quality metrics (experiments F6, C4, C6, C7).
+
+Quantifies the qualitative claims of Sections 1-2: disjoint quadtree
+decompositions duplicate q-edges but keep queries single-path; R-tree
+bounding boxes overlap, so queries visit extra nodes; raising the bucket
+PMR splitting threshold shrinks the structure but grows per-bucket work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..structures.quadblock import Quadtree
+from ..structures.rtree import RTree
+
+__all__ = ["QuadtreeStats", "RTreeStats", "quadtree_stats", "rtree_stats",
+           "average_query_visits"]
+
+
+@dataclass(frozen=True)
+class QuadtreeStats:
+    """Storage/shape summary of a quadtree decomposition."""
+
+    nodes: int
+    leaves: int
+    empty_leaves: int
+    height: int
+    q_edges: int
+    replication: float        # q-edges per input line
+    max_occupancy: int
+    mean_occupancy: float
+
+
+@dataclass(frozen=True)
+class RTreeStats:
+    """Storage/overlap summary of an R-tree."""
+
+    nodes: int
+    leaves: int
+    height: int
+    coverage: float
+    overlap: float
+    mean_fill: float
+
+
+def quadtree_stats(tree: Quadtree) -> QuadtreeStats:
+    counts = np.diff(tree.node_ptr)[tree.is_leaf]
+    n_lines = max(tree.lines.shape[0], 1)
+    nonempty = counts[counts > 0]
+    return QuadtreeStats(
+        nodes=tree.num_nodes,
+        leaves=tree.num_leaves,
+        empty_leaves=tree.num_empty_leaves,
+        height=tree.height,
+        q_edges=tree.q_edge_count,
+        replication=tree.q_edge_count / n_lines,
+        max_occupancy=int(counts.max(initial=0)),
+        mean_occupancy=float(nonempty.mean()) if nonempty.size else 0.0,
+    )
+
+
+def rtree_stats(tree: RTree) -> RTreeStats:
+    counts = np.bincount(tree.line_leaf, minlength=tree.num_leaves)
+    return RTreeStats(
+        nodes=tree.num_nodes,
+        leaves=tree.num_leaves,
+        height=tree.height,
+        coverage=tree.coverage(0),
+        overlap=tree.total_overlap(0),
+        mean_fill=float(counts.mean()) if counts.size else 0.0,
+    )
+
+
+def average_query_visits(tree, rects: Sequence[np.ndarray]) -> float:
+    """Mean node visits of ``window_query`` over a workload of windows.
+
+    Works for any structure exposing
+    ``window_query(rect, count_visits=True)`` -- both quadtrees and
+    R-trees -- so experiment C6 can compare them on equal terms.
+    """
+    if not len(rects):
+        raise ValueError("empty query workload")
+    total = 0
+    for r in rects:
+        _, visits = tree.window_query(np.asarray(r, dtype=float), count_visits=True)
+        total += visits
+    return total / len(rects)

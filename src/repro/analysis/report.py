@@ -1,0 +1,64 @@
+"""Plain-text table formatting for benches and EXPERIMENTS.md.
+
+Keeps the benchmark harness dependency-free: every experiment prints the
+same aligned-column tables the paper's figures would tabulate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "print_table", "phase_table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if not np.isfinite(value):
+            return str(value)  # 'inf' / '-inf' / 'nan' (scan identities)
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value)}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence],
+                title: str | None = None) -> None:
+    print(format_table(headers, rows, title))
+
+
+def phase_table(machine, title: str | None = None) -> str:
+    """Tabulate a machine's per-phase step attribution.
+
+    Builds label their rounds as phases (``round0``, ``round1``, ...),
+    so this renders the per-round cost profile the complexity claims are
+    about -- constant rows for the quadtrees, sort-dominated rows for
+    the R-tree.
+    """
+    rows = [[name, steps] for name, steps in machine.phase_steps.items()]
+    attributed = sum(machine.phase_steps.values())
+    if machine.steps > attributed:
+        rows.append(["(unattributed)", machine.steps - attributed])
+    rows.append(["total", machine.steps])
+    return format_table(["phase", "steps"], rows, title)

@@ -1,0 +1,405 @@
+"""Sequential Guttman R-tree (paper Section 2.3, Figures 5-6).
+
+The classic one-line-at-a-time R-tree the data-parallel build is
+contrasted with: ChooseLeaf descends by least enlargement, overflowing
+nodes split with Guttman's **linear** or **quadratic** algorithm (both
+minimise total coverage, the Figure 6b goal), and splits propagate
+upward through AdjustTree.  An ``"overlap"`` split mode is also provided
+-- a sorted-sweep minimising intersection area, the R*-flavoured Figure
+6c goal and the sequential twin of the paper's parallel algorithm 2 --
+so the coverage-vs-overlap trade-off of Figure 6 is measurable.
+
+The structure depends on insertion order (Section 2.3: "the R-tree is
+not unique"), unlike the data-parallel build, whose simultaneous
+insertion makes it a pure function of the line set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import rect as _rect
+from ..geometry.clip import segments_intersect_rects
+from ..geometry.segment import validate_segments
+
+__all__ = ["SeqRTree"]
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "children", "mbr")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.entries: List[Tuple[np.ndarray, int]] = []      # (bbox, line id)
+        self.children: List["_Node"] = []
+        self.mbr = _rect.EMPTY_RECT.copy()
+
+    def recompute_mbr(self) -> None:
+        rects = ([e[0] for e in self.entries] if self.leaf
+                 else [c.mbr for c in self.children])
+        if not rects:
+            self.mbr = _rect.EMPTY_RECT.copy()
+            return
+        arr = np.vstack(rects)
+        self.mbr = np.array([arr[:, 0].min(), arr[:, 1].min(),
+                             arr[:, 2].max(), arr[:, 3].max()])
+
+    def size(self) -> int:
+        return len(self.entries) if self.leaf else len(self.children)
+
+
+class SeqRTree:
+    """Guttman R-tree of order ``(m, M)`` built by repeated insertion.
+
+    Parameters
+    ----------
+    m, M:
+        Order bounds, ``1 <= m <= M // 2``.
+    split:
+        ``"quadratic"`` (default) or ``"linear"`` -- Guttman's coverage-
+        minimising algorithms -- or ``"overlap"``, a sorted-sweep split
+        minimising intersection area (the Figure 6c / R* goal).
+    """
+
+    def __init__(self, m: int = 2, M: int = 4, split: str = "quadratic"):
+        if not 1 <= m <= M // 2:
+            raise ValueError("order must satisfy 1 <= m <= M // 2")
+        if split not in ("quadratic", "linear", "overlap"):
+            raise ValueError(f"unknown split mode {split!r}")
+        self.m = m
+        self.M = M
+        self.split_mode = split
+        self.root = _Node(leaf=True)
+        self.lines: List[np.ndarray] = []
+
+    # -- construction --------------------------------------------------------
+
+    def insert_line(self, segment) -> int:
+        """Insert one segment; returns its assigned line id."""
+        seg = validate_segments(np.asarray(segment, float).reshape(1, 4))[0]
+        lid = len(self.lines)
+        self.lines.append(seg)
+        bbox = _rect.rects_from_segments(seg[None, :])[0]
+        self._insert(bbox, lid)
+        return lid
+
+    @classmethod
+    def build(cls, lines: np.ndarray, m: int = 2, M: int = 4,
+              split: str = "quadratic", order: Optional[np.ndarray] = None
+              ) -> "SeqRTree":
+        """Build by inserting ``lines`` one at a time (optionally permuted)."""
+        lines = validate_segments(lines)
+        tree = cls(m, M, split)
+        idx = np.arange(lines.shape[0]) if order is None else np.asarray(order)
+        # line ids follow insertion sequence; remember the mapping back
+        tree._order = idx.copy()
+        for i in idx:
+            tree.insert_line(lines[int(i)])
+        return tree
+
+    def _insert(self, bbox: np.ndarray, lid: int) -> None:
+        path: List[_Node] = []
+        node = self.root
+        while not node.leaf:
+            path.append(node)
+            best, best_enl, best_area = None, np.inf, np.inf
+            for child in node.children:
+                enl = float(_rect.enlargement(child.mbr[None, :], bbox[None, :])[0])
+                area = float(_rect.area(child.mbr[None, :])[0])
+                if enl < best_enl or (enl == best_enl and area < best_area):
+                    best, best_enl, best_area = child, enl, area
+            node = best
+        node.entries.append((bbox, lid))
+        node.recompute_mbr()
+
+        split_node: Optional[_Node] = None
+        if node.size() > self.M:
+            node, split_node = self._split(node)
+        # AdjustTree
+        for parent in reversed(path):
+            if split_node is not None:
+                parent.children.append(split_node)
+            parent.recompute_mbr()
+            split_node = None
+            if parent.size() > self.M:
+                _, split_node = self._split_in_place(parent, path)
+        if split_node is not None:
+            old_root = self.root
+            self.root = _Node(leaf=False)
+            self.root.children = [old_root, split_node]
+            self.root.recompute_mbr()
+
+    def _split_in_place(self, node: _Node, path: List[_Node]) -> tuple[_Node, _Node]:
+        return self._split(node)
+
+    def _split(self, node: _Node) -> tuple[_Node, _Node]:
+        """Split ``node``; the new sibling is returned second."""
+        if node.leaf:
+            items = node.entries
+            rects = np.vstack([e[0] for e in items])
+        else:
+            items = node.children
+            rects = np.vstack([c.mbr for c in items])
+        if self.split_mode == "quadratic":
+            ga, gb = _quadratic_partition(rects, self.m)
+        elif self.split_mode == "linear":
+            ga, gb = _linear_partition(rects, self.m)
+        else:
+            ga, gb = _overlap_partition(rects, self.m)
+        sib = _Node(leaf=node.leaf)
+        if node.leaf:
+            node.entries = [items[i] for i in ga]
+            sib.entries = [items[i] for i in gb]
+        else:
+            node.children = [items[i] for i in ga]
+            sib.children = [items[i] for i in gb]
+        node.recompute_mbr()
+        sib.recompute_mbr()
+        if node is self.root and True:  # root split handled by caller via path
+            pass
+        return node, sib
+
+    # -- deletion (Guttman's Delete / CondenseTree) ---------------------------
+
+    def delete_line(self, lid: int) -> None:
+        """Remove a line: FindLeaf, delete the entry, CondenseTree.
+
+        Under-full nodes are dissolved and their surviving entries
+        reinserted (Guttman's CondenseTree); a root left with a single
+        internal child is shortened.  The line's geometry is kept in
+        ``self.lines`` so ids of other entries stay stable, but it no
+        longer appears in any node or query result.
+        """
+        path = self._find_leaf_path(self.root, lid)
+        if path is None:
+            raise KeyError(f"line id {lid} not present")
+        leaf = path[-1]
+        leaf.entries = [e for e in leaf.entries if e[1] != lid]
+        # CondenseTree: walk upward dissolving under-full nodes
+        orphans: List[Tuple[np.ndarray, int]] = []
+        for node, parent in zip(reversed(path), reversed([None] + path[:-1])):
+            if parent is None:
+                break
+            if node.size() < self.m:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_mbr()
+        for node in reversed(path):
+            node.recompute_mbr()
+        # shorten the root while it has one internal child
+        while not self.root.leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        if not self.root.leaf and len(self.root.children) == 0:
+            self.root = _Node(leaf=True)
+        for bbox, oid in orphans:
+            self._insert(bbox, oid)
+
+    def _find_leaf_path(self, node: _Node, lid: int) -> Optional[List[_Node]]:
+        if node.leaf:
+            if any(e[1] == lid for e in node.entries):
+                return [node]
+            return None
+        bbox = _rect.rects_from_segments(self.lines[lid][None, :])[0]
+        for child in node.children:
+            if _rect.contains_rect(child.mbr[None, :], bbox[None, :])[0]:
+                found = self._find_leaf_path(child, lid)
+                if found is not None:
+                    return [node] + found
+        # fallback: exhaustive (MBRs may have shrunk past containment)
+        for child in node.children:
+            found = self._find_leaf_path(child, lid)
+            if found is not None:
+                return [node] + found
+        return None
+
+    def _collect_entries(self, node: _Node) -> List[Tuple[np.ndarray, int]]:
+        if node.leaf:
+            return list(node.entries)
+        out: List[Tuple[np.ndarray, int]] = []
+        for child in node.children:
+            out.extend(self._collect_entries(child))
+        return out
+
+    # -- queries --------------------------------------------------------------
+
+    def window_query(self, rect, exact: bool = True, count_visits: bool = False):
+        """Ids of lines intersecting the closed query rectangle."""
+        rect = _rect.validate_rects(np.asarray(rect, float).reshape(1, 4))[0]
+        visits = 0
+        hits: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            visits += 1
+            if not _rect.overlaps(node.mbr[None, :], rect[None, :])[0]:
+                continue
+            if node.leaf:
+                for bbox, lid in node.entries:
+                    if _rect.overlaps(bbox[None, :], rect[None, :])[0]:
+                        hits.append(lid)
+            else:
+                stack.extend(node.children)
+        ids = np.array(sorted(set(hits)), dtype=np.int64)
+        if exact and ids.size:
+            segs = np.vstack([self.lines[i] for i in ids])
+            keep = segments_intersect_rects(segs, np.tile(rect, (ids.size, 1)))
+            ids = ids[keep]
+        return (ids, visits) if count_visits else ids
+
+    # -- metrics & validation ----------------------------------------------
+
+    def height(self) -> int:
+        h, node = 1, self.root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def num_nodes(self) -> int:
+        count, stack = 0, [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.leaf:
+                stack.extend(node.children)
+        return count
+
+    def leaf_mbrs(self) -> np.ndarray:
+        out, stack = [], [self.root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                out.append(node.mbr)
+            else:
+                stack.extend(node.children)
+        return np.vstack(out) if out else np.zeros((0, 4))
+
+    def coverage(self) -> float:
+        return float(_rect.area(self.leaf_mbrs()).sum())
+
+    def total_overlap(self) -> float:
+        mbr = self.leaf_mbrs()
+        if mbr.shape[0] < 2:
+            return 0.0
+        ii, jj = np.triu_indices(mbr.shape[0], 1)
+        return float(_rect.intersection_area(mbr[ii], mbr[jj]).sum())
+
+    def check(self) -> None:
+        """Raise AssertionError on violated order-(m, M) invariants."""
+        depths = set()
+
+        def walk(node: _Node, depth: int) -> None:
+            if node is not self.root:
+                assert self.m <= node.size() <= self.M, \
+                    f"node size {node.size()} outside [{self.m}, {self.M}]"
+            else:
+                assert node.size() <= self.M
+                if not node.leaf:
+                    assert node.size() >= 2, "internal root needs two children"
+            if node.leaf:
+                depths.add(depth)
+                for bbox, _ in node.entries:
+                    assert _rect.contains_rect(node.mbr[None, :], bbox[None, :])[0]
+            else:
+                for child in node.children:
+                    assert _rect.contains_rect(node.mbr[None, :], child.mbr[None, :])[0]
+                    walk(child, depth + 1)
+
+        walk(self.root, 0)
+        assert len(depths) <= 1, "leaves at different levels"
+
+
+def _quadratic_partition(rects: np.ndarray, m: int) -> tuple[list[int], list[int]]:
+    """Guttman's quadratic PickSeeds / PickNext."""
+    k = rects.shape[0]
+    ii, jj = np.triu_indices(k, 1)
+    waste = (_rect.union_area_pairwise(rects[ii], rects[jj])
+             - _rect.area(rects[ii]) - _rect.area(rects[jj]))
+    seed = int(np.argmax(waste))
+    a, b = int(ii[seed]), int(jj[seed])
+    ga, gb = [a], [b]
+    box_a, box_b = rects[a].copy(), rects[b].copy()
+    rest = [i for i in range(k) if i not in (a, b)]
+    while rest:
+        if len(ga) + len(rest) == m:
+            ga.extend(rest)
+            break
+        if len(gb) + len(rest) == m:
+            gb.extend(rest)
+            break
+        sub = rects[rest]
+        d_a = _rect.union_area_pairwise(sub, np.tile(box_a, (len(rest), 1))) - _rect.area(box_a[None, :])
+        d_b = _rect.union_area_pairwise(sub, np.tile(box_b, (len(rest), 1))) - _rect.area(box_b[None, :])
+        pick = int(np.argmax(np.abs(d_a - d_b)))
+        i = rest.pop(pick)
+        if d_a[pick] < d_b[pick] or (d_a[pick] == d_b[pick] and len(ga) <= len(gb)):
+            ga.append(i)
+            box_a = _rect.union(box_a[None, :], rects[i][None, :])[0]
+        else:
+            gb.append(i)
+            box_b = _rect.union(box_b[None, :], rects[i][None, :])[0]
+    return ga, gb
+
+
+def _linear_partition(rects: np.ndarray, m: int) -> tuple[list[int], list[int]]:
+    """Guttman's linear PickSeeds (greatest normalised separation)."""
+    k = rects.shape[0]
+    best_axis, best_sep, pair = 0, -np.inf, (0, 1)
+    for axis in (0, 1):
+        lo, hi = rects[:, 0 + axis], rects[:, 2 + axis]
+        highest_lo = int(np.argmax(lo))
+        lowest_hi = int(np.argmin(hi))
+        if highest_lo == lowest_hi:
+            continue
+        width = float(hi.max() - lo.min()) or 1.0
+        sep = (lo[highest_lo] - hi[lowest_hi]) / width
+        if sep > best_sep:
+            best_axis, best_sep, pair = axis, sep, (lowest_hi, highest_lo)
+    a, b = pair
+    ga, gb = [a], [b]
+    box_a, box_b = rects[a].copy(), rects[b].copy()
+    rest = [i for i in range(k) if i not in (a, b)]
+    while rest:
+        if len(ga) + len(rest) == m:
+            ga.extend(rest)
+            break
+        if len(gb) + len(rest) == m:
+            gb.extend(rest)
+            break
+        i = rest.pop(0)  # linear variant assigns in arbitrary (input) order
+        d_a = float(_rect.union_area_pairwise(rects[i][None, :], box_a[None, :])[0]
+                    - _rect.area(box_a[None, :])[0])
+        d_b = float(_rect.union_area_pairwise(rects[i][None, :], box_b[None, :])[0]
+                    - _rect.area(box_b[None, :])[0])
+        if d_a < d_b or (d_a == d_b and len(ga) <= len(gb)):
+            ga.append(i)
+            box_a = _rect.union(box_a[None, :], rects[i][None, :])[0]
+        else:
+            gb.append(i)
+            box_b = _rect.union(box_b[None, :], rects[i][None, :])[0]
+    return ga, gb
+
+
+def _overlap_partition(rects: np.ndarray, m: int) -> tuple[list[int], list[int]]:
+    """Sorted-sweep split minimising intersection area (Figure 6c goal)."""
+    k = rects.shape[0]
+    best = None
+    for axis in (0, 1):
+        order = np.argsort(rects[:, 0 + axis], kind="stable")
+        sorted_r = rects[order]
+        for cut in range(m, k - m + 1):
+            left = sorted_r[:cut]
+            right = sorted_r[cut:]
+            lbox = np.array([left[:, 0].min(), left[:, 1].min(),
+                             left[:, 2].max(), left[:, 3].max()])
+            rbox = np.array([right[:, 0].min(), right[:, 1].min(),
+                             right[:, 2].max(), right[:, 3].max()])
+            ov = float(_rect.intersection_area(lbox[None, :], rbox[None, :])[0])
+            per = float(_rect.perimeter(lbox[None, :])[0] + _rect.perimeter(rbox[None, :])[0])
+            key = (ov, per, axis, cut)
+            if best is None or key < best[0]:
+                best = (key, order[:cut].tolist(), order[cut:].tolist())
+    return best[1], best[2]

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the everyday entry points:
+
+``build``
+    Generate (or take the paper's) map, run one of the data-parallel
+    builds, print the structure summary and the scan-model accounting.
+``figures``
+    Replay the paper's worked examples (Figures 8, 13-18, 29 and the
+    three builds) to stdout.
+``join``
+    Spatial join of two generated maps through a chosen structure,
+    verified against brute force.
+
+Everything is seeded and offline; see ``--help`` on each subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_table, quadtree_stats, rtree_stats
+from .geometry import clustered_map, paper_dataset, random_segments, road_map
+from .machine import Machine, use_machine
+from .structures import (
+    brute_join,
+    build_bucket_pmr,
+    build_kdtree,
+    build_pm1,
+    build_rtree,
+    quadtree_join,
+    rtree_join,
+)
+
+__all__ = ["main"]
+
+MAPS = ("uniform", "clustered", "street", "paper")
+STRUCTURES = ("pmr", "pm1", "rtree", "kdtree")
+
+
+def _make_map(name: str, n: int, domain: int, seed: int) -> np.ndarray:
+    if name == "uniform":
+        return random_segments(n, domain=domain, max_len=max(domain // 32, 2),
+                               seed=seed)
+    if name == "clustered":
+        return clustered_map(n, clusters=max(n // 150, 2),
+                             spread=max(domain // 24, 4), domain=domain, seed=seed)
+    if name == "street":
+        side = max(int(np.sqrt(n / 2)), 2)
+        return road_map(side, side, domain=domain, jitter=max(domain // 256, 1),
+                        seed=seed)
+    if name == "paper":
+        return paper_dataset()
+    raise ValueError(f"unknown map family {name!r}")
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    domain = 8 if args.map == "paper" else args.domain
+    lines = _make_map(args.map, args.n, domain, args.seed)
+    m = Machine(cost_model=args.cost_model, processors=args.processors)
+    with use_machine(m):
+        if args.structure == "pmr":
+            tree, trace = build_bucket_pmr(lines, domain, args.capacity)
+            stats = quadtree_stats(tree)
+            rows = [["nodes", stats.nodes], ["leaves", stats.leaves],
+                    ["empty leaves", stats.empty_leaves], ["height", stats.height],
+                    ["q-edges", stats.q_edges],
+                    ["replication", round(stats.replication, 2)]]
+        elif args.structure == "pm1":
+            tree, trace = build_pm1(np.unique(lines, axis=0), domain)
+            stats = quadtree_stats(tree)
+            rows = [["nodes", stats.nodes], ["leaves", stats.leaves],
+                    ["height", stats.height], ["q-edges", stats.q_edges]]
+        elif args.structure == "rtree":
+            tree, trace = build_rtree(lines, args.min_fill, args.capacity)
+            stats = rtree_stats(tree)
+            rows = [["nodes", stats.nodes], ["leaves", stats.leaves],
+                    ["height", stats.height],
+                    ["coverage", round(stats.coverage, 1)],
+                    ["overlap", round(stats.overlap, 1)]]
+        else:  # kdtree
+            from .geometry import midpoints
+            tree, trace = build_kdtree(midpoints(lines), leaf_size=args.capacity)
+            rows = [["nodes", tree.num_nodes], ["height", tree.height]]
+
+    print(format_table(["metric", "value"],
+                       [["map", args.map], ["segments", lines.shape[0]],
+                        ["rounds", trace.num_rounds]] + rows,
+                       title=f"{args.structure} build"))
+    print()
+    print(format_table(["primitive", "count"],
+                       sorted(m.counts.items()),
+                       title=f"machine ({m.cost_model.name}, p={m.processors}): "
+                             f"{m.steps:g} steps"))
+    if args.render and args.structure in ("pmr", "pm1"):
+        print()
+        print(tree.render())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    # examples/paper_figures.py is the canonical script; this reuses its
+    # building blocks so `python -m repro figures` works from any cwd.
+    from .baselines import seq_bucket_pmr_decomposition, seq_pm1_decomposition
+    from .geometry import paper_labels
+    from .machine import Segments, down_scan, up_scan
+
+    data = np.array([3, 1, 2, 1, 0, 1, 2, 2, 1, 0, 3, 3])
+    seg = Segments.from_flags([1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0])
+    rows = []
+    for direction, fn in (("up", up_scan), ("down", down_scan)):
+        for kind in ("in", "ex"):
+            rows.append([f"{direction}-scan(+,{kind})"]
+                        + fn(data, seg, "+", kind).tolist())
+    print(format_table(["scan"] + [str(i) for i in range(12)], rows,
+                       title="Figure 8"))
+
+    segs = paper_dataset()
+    labels = paper_labels()
+    tree, trace = build_pm1(segs, 8)
+    assert tree.decomposition_key() == seq_pm1_decomposition(segs, 8)
+    print(f"\nFigures 30-33: PM1 build, {trace.num_rounds} rounds")
+    print(tree.render(labels))
+    tree, trace = build_bucket_pmr(segs, 8, 2, max_depth=3)
+    assert tree.decomposition_key() == seq_bucket_pmr_decomposition(segs, 8, 2, 3)
+    print(f"\nFigures 35-38: bucket PMR build, {trace.num_rounds} rounds")
+    print(tree.render(labels))
+    rtree, _ = build_rtree(segs, 1, 3)
+    print("\nFigures 39-44: order-(1,3) R-tree")
+    print(rtree.render())
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    a = _make_map(args.map, args.n, args.domain, args.seed)
+    b = _make_map(args.map, args.n, args.domain, args.seed + 1)
+    if args.structure == "rtree":
+        ta, _ = build_rtree(a, args.min_fill, args.capacity)
+        tb, _ = build_rtree(b, args.min_fill, args.capacity)
+        pairs = rtree_join(ta, tb)
+    else:
+        ta, _ = build_bucket_pmr(a, args.domain, args.capacity)
+        tb, _ = build_bucket_pmr(b, args.domain, args.capacity)
+        pairs = quadtree_join(ta, tb)
+    if args.verify:
+        assert np.array_equal(pairs, brute_join(a, b)), "join mismatch!"
+    print(format_table(
+        ["metric", "value"],
+        [["map A segments", a.shape[0]], ["map B segments", b.shape[0]],
+         ["intersecting pairs", pairs.shape[0]],
+         ["verified", "yes" if args.verify else "skipped"]],
+        title=f"spatial join via {args.structure}"))
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-parallel spatial primitives (Hoel & Samet, ICPP'95)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("build", help="run one data-parallel build")
+    b.add_argument("--structure", choices=STRUCTURES, default="pmr")
+    b.add_argument("--map", choices=MAPS, default="uniform")
+    b.add_argument("--n", type=int, default=1000, help="segment count")
+    b.add_argument("--domain", type=int, default=1024)
+    b.add_argument("--capacity", type=int, default=8,
+                   help="bucket capacity / R-tree M / k-d leaf size")
+    b.add_argument("--min-fill", type=int, default=2, help="R-tree m")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--cost-model", default="scan_model",
+                   choices=("scan_model", "hypercube", "pram_emulation"))
+    b.add_argument("--processors", type=int, default=32)
+    b.add_argument("--render", action="store_true",
+                   help="print the leaf decomposition (quadtrees)")
+    b.set_defaults(fn=_cmd_build)
+
+    f = sub.add_parser("figures", help="replay the paper's worked examples")
+    f.set_defaults(fn=_cmd_figures)
+
+    j = sub.add_parser("join", help="spatial join of two generated maps")
+    j.add_argument("--structure", choices=("pmr", "rtree"), default="pmr")
+    j.add_argument("--map", choices=MAPS, default="uniform")
+    j.add_argument("--n", type=int, default=500)
+    j.add_argument("--domain", type=int, default=1024)
+    j.add_argument("--capacity", type=int, default=8)
+    j.add_argument("--min-fill", type=int, default=2)
+    j.add_argument("--seed", type=int, default=0)
+    j.add_argument("--verify", action="store_true",
+                   help="check the result against brute force")
+    j.set_defaults(fn=_cmd_join)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

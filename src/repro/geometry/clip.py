@@ -1,0 +1,123 @@
+"""Segment-vs-rectangle predicates used by the node-splitting primitives.
+
+Quadtree q-edge membership follows Samet's convention: a line segment is
+stored in **every block whose closed region it intersects** (DESIGN.md
+Section 5).  That convention is exactly what makes the cloning primitive
+necessary -- a segment meeting both halves of a splitting node must be
+replicated (paper Section 4.6, Figures 24-27).
+
+The core test, :func:`segments_intersect_rects`, combines a bounding-box
+overlap rejection with a supporting-line straddle test; for integer (or
+dyadic-rational) coordinates the sign evaluations are exact in double
+precision, so quadtree builds on generated maps have no epsilon
+behaviour.  :func:`crosses_vertical` / :func:`crosses_horizontal` answer
+the "does this line intersect the split axis inside this node?" question
+of the two-stage split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rect import validate_rects
+from .segment import validate_segments
+
+__all__ = [
+    "segments_intersect_rects",
+    "crosses_vertical",
+    "crosses_horizontal",
+    "clip_parameter_interval",
+]
+
+
+def segments_intersect_rects(segments: np.ndarray, rects: np.ndarray) -> np.ndarray:
+    """Row-wise: does closed segment i intersect closed rectangle i?
+
+    Exact for integer-valued coordinates.  Degenerate (point) segments
+    reduce to closed point-in-box membership.
+    """
+    s = validate_segments(segments)
+    r = validate_rects(rects)
+    if s.shape[0] != r.shape[0]:
+        raise ValueError(f"row count mismatch: {s.shape[0]} segments vs {r.shape[0]} rects")
+    x1, y1, x2, y2 = s[:, 0], s[:, 1], s[:, 2], s[:, 3]
+    xmin, ymin, xmax, ymax = r[:, 0], r[:, 1], r[:, 2], r[:, 3]
+
+    bbox_overlap = ((np.minimum(x1, x2) <= xmax) & (np.maximum(x1, x2) >= xmin) &
+                    (np.minimum(y1, y2) <= ymax) & (np.maximum(y1, y2) >= ymin))
+
+    # straddle test: the box misses the segment iff all four corners lie
+    # strictly on one side of the supporting line.
+    dx = x2 - x1
+    dy = y2 - y1
+
+    def side(cx, cy):
+        return np.sign(dx * (cy - y1) - dy * (cx - x1))
+
+    s1 = side(xmin, ymin)
+    s2 = side(xmin, ymax)
+    s3 = side(xmax, ymin)
+    s4 = side(xmax, ymax)
+    all_positive = (s1 > 0) & (s2 > 0) & (s3 > 0) & (s4 > 0)
+    all_negative = (s1 < 0) & (s2 < 0) & (s3 < 0) & (s4 < 0)
+    return bbox_overlap & ~(all_positive | all_negative)
+
+
+def crosses_vertical(segments: np.ndarray, rects: np.ndarray, xsplit) -> np.ndarray:
+    """Row-wise: within rect i, does segment i meet both sides of ``x = xsplit``?
+
+    True exactly when the segment intersects both the left closed
+    sub-rectangle ``[xmin, xsplit] x [ymin, ymax]`` and the right one
+    ``[xsplit, xmax] x [ymin, ymax]`` -- the clone condition of the
+    split's second stage (paper Figure 26).
+    """
+    r = validate_rects(rects)
+    xsplit = np.broadcast_to(np.asarray(xsplit, float), r.shape[0])
+    left = r.copy()
+    left[:, 2] = xsplit
+    right = r.copy()
+    right[:, 0] = xsplit
+    return segments_intersect_rects(segments, left) & segments_intersect_rects(segments, right)
+
+
+def crosses_horizontal(segments: np.ndarray, rects: np.ndarray, ysplit) -> np.ndarray:
+    """Row-wise clone condition for the first-stage split ``y = ysplit``
+    (paper Figure 24)."""
+    r = validate_rects(rects)
+    ysplit = np.broadcast_to(np.asarray(ysplit, float), r.shape[0])
+    bottom = r.copy()
+    bottom[:, 3] = ysplit
+    top = r.copy()
+    top[:, 1] = ysplit
+    return segments_intersect_rects(segments, bottom) & segments_intersect_rects(segments, top)
+
+
+def clip_parameter_interval(segments: np.ndarray, rects: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Liang-Barsky parametric clip of segment i against rectangle i.
+
+    Returns ``(t0, t1)`` with the convention that ``t0 > t1`` marks an
+    empty intersection.  Used by the rendering and window-query report
+    paths (never by the exact membership tests above).
+    """
+    s = validate_segments(segments)
+    r = validate_rects(rects)
+    if s.shape[0] != r.shape[0]:
+        raise ValueError("row count mismatch")
+    x1, y1 = s[:, 0], s[:, 1]
+    dx = s[:, 2] - x1
+    dy = s[:, 3] - y1
+    t0 = np.zeros(s.shape[0])
+    t1 = np.ones(s.shape[0])
+    for p, q in ((-dx, x1 - r[:, 0]), (dx, r[:, 2] - x1),
+                 (-dy, y1 - r[:, 1]), (dy, r[:, 3] - y1)):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(p != 0, q / p, 0.0)
+        entering = p < 0
+        leaving = p > 0
+        t0 = np.where(entering, np.maximum(t0, t), t0)
+        t1 = np.where(leaving, np.minimum(t1, t), t1)
+        # parallel to this edge and outside it: empty interval
+        outside = (p == 0) & (q < 0)
+        t0 = np.where(outside, 1.0, t0)
+        t1 = np.where(outside, 0.0, t1)
+    return t0, t1

@@ -1,0 +1,256 @@
+"""Seeded synthetic map generators.
+
+The paper evaluates on line-segment maps (road, utility, railway maps)
+it does not publish, plus small worked examples whose coordinates the
+figures only show pictorially.  This module substitutes:
+
+* :func:`paper_dataset` -- a reconstruction of the nine-segment worked
+  example of Figure 1 on the 8x8 grid, engineered to satisfy every
+  property the text states (segments labelled a-i; c, d and i share a
+  common endpoint in the NW region; b and i cross the first split axes;
+  endpoints of i force deep subdivision).  Tests assert those *stated
+  properties*, not pixel geometry.
+* :func:`pathological_pair` -- the Figure 2 construction: two segments
+  whose near-coincident endpoints force the PM1 quadtree into deep
+  subdivision, parameterised by separation.
+* statistical map families (:func:`random_segments`, :func:`road_map`,
+  :func:`clustered_map`, :func:`star_map`) standing in for the road /
+  utility / railway maps the introduction motivates.
+
+All generators take an integer ``domain`` (the side of the square space,
+a power of two for quadtree use) and produce integer-valued coordinates
+by default so that every geometric predicate in :mod:`repro.geometry`
+evaluates exactly.  Randomness always flows through a caller-provided
+seed; nothing reads a clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "paper_dataset",
+    "paper_labels",
+    "pathological_pair",
+    "random_segments",
+    "road_map",
+    "clustered_map",
+    "star_map",
+    "rtree_split_example",
+    "check_power_of_two",
+]
+
+
+def check_power_of_two(domain: int) -> int:
+    """Validate a quadtree domain side; returns it as ``int``."""
+    domain = int(domain)
+    if domain < 1 or domain & (domain - 1):
+        raise ValueError(f"domain must be a positive power of two, got {domain}")
+    return domain
+
+
+def paper_labels() -> list[str]:
+    """Labels of the nine worked-example segments, in insertion order."""
+    return list("abcdefghi")
+
+
+def paper_dataset() -> np.ndarray:
+    """The nine-segment worked example of Figure 1, on the 8x8 grid.
+
+    Engineered properties (asserted by the test suite):
+
+    * nine segments labelled a-i in rows 0-8;
+    * **c, d, i share the common endpoint (1, 6)** in the NW quadrant
+      (the paper's region A);
+    * **b crosses both center axes** ``x = 4`` and ``y = 4`` so the first
+      PM1 root split clones it;
+    * **i spans from NW deep into SE**, crossing the center, so its two
+      endpoints drive the max-depth subdivisions visible in Figure 4's
+      bucket PMR (capacity 2, height 3);
+    * every coordinate is an integer in ``[0, 8]``.
+    """
+    return np.array([
+        [1.0, 3.0, 3.0, 5.0],   # a -- W side, crosses y=4 inside NW/SW
+        [2.0, 2.0, 6.0, 5.0],   # b -- crosses both center axes
+        [1.0, 6.0, 3.0, 7.0],   # c -- NW, shares (1,6)
+        [1.0, 6.0, 3.0, 6.0],   # d -- NW, shares (1,6)
+        [5.0, 6.0, 7.0, 7.0],   # e -- NE
+        [5.0, 5.0, 6.0, 6.0],   # f -- NE
+        [6.0, 2.0, 7.0, 3.0],   # g -- SE
+        [5.0, 1.0, 6.0, 2.0],   # h -- SE
+        [1.0, 6.0, 7.0, 1.0],   # i -- long diagonal, shares (1,6)
+    ])
+
+
+def pathological_pair(domain: int = 32, separation: int = 1) -> np.ndarray:
+    """Figure 2's PM1 pathology: two segments with nearly-touching vertices.
+
+    Segment ``a`` ends at the domain center-ish point ``p``; segment
+    ``b`` starts ``separation`` cells to the right of ``p``.  The PM1
+    splitting rule must subdivide until a block boundary falls between
+    the two endpoints, i.e. to depth about ``log2(domain / separation)``;
+    shrinking ``separation`` deepens the tree and multiplies empty
+    nodes, which is the figure's point.
+    """
+    domain = check_power_of_two(domain)
+    separation = int(separation)
+    if not 1 <= separation < domain // 4:
+        raise ValueError("separation must be in [1, domain/4)")
+    c = domain // 2
+    # Short diagonal stubs whose facing endpoints sit `separation` cells
+    # apart just right of the center line: the blocks around the gap must
+    # subdivide until a boundary falls between the endpoints, and because
+    # the stubs are short most of the freshly created siblings are empty
+    # -- Figure 2's "fifteen new nodes (eleven of which are empty)".
+    ax, ay = c + 1, c + 1
+    bx, by = ax + separation, c + 1
+    reach = max(6, separation)
+    return np.array([
+        [float(ax - reach), float(ay + reach - 1), float(ax), float(ay)],
+        [float(bx), float(by), float(bx + reach), float(by + reach - 1)],
+    ])
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def random_segments(n: int, domain: int = 1024, max_len: int = 64,
+                    seed=0) -> np.ndarray:
+    """Uniformly placed random segments with bounded length.
+
+    Endpoints are integers in ``[0, domain]``; zero-length rows are
+    rejected and re-drawn.  A generic stand-in for the unstructured
+    parts of a utility map.
+    """
+    rng = _rng(seed)
+    domain = int(domain)
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    out = np.zeros((n, 4))
+    remaining = np.arange(n)
+    while remaining.size:
+        m = remaining.size
+        x1 = rng.integers(0, domain + 1, m)
+        y1 = rng.integers(0, domain + 1, m)
+        dx = rng.integers(-max_len, max_len + 1, m)
+        dy = rng.integers(-max_len, max_len + 1, m)
+        x2 = np.clip(x1 + dx, 0, domain)
+        y2 = np.clip(y1 + dy, 0, domain)
+        out[remaining] = np.column_stack([x1, y1, x2, y2]).astype(float)
+        degenerate = (x1 == x2) & (y1 == y2)
+        remaining = remaining[degenerate]
+    return out
+
+
+def road_map(rows: int = 8, cols: int = 8, domain: int = 1024,
+             jitter: int = 8, drop: float = 0.1, seed=0) -> np.ndarray:
+    """A grid-of-roads map: axis-aligned-ish polylines broken at crossings.
+
+    ``rows`` horizontal and ``cols`` vertical roads are laid on an evenly
+    spaced jittered grid; each road is emitted as unit spans between
+    consecutive crossings, and a fraction ``drop`` of spans is removed to
+    create dead ends.  Mimics the connectivity statistics of the street
+    maps the paper's introduction cites.
+    """
+    rng = _rng(seed)
+    domain = int(domain)
+    ys = np.sort(rng.choice(np.arange(1, domain), size=rows, replace=False)) if rows else np.array([], int)
+    xs = np.sort(rng.choice(np.arange(1, domain), size=cols, replace=False)) if cols else np.array([], int)
+    segs = []
+    for y in ys:
+        stops = np.concatenate(([0], xs, [domain]))
+        jit = rng.integers(-jitter, jitter + 1, stops.size) if jitter else np.zeros(stops.size, int)
+        yy = np.clip(y + jit, 0, domain)
+        for k in range(stops.size - 1):
+            segs.append((stops[k], yy[k], stops[k + 1], yy[k + 1]))
+    for x in xs:
+        stops = np.concatenate(([0], ys, [domain]))
+        jit = rng.integers(-jitter, jitter + 1, stops.size) if jitter else np.zeros(stops.size, int)
+        xx = np.clip(x + jit, 0, domain)
+        for k in range(stops.size - 1):
+            segs.append((xx[k], stops[k], xx[k + 1], stops[k + 1]))
+    arr = np.asarray(segs, dtype=float).reshape(-1, 4)
+    degenerate = (arr[:, 0] == arr[:, 2]) & (arr[:, 1] == arr[:, 3])
+    arr = arr[~degenerate]
+    if drop > 0 and arr.shape[0]:
+        keep = rng.random(arr.shape[0]) >= drop
+        if not keep.any():
+            keep[0] = True
+        arr = arr[keep]
+    return arr
+
+
+def clustered_map(n: int, clusters: int = 8, spread: int = 48,
+                  domain: int = 1024, max_len: int = 32, seed=0) -> np.ndarray:
+    """Segments concentrated around cluster centers ("city cores").
+
+    Produces the skewed spatial density that separates bucketing methods
+    from uniform-grid ones: R-tree overlap and quadtree depth both react
+    to clustering.
+    """
+    rng = _rng(seed)
+    domain = int(domain)
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    centers = rng.integers(spread, max(domain - spread, spread) + 1, size=(clusters, 2))
+    which = rng.integers(0, clusters, n)
+    x1 = np.clip(centers[which, 0] + rng.integers(-spread, spread + 1, n), 0, domain)
+    y1 = np.clip(centers[which, 1] + rng.integers(-spread, spread + 1, n), 0, domain)
+    dx = rng.integers(-max_len, max_len + 1, n)
+    dy = rng.integers(-max_len, max_len + 1, n)
+    x2 = np.clip(x1 + dx, 0, domain)
+    y2 = np.clip(y1 + dy, 0, domain)
+    out = np.column_stack([x1, y1, x2, y2]).astype(float)
+    degenerate = (out[:, 0] == out[:, 2]) & (out[:, 1] == out[:, 3])
+    out[degenerate, 2] = np.clip(out[degenerate, 2] + 1, 0, domain)
+    out[degenerate & (out[:, 0] == out[:, 2]), 3] += 1
+    return out
+
+
+def star_map(stars: int = 4, rays: int = 6, radius: int = 32,
+             domain: int = 1024, seed=0) -> np.ndarray:
+    """Shared-vertex stars: every ray of a star meets at its center.
+
+    Stress input for the PM1 shared-vertex rule (Section 4.5): a block
+    containing a star center holds many segments but must **not**
+    subdivide below the point where they are alone together, because all
+    lines in the block share that single vertex.
+    """
+    rng = _rng(seed)
+    domain = int(domain)
+    segs = []
+    for _ in range(stars):
+        cx = int(rng.integers(radius, domain - radius + 1))
+        cy = int(rng.integers(radius, domain - radius + 1))
+        for k in range(rays):
+            ang = 2 * np.pi * (k + rng.random() * 0.5) / rays
+            ex = int(np.clip(round(cx + radius * np.cos(ang)), 0, domain))
+            ey = int(np.clip(round(cy + radius * np.sin(ang)), 0, domain))
+            if (ex, ey) != (cx, cy):
+                segs.append((cx, cy, ex, ey))
+    return np.asarray(segs, dtype=float).reshape(-1, 4)
+
+
+def rtree_split_example() -> Dict[str, np.ndarray]:
+    """Figure 29's four bounding boxes A-D with the worked scan values.
+
+    Returns the rectangles plus the expected prefix ("L Bbox") and
+    suffix ("R Bbox") x-extents the figure tabulates, for exact
+    verification of the sorted-sweep split's scan stage.
+    """
+    rects = np.array([
+        [10.0, 0.0, 30.0, 1.0],   # A: left 10, right 30
+        [20.0, 0.0, 50.0, 1.0],   # B: left 20, right 50
+        [40.0, 0.0, 70.0, 1.0],   # C: left 40, right 70
+        [60.0, 0.0, 80.0, 1.0],   # D: left 60, right 80
+    ])
+    return {
+        "rects": rects,
+        "left_bbox_left": np.array([10.0, 10.0, 10.0, 10.0]),
+        "left_bbox_right": np.array([30.0, 50.0, 70.0, 80.0]),
+        "right_bbox_left": np.array([20.0, 40.0, 60.0, np.inf]),
+        "right_bbox_right": np.array([80.0, 80.0, 80.0, -np.inf]),
+    }

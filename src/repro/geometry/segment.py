@@ -1,0 +1,119 @@
+"""Vectorised line-segment arrays.
+
+A segment set is an ``(n, 4)`` float array of rows ``[x1, y1, x2, y2]``.
+The spatial structures treat segments as undirected; functions here
+never reorder endpoints unless documented.  Everything is pure NumPy and
+row-wise vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rect import rects_from_segments
+
+__all__ = [
+    "validate_segments",
+    "endpoints",
+    "midpoints",
+    "lengths",
+    "bboxes",
+    "is_degenerate",
+    "canonical_order",
+    "segments_equal_undirected",
+    "segments_intersect_segments",
+]
+
+
+def validate_segments(segments, name: str = "segments") -> np.ndarray:
+    """Coerce to ``(n, 4)`` float, rejecting non-finite coordinates."""
+    s = np.atleast_2d(np.asarray(segments, dtype=float))
+    if s.ndim != 2 or s.shape[1] != 4:
+        raise ValueError(f"{name} must have shape (n, 4), got {s.shape}")
+    if s.size and not np.all(np.isfinite(s)):
+        raise ValueError(f"{name} contains non-finite coordinates")
+    return s
+
+
+def endpoints(segments: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return the two ``(n, 2)`` endpoint arrays ``(p1, p2)``."""
+    s = validate_segments(segments)
+    return s[:, 0:2], s[:, 2:4]
+
+
+def midpoints(segments: np.ndarray) -> np.ndarray:
+    """``(n, 2)`` midpoints -- the R-tree mean-split statistic (4.7)."""
+    s = validate_segments(segments)
+    return 0.5 * (s[:, 0:2] + s[:, 2:4])
+
+
+def lengths(segments: np.ndarray) -> np.ndarray:
+    """Euclidean length of each segment."""
+    s = validate_segments(segments)
+    return np.hypot(s[:, 2] - s[:, 0], s[:, 3] - s[:, 1])
+
+
+def bboxes(segments: np.ndarray) -> np.ndarray:
+    """Minimum bounding rectangle of each segment (alias for rect helper)."""
+    return rects_from_segments(validate_segments(segments))
+
+
+def is_degenerate(segments: np.ndarray) -> np.ndarray:
+    """True where both endpoints coincide (zero-length segments)."""
+    s = validate_segments(segments)
+    return (s[:, 0] == s[:, 2]) & (s[:, 1] == s[:, 3])
+
+
+def canonical_order(segments: np.ndarray) -> np.ndarray:
+    """Reorder endpoints so ``(x1, y1) <= (x2, y2)`` lexicographically.
+
+    Gives undirected segments a unique representation, used for
+    duplicate detection after cloning round-trips.
+    """
+    s = validate_segments(segments).copy()
+    swap = (s[:, 0] > s[:, 2]) | ((s[:, 0] == s[:, 2]) & (s[:, 1] > s[:, 3]))
+    s[swap] = s[swap][:, [2, 3, 0, 1]]
+    return s
+
+
+def segments_equal_undirected(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise undirected equality of two segment sets."""
+    return np.all(canonical_order(a) == canonical_order(b), axis=1)
+
+
+def _cross(ox, oy, ax, ay, bx, by):
+    """Signed area of (a - o) x (b - o); exact for modest integer inputs."""
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+def segments_intersect_segments(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise closed intersection test between two segment sets.
+
+    Implements the orientation/straddle test with full collinear-overlap
+    handling.  Exact for integer coordinates (the generators' default),
+    which is what the spatial-join oracle requires.
+    """
+    a = validate_segments(a, "a")
+    b = validate_segments(b, "b")
+    if a.shape[0] != b.shape[0]:
+        raise ValueError("row counts differ; broadcast pairs explicitly")
+    ax1, ay1, ax2, ay2 = a[:, 0], a[:, 1], a[:, 2], a[:, 3]
+    bx1, by1, bx2, by2 = b[:, 0], b[:, 1], b[:, 2], b[:, 3]
+
+    d1 = _cross(ax1, ay1, ax2, ay2, bx1, by1)
+    d2 = _cross(ax1, ay1, ax2, ay2, bx2, by2)
+    d3 = _cross(bx1, by1, bx2, by2, ax1, ay1)
+    d4 = _cross(bx1, by1, bx2, by2, ax2, ay2)
+
+    proper = (np.sign(d1) * np.sign(d2) < 0) & (np.sign(d3) * np.sign(d4) < 0)
+
+    # collinear / endpoint-touching cases: point-on-segment via bbox check
+    def on(px, py, qx1, qy1, qx2, qy2, d):
+        return (d == 0) & (np.minimum(qx1, qx2) <= px) & (px <= np.maximum(qx1, qx2)) \
+            & (np.minimum(qy1, qy2) <= py) & (py <= np.maximum(qy1, qy2))
+
+    touch = (on(bx1, by1, ax1, ay1, ax2, ay2, d1)
+             | on(bx2, by2, ax1, ay1, ax2, ay2, d2)
+             | on(ax1, ay1, bx1, by1, bx2, by2, d3)
+             | on(ax2, ay2, bx1, by1, bx2, by2, d4))
+    return proper | touch

@@ -1,0 +1,82 @@
+"""Scan-model virtual vector machine (paper Section 3).
+
+The substrate the spatial primitives run on: segmented vectors
+(:class:`Segments`), the three primitive families of the scan model
+(scans, elementwise operations, permutations), data-parallel sorting,
+segmented broadcast/reduce idioms, linear orderings, SAM-model checks,
+and the cost-accounting :class:`Machine` whose step clock realises the
+model's unit-time semantics.
+"""
+
+from .broadcast import seg_broadcast, seg_count, seg_first, seg_last, seg_reduce
+from .elementwise import EW_OPS, ew, ew_where
+from .machine import COST_MODELS, CostModel, Machine, get_machine, reset_machine, use_machine
+from .ops import (
+    distribute,
+    enumerate_flags,
+    flag_split,
+    index_vector,
+    max_index,
+    min_index,
+    pack,
+)
+from .ordering import (
+    block_path_to_morton,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+    morton_window_ranges,
+)
+from .permute import gather, permute, scatter
+from .sam import is_monotonic_mapping, monotonic_rounds, reorderings_required
+from .scans import SCAN_OPS, down_scan, scan_identity, seg_scan, up_scan
+from .sort import rank, seg_rank, seg_sort, sort, split_radix_sort
+from .vector import Segments
+
+__all__ = [
+    "Segments",
+    "Machine",
+    "CostModel",
+    "COST_MODELS",
+    "get_machine",
+    "use_machine",
+    "reset_machine",
+    "seg_scan",
+    "up_scan",
+    "down_scan",
+    "scan_identity",
+    "SCAN_OPS",
+    "ew",
+    "ew_where",
+    "EW_OPS",
+    "permute",
+    "gather",
+    "scatter",
+    "rank",
+    "sort",
+    "seg_rank",
+    "seg_sort",
+    "split_radix_sort",
+    "seg_broadcast",
+    "seg_reduce",
+    "seg_count",
+    "seg_first",
+    "seg_last",
+    "enumerate_flags",
+    "pack",
+    "distribute",
+    "index_vector",
+    "flag_split",
+    "max_index",
+    "min_index",
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "block_path_to_morton",
+    "morton_window_ranges",
+    "is_monotonic_mapping",
+    "monotonic_rounds",
+    "reorderings_required",
+]

@@ -1,0 +1,98 @@
+"""Elementwise primitives (paper Section 3.2.2, Figure 9).
+
+An elementwise primitive takes vectors of equal length and produces an
+answer vector of the same length whose i-th element is the result of an
+arithmetic or logical operation applied to the i-th input elements.  On
+the virtual machine every call is one NumPy whole-array operation and is
+recorded as one unit-time ``elementwise`` step.
+
+Scalars broadcast, mirroring C* semantics where a scalar is a value held
+identically by every virtual processor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .machine import Machine, get_machine
+
+__all__ = ["ew", "ew_where", "EW_OPS"]
+
+_BINARY: Dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.true_divide,
+    "//": np.floor_divide,
+    "%": np.mod,
+    "min": np.minimum,
+    "max": np.maximum,
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "&": np.logical_and,
+    "|": np.logical_or,
+    "^": np.logical_xor,
+}
+
+_UNARY: Dict[str, Callable] = {
+    "-1": np.negative,
+    "abs": np.abs,
+    "!": np.logical_not,
+}
+
+EW_OPS = tuple(_BINARY) + tuple(_UNARY)
+
+
+def _lengths_match(*arrays) -> int:
+    n = None
+    for a in arrays:
+        if np.ndim(a) == 0:
+            continue
+        a = np.asarray(a)
+        if a.ndim != 1:
+            raise ValueError("elementwise operands must be one-dimensional or scalar")
+        if n is None:
+            n = a.size
+        elif a.size != n:
+            raise ValueError(f"elementwise operand length mismatch: {a.size} vs {n}")
+    return 0 if n is None else n
+
+
+def ew(op: str, a, b=None, machine: Optional[Machine] = None) -> np.ndarray:
+    """Apply elementwise operation ``op`` (the paper's ``ew(op, A, B)``).
+
+    ``op`` is a symbol from :data:`EW_OPS`.  Binary operations require
+    ``b``; unary operations (``"-1"`` negate, ``"abs"``, ``"!"``) forbid
+    it.  Exactly one ``elementwise`` machine step is recorded.
+    """
+    if op in _UNARY:
+        if b is not None:
+            raise ValueError(f"operator {op!r} is unary")
+        n = _lengths_match(a)
+        (machine or get_machine()).record("elementwise", n)
+        return _UNARY[op](np.asarray(a))
+    if op not in _BINARY:
+        raise ValueError(f"unknown elementwise operator {op!r}")
+    if b is None:
+        raise ValueError(f"operator {op!r} is binary; two operands required")
+    n = _lengths_match(a, b)
+    (machine or get_machine()).record("elementwise", n)
+    return _BINARY[op](np.asarray(a), np.asarray(b))
+
+
+def ew_where(cond, a, b, machine: Optional[Machine] = None) -> np.ndarray:
+    """Elementwise select: ``cond ? a : b`` (one machine step).
+
+    The C* equivalent is a ``where`` block; the paper's node-splitting
+    figures use it implicitly when each line chooses a side of a split
+    axis.
+    """
+    n = _lengths_match(cond, a, b)
+    (machine or get_machine()).record("elementwise", n)
+    return np.where(np.asarray(cond, dtype=bool), a, b)

@@ -1,0 +1,123 @@
+"""Blelloch's standard vector operations, composed from the primitives.
+
+The scan-model literature ([Blel89], [Blel90] in the paper's references)
+builds a small standard library on top of scans, elementwise operations
+and permutes: *enumerate*, *pack*, *distribute*, *index*, *flag-split*.
+The Section 4 spatial primitives are compositions of exactly these; this
+module exposes them directly, both because downstream users need them
+(every "gather the marked elements" step in a spatial pipeline is a
+pack) and because their unit tests double as documentation of the
+primitive algebra.
+
+Every function records its honest primitive usage on the accounting
+machine, so higher-level cost audits see through these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .machine import Machine, get_machine
+from .scans import seg_scan
+from .vector import Segments
+
+__all__ = [
+    "enumerate_flags",
+    "pack",
+    "distribute",
+    "index_vector",
+    "flag_split",
+    "max_index",
+    "min_index",
+]
+
+
+def enumerate_flags(flags, segments: Optional[Segments] = None,
+                    machine: Optional[Machine] = None) -> np.ndarray:
+    """Rank of each set flag among the set flags (0-based).
+
+    ``enumerate`` in Blelloch's terminology: an exclusive sum scan of the
+    flag vector.  Unset positions receive the count of set flags before
+    them (useful as a destination offset either way).
+    """
+    flags = np.asarray(flags, dtype=bool)
+    return seg_scan(flags.astype(np.int64), segments, "+", "up", False,
+                    machine=machine)
+
+
+def pack(flags, *arrays, machine: Optional[Machine] = None) -> Tuple[np.ndarray, ...]:
+    """Compact the flagged elements to the front, dropping the rest.
+
+    The *pack* operation ([Krus85]'s packing, the unsegmented core of
+    unshuffling): destination = exclusive scan of flags, then a permute
+    restricted to the survivors.
+    """
+    flags = np.asarray(flags, dtype=bool)
+    m = machine or get_machine()
+    for a in arrays:
+        if np.asarray(a).shape[:1] != flags.shape:
+            raise ValueError("payload length does not match flag vector")
+    dest = enumerate_flags(flags, machine=m)
+    m.record("permute", flags.size)
+    kept = np.flatnonzero(flags)
+    del dest  # destinations are kept-order by construction
+    return tuple(np.asarray(a)[kept] for a in arrays)
+
+
+def distribute(value, n: int, machine: Optional[Machine] = None) -> np.ndarray:
+    """Broadcast a scalar across a fresh length-``n`` vector (one step)."""
+    if n < 0:
+        raise ValueError("vector length must be non-negative")
+    (machine or get_machine()).record("elementwise", n)
+    return np.full(n, value)
+
+
+def index_vector(n: int, machine: Optional[Machine] = None) -> np.ndarray:
+    """The vector ``[0, 1, ..., n-1]`` via an exclusive +-scan of ones."""
+    if n < 0:
+        raise ValueError("vector length must be non-negative")
+    m = machine or get_machine()
+    return seg_scan(np.ones(n, dtype=np.int64), None, "+", "up", False, machine=m)
+
+
+def flag_split(flags, *arrays, machine: Optional[Machine] = None):
+    """Blelloch's *split*: unset elements first, set elements after.
+
+    Unlike :func:`pack`, nothing is dropped; this is the unsegmented
+    unshuffle, returned as ``(arrays..., boundary)`` where ``boundary``
+    is the index of the first set element in the output.
+    """
+    from ..primitives.unshuffle import unshuffle  # composed primitive
+
+    flags = np.asarray(flags, dtype=bool)
+    res = unshuffle(flags, *arrays, machine=machine)
+    boundary = int(res.left_counts[0]) if flags.size else 0
+    return res.arrays + (boundary,)
+
+
+def _arg_reduce(data, segments: Optional[Segments], op: str,
+                machine: Optional[Machine]) -> np.ndarray:
+    """Index of the per-segment extremum (first occurrence)."""
+    data = np.asarray(data)
+    m = machine or get_machine()
+    seg = segments if segments is not None else Segments.single(data.size)
+    best = seg_scan(data, seg, op, "down", True, machine=m)[seg.heads]
+    m.record("elementwise", data.size)
+    is_best = data == best[seg.ids]
+    idx = np.arange(data.size, dtype=np.int64)
+    masked = np.where(is_best, idx, np.iinfo(np.int64).max)
+    return seg_scan(masked, seg, "min", "down", True, machine=m)[seg.heads]
+
+
+def max_index(data, segments: Optional[Segments] = None,
+              machine: Optional[Machine] = None) -> np.ndarray:
+    """Per-segment index of the (first) maximum, via three scans."""
+    return _arg_reduce(data, segments, "max", machine)
+
+
+def min_index(data, segments: Optional[Segments] = None,
+              machine: Optional[Machine] = None) -> np.ndarray:
+    """Per-segment index of the (first) minimum, via three scans."""
+    return _arg_reduce(data, segments, "min", machine)

@@ -1,0 +1,198 @@
+"""Linear orderings of quadtree blocks (paper Section 3.3).
+
+"Because of the bucket PMR quadtree's regular decomposition, a unique
+linear ordering may readily be obtained (given a particular linear
+ordering methodology such as a Peano curve)."  This module provides the
+two classic space-filling orderings used for that purpose:
+
+* **Morton (Z / Peano) order** -- bit interleaving of cell coordinates.
+  This is the ordering the quadtree builders in
+  :mod:`repro.structures` maintain implicitly: the two-stage node split
+  (Section 4.6) emits children in ``SW, SE, NW, NE`` order, which is
+  Morton order with y as the high bit.
+* **Hilbert order** -- the recursive rotation variant, included for the
+  ordering-quality comparisons the SAM-model discussion motivates
+  (neighbouring blocks stay nearer in Hilbert order).
+
+All codecs are fully vectorised over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "block_path_to_morton",
+    "morton_window_ranges",
+]
+
+_MAX_BITS = 31
+
+
+def _check_coords(x: np.ndarray, y: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray]:
+    if not 1 <= bits <= _MAX_BITS:
+        raise ValueError(f"bits must be in [1, {_MAX_BITS}]")
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have equal shapes")
+    lim = 1 << bits
+    if x.size and (x.min() < 0 or x.max() >= lim or y.min() < 0 or y.max() >= lim):
+        raise ValueError(f"coordinates out of range [0, {lim})")
+    return x, y
+
+
+def _part1by1(v: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of ``v`` so bit i lands at position 2i."""
+    v = v.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+    v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return v
+
+
+def _compact1by1(v: np.ndarray) -> np.ndarray:
+    v = v.astype(np.uint64) & np.uint64(0x5555555555555555)
+    v = (v | (v >> np.uint64(1))) & np.uint64(0x3333333333333333)
+    v = (v | (v >> np.uint64(2))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v >> np.uint64(4))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v >> np.uint64(8))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v >> np.uint64(16))) & np.uint64(0x00000000FFFFFFFF)
+    return v
+
+
+def morton_encode(x, y, bits: int = 16) -> np.ndarray:
+    """Interleave ``(x, y)`` cell coordinates into Morton codes.
+
+    y supplies the odd (higher) bit positions, matching the child order
+    ``SW, SE, NW, NE`` produced by the y-then-x two-stage node split.
+    """
+    x, y = _check_coords(x, y, bits)
+    return (_part1by1(x) | (_part1by1(y) << np.uint64(1))).astype(np.int64)
+
+
+def morton_decode(code, bits: int = 16) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`morton_encode`; returns ``(x, y)``."""
+    code = np.asarray(code, dtype=np.uint64)
+    x = _compact1by1(code).astype(np.int64)
+    y = _compact1by1(code >> np.uint64(1)).astype(np.int64)
+    lim = 1 << bits
+    if code.size and (x.max(initial=0) >= lim or y.max(initial=0) >= lim):
+        raise ValueError("code encodes coordinates beyond the stated bit width")
+    return x, y
+
+
+def hilbert_encode(x, y, bits: int = 16) -> np.ndarray:
+    """Map ``(x, y)`` to distance along the order-``bits`` Hilbert curve."""
+    x, y = _check_coords(x, y, bits)
+    rx = np.zeros_like(x)
+    ry = np.zeros_like(y)
+    x = x.copy()
+    y = y.copy()
+    d = np.zeros(x.shape, dtype=np.int64)
+    s = 1 << (bits - 1)
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # rotate quadrant
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x_f = np.where(flip, s - 1 - x, x)
+        y_f = np.where(flip, s - 1 - y, y)
+        x_new = np.where(swap, y_f, x_f)
+        y_new = np.where(swap, x_f, y_f)
+        x, y = x_new, y_new
+        s >>= 1
+    return d
+
+
+def hilbert_decode(d, bits: int = 16) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`hilbert_encode`; returns ``(x, y)``."""
+    d = np.asarray(d, dtype=np.int64)
+    if d.size and (d.min() < 0 or d.max() >= 1 << (2 * bits)):
+        raise ValueError("Hilbert index out of range for the stated bit width")
+    t = d.copy()
+    x = np.zeros_like(d)
+    y = np.zeros_like(d)
+    s = 1
+    while s < (1 << bits):
+        rx = (t // 2) & 1
+        ry = (t ^ rx) & 1
+        # rotate quadrant
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x_f = np.where(flip, s - 1 - x, x)
+        y_f = np.where(flip, s - 1 - y, y)
+        x_r = np.where(swap, y_f, x_f)
+        y_r = np.where(swap, x_f, y_f)
+        x = x_r + s * rx
+        y = y_r + s * ry
+        t //= 4
+        s <<= 1
+    return x, y
+
+
+def block_path_to_morton(paths: np.ndarray, levels: np.ndarray, height: int) -> np.ndarray:
+    """Order quadtree blocks by (depth-padded) Morton position.
+
+    ``paths`` holds child-digit sequences packed base-4 (most significant
+    digit = root-level choice); ``levels`` their lengths.  Blocks are
+    compared by the Morton code of their lower-left corner at the finest
+    resolution, then by level, giving the canonical linear quadtree
+    ordering of the SAM-model discussion.
+    """
+    paths = np.asarray(paths, dtype=np.int64)
+    levels = np.asarray(levels, dtype=np.int64)
+    if paths.shape != levels.shape:
+        raise ValueError("paths and levels must have equal shapes")
+    if levels.size and (levels.min() < 0 or levels.max() > height):
+        raise ValueError("level out of range for the stated tree height")
+    return paths << (2 * (height - levels))
+
+
+def morton_window_ranges(x0: int, y0: int, x1: int, y1: int,
+                         bits: int) -> np.ndarray:
+    """Decompose a cell window into maximal Morton code ranges.
+
+    The half-open cell window ``[x0, x1) x [y0, y1)`` is covered by the
+    canonical set of maximal quadtree blocks lying fully inside it; each
+    block is one contiguous Morton range, and adjacent ranges are
+    merged.  Returns an ``(k, 2)`` array of half-open ``[start, stop)``
+    code intervals, sorted and disjoint -- the classic linear-quadtree
+    range query, answerable with binary searches alone.
+    """
+    lim = 1 << bits
+    if not (0 <= x0 <= x1 <= lim and 0 <= y0 <= y1 <= lim):
+        raise ValueError("window out of range for the stated bit width")
+    ranges: list[tuple[int, int]] = []
+
+    def cover(bx: int, by: int, size: int) -> None:
+        # disjoint from the window?
+        if bx >= x1 or by >= y1 or bx + size <= x0 or by + size <= y0:
+            return
+        if x0 <= bx and bx + size <= x1 and y0 <= by and by + size <= y1:
+            start = int(morton_encode(np.array([bx]), np.array([by]), bits)[0])
+            ranges.append((start, start + size * size))
+            return
+        half = size // 2
+        for dx in (0, half):
+            for dy in (0, half):
+                cover(bx + dx, by + dy, half)
+
+    if x0 < x1 and y0 < y1:
+        cover(0, 0, lim)
+    ranges.sort()
+    merged: list[list[int]] = []
+    for start, stop in ranges:
+        if merged and merged[-1][1] == start:
+            merged[-1][1] = stop
+        else:
+            merged.append([start, stop])
+    return np.asarray(merged, dtype=np.int64).reshape(-1, 2)

@@ -1,0 +1,105 @@
+"""Permutation primitives (paper Section 3.2.3, Figure 10).
+
+A permutation takes a data vector and an index vector and moves each
+data element to the slot named by its index.  The mapping must be
+one-to-one: "two or more data elements may not share the same index
+vector value".  :func:`permute` enforces that precondition (it is the
+correctness linchpin of cloning, unshuffling, and duplicate deletion,
+all of which *construct* bijective index vectors).
+
+:func:`gather` and :func:`scatter` are the general send/get operations a
+real machine routes the same way; they are costed identically to a
+permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .machine import Machine, get_machine
+
+__all__ = ["permute", "gather", "scatter"]
+
+
+def _check_index(index: np.ndarray, bound: int, name: str) -> np.ndarray:
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise ValueError(f"{name} vector must be one-dimensional")
+    if not np.issubdtype(index.dtype, np.integer):
+        raise TypeError(f"{name} vector must be integral, got {index.dtype}")
+    if index.size and (index.min() < 0 or index.max() >= bound):
+        raise IndexError(f"{name} value out of range [0, {bound})")
+    return index.astype(np.int64, copy=False)
+
+
+def permute(data, index, out_size: Optional[int] = None,
+            machine: Optional[Machine] = None, check: bool = True) -> np.ndarray:
+    """Route ``data[i]`` to slot ``index[i]`` (the paper's ``permute``).
+
+    Parameters
+    ----------
+    data, index:
+        Equal-length vectors; ``index`` must be a bijection onto
+        ``range(out_size)`` when ``out_size == len(data)`` (the classic
+        permutation), or injective into ``range(out_size)`` when the
+        output is longer (the form cloning uses to spread elements out,
+        leaving gaps for the clones).
+    out_size:
+        Output length; defaults to ``len(data)``.
+    check:
+        Verify injectivity (O(n); disable only in benchmarked inner
+        loops that construct indices by scan, which are injective by
+        construction).
+    """
+    data = np.asarray(data)
+    if data.ndim != 1:
+        raise ValueError("data vector must be one-dimensional")
+    n = data.size
+    size = n if out_size is None else int(out_size)
+    if size < n:
+        raise ValueError("output cannot be shorter than the input")
+    index = _check_index(index, size, "index")
+    if index.size != n:
+        raise ValueError(f"index length {index.size} != data length {n}")
+    if check and n:
+        occupancy = np.bincount(index, minlength=size)
+        if occupancy.max(initial=0) > 1:
+            clash = int(np.argmax(occupancy > 1))
+            raise ValueError(f"permutation is not one-to-one: slot {clash} receives "
+                             f"{int(occupancy[clash])} elements")
+    (machine or get_machine()).record("permute", n)
+    out = np.zeros(size, dtype=data.dtype)
+    out[index] = data
+    return out
+
+
+def gather(data, index, machine: Optional[Machine] = None) -> np.ndarray:
+    """Concurrent read: ``out[i] = data[index[i]]`` (one routing step)."""
+    data = np.asarray(data)
+    index = _check_index(index, data.size, "index")
+    (machine or get_machine()).record("permute", index.size)
+    return data[index]
+
+
+def scatter(data, index, out_size: int, default=0,
+            machine: Optional[Machine] = None) -> np.ndarray:
+    """Exclusive write into a ``default``-filled vector of ``out_size``.
+
+    Unlike :func:`permute` the output length is arbitrary and unwritten
+    slots keep ``default``; like :func:`permute`, colliding writes are an
+    error (the EREW discipline of the scan model).
+    """
+    data = np.asarray(data)
+    index = _check_index(index, int(out_size), "index")
+    if index.size != data.size:
+        raise ValueError("data and index must have equal length")
+    if index.size:
+        occupancy = np.bincount(index, minlength=int(out_size))
+        if occupancy.max(initial=0) > 1:
+            raise ValueError("scatter writes collide; the scan model is exclusive-write")
+    (machine or get_machine()).record("permute", data.size)
+    out = np.full(int(out_size), default, dtype=np.result_type(data.dtype, type(default)))
+    out[index] = data
+    return out

@@ -1,0 +1,97 @@
+"""SAM-model restrictions (paper Section 3.3, Figures 11-12).
+
+The SAM (Scan-And-Monotonic-mapping) model allows elementwise and
+scanwise operations plus *monotonic mappings*: inter-processor sends
+whose destination indices are a monotonically increasing or decreasing
+function of the source indices.  The paper rejects SAM for R-tree
+manipulation because irregular decompositions have no unique linear
+ordering, so cross-structure communication keeps breaking monotonicity
+and forces expensive processor reorderings (Figure 12).
+
+This module makes that argument executable:
+
+* :func:`is_monotonic_mapping` validates a proposed mapping (Figure 11);
+* :func:`monotonic_rounds` greedily decomposes an arbitrary communication
+  pattern into the minimum number of monotonic rounds;
+* :func:`reorderings_required` counts how many source reorderings a
+  SAM machine needs to realise a pattern, the cost the paper calls
+  "expensive ... for a large collection of processors".
+
+These functions power the cost-model comparison bench (experiment C8)
+and the unit tests reproducing Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_monotonic_mapping",
+    "monotonic_rounds",
+    "reorderings_required",
+]
+
+
+def is_monotonic_mapping(sources, destinations, strict: bool = True) -> bool:
+    """Check Figure 11's validity rule for a SAM inter-set mapping.
+
+    ``sources`` and ``destinations`` are parallel index vectors: message
+    k goes from linear position ``sources[k]`` to ``destinations[k]``.
+    The mapping is monotonic when, after ordering messages by source,
+    the destination sequence is entirely non-decreasing or entirely
+    non-increasing (strictly so when ``strict``, since two messages may
+    not land on one processor in the same round).
+    """
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(destinations, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError("sources and destinations must be equal-length vectors")
+    if src.size <= 1:
+        return True
+    order = np.argsort(src, kind="stable")
+    d = np.diff(dst[order])
+    if strict:
+        return bool(np.all(d > 0) or np.all(d < 0))
+    return bool(np.all(d >= 0) or np.all(d <= 0))
+
+
+def monotonic_rounds(sources, destinations) -> List[np.ndarray]:
+    """Decompose a communication pattern into monotonic rounds.
+
+    Greedily peels off maximal increasing subsequences of destinations
+    (in source order) until every message is scheduled, mirroring how a
+    SAM machine must serialise Figure 12's pattern.  Returns a list of
+    index arrays into the message vectors, one per round.
+    """
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(destinations, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError("sources and destinations must be equal-length vectors")
+    remaining = np.argsort(src, kind="stable")
+    rounds: List[np.ndarray] = []
+    while remaining.size:
+        taken = []
+        last_dst = None
+        leftover = []
+        for k in remaining:
+            if last_dst is None or dst[k] > last_dst:
+                taken.append(k)
+                last_dst = dst[k]
+            else:
+                leftover.append(k)
+        rounds.append(np.asarray(taken, dtype=np.int64))
+        remaining = np.asarray(leftover, dtype=np.int64)
+    return rounds
+
+
+def reorderings_required(patterns: Sequence[Tuple[Sequence[int], Sequence[int]]]) -> int:
+    """Count source reorderings a SAM machine needs across ``patterns``.
+
+    Each pattern is a ``(sources, destinations)`` round.  A pattern that
+    is already monotonic costs nothing; a non-monotonic one forces the
+    source processors to be physically reordered first (Figure 12d).
+    Returns the number of reorderings.
+    """
+    return sum(0 if is_monotonic_mapping(s, d) else 1 for s, d in patterns)

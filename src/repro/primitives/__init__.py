@@ -1,0 +1,30 @@
+"""Data-parallel spatial primitives (paper Section 4)."""
+
+from .capacity import node_counts, overflow_per_line, overflowing_nodes
+from .cloning import CloneResult, clone
+from .dupdelete import DedupResult, delete_duplicates, mark_duplicates
+from .pm1_split import PM1SplitDecision, pm1_should_split
+from .quad_split import QuadSplitResult, split_quad_nodes
+from .rtree_split import RtreeSplitChoice, mean_split, prefix_suffix_boxes, sweep_split
+from .unshuffle import UnshuffleResult, unshuffle
+
+__all__ = [
+    "clone",
+    "CloneResult",
+    "unshuffle",
+    "UnshuffleResult",
+    "mark_duplicates",
+    "delete_duplicates",
+    "DedupResult",
+    "node_counts",
+    "overflowing_nodes",
+    "overflow_per_line",
+    "pm1_should_split",
+    "PM1SplitDecision",
+    "split_quad_nodes",
+    "QuadSplitResult",
+    "mean_split",
+    "sweep_split",
+    "prefix_suffix_boxes",
+    "RtreeSplitChoice",
+]

@@ -1,0 +1,163 @@
+"""Data-parallel batch query processing.
+
+The companion papers ([Hoel94b]'s "performance of data-parallel spatial
+operations") process query *sets*, not single probes: one processor per
+(query, node) pair, expanding level-synchronously.  This module provides
+that style of bulk evaluation for the window query on both tree
+families:
+
+* the frontier is a vector of (query id, node id) pairs;
+* each round every pair tests its query window against its node's
+  rectangle in one whole-array step and expands into children;
+* at the leaves, candidate (query, line) pairs are verified with one
+  vectorised exact test.
+
+Results are identical to looping the scalar ``window_query`` (a test
+invariant) but the work is whole-array per tree level -- O(height)
+vector steps for any number of queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry.clip import segments_intersect_rects
+from ..geometry.rect import overlaps, validate_rects
+from ..machine import Machine, get_machine
+from .quadblock import Quadtree
+from .rtree import RTree
+
+__all__ = ["batch_window_query_quadtree", "batch_window_query_rtree"]
+
+
+def _pack_results(qid: np.ndarray, lid: np.ndarray, num_queries: int
+                  ) -> List[np.ndarray]:
+    """Group verified (query, line) pairs into per-query id arrays."""
+    out: List[np.ndarray] = []
+    order = np.lexsort((lid, qid))
+    qid = qid[order]
+    lid = lid[order]
+    bounds = np.searchsorted(qid, np.arange(num_queries + 1))
+    for q in range(num_queries):
+        ids = lid[bounds[q]:bounds[q + 1]]
+        out.append(np.unique(ids))
+    return out
+
+
+def batch_window_query_quadtree(tree: Quadtree, rects, exact: bool = True,
+                                machine: Optional[Machine] = None
+                                ) -> List[np.ndarray]:
+    """All window queries against a quadtree in O(height) vector rounds."""
+    rects = validate_rects(np.asarray(rects, dtype=float).reshape(-1, 4))
+    m = machine or get_machine()
+    nq = rects.shape[0]
+
+    q_frontier = np.arange(nq, dtype=np.int64)
+    n_frontier = np.zeros(nq, dtype=np.int64)
+    hit_q: List[np.ndarray] = []
+    hit_l: List[np.ndarray] = []
+    while q_frontier.size:
+        node_boxes = tree.boxes[n_frontier]
+        m.record("elementwise", q_frontier.size)
+        alive = overlaps(node_boxes, rects[q_frontier])
+        q_frontier = q_frontier[alive]
+        n_frontier = n_frontier[alive]
+        if not q_frontier.size:
+            break
+        is_leaf = tree.children[n_frontier, 0] < 0
+        # leaves: emit candidate (query, line) pairs
+        leaf_q = q_frontier[is_leaf]
+        leaf_n = n_frontier[is_leaf]
+        if leaf_q.size:
+            counts = (tree.node_ptr[leaf_n + 1] - tree.node_ptr[leaf_n])
+            reps = np.repeat(np.arange(leaf_q.size), counts)
+            starts = np.repeat(tree.node_ptr[leaf_n], counts)
+            offsets = np.arange(reps.size) - np.repeat(
+                np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+            lines = tree.node_lines[starts + offsets]
+            hit_q.append(leaf_q[reps])
+            hit_l.append(lines)
+        # internal: expand into all four children
+        int_q = q_frontier[~is_leaf]
+        int_n = n_frontier[~is_leaf]
+        m.record("permute", int_q.size * 4)
+        q_frontier = np.repeat(int_q, 4)
+        n_frontier = tree.children[int_n].reshape(-1)
+
+    if not hit_q:
+        return [np.zeros(0, dtype=np.int64) for _ in range(nq)]
+    qid = np.concatenate(hit_q)
+    lid = np.concatenate(hit_l)
+    if exact and qid.size:
+        m.record("elementwise", qid.size)
+        keep = segments_intersect_rects(tree.lines[lid], rects[qid])
+        qid = qid[keep]
+        lid = lid[keep]
+    # exact=False returns every candidate from the reached leaves,
+    # matching the scalar window_query's filter-step semantics.
+    return _pack_results(qid, lid, nq)
+
+
+def batch_window_query_rtree(tree: RTree, rects, exact: bool = True,
+                             machine: Optional[Machine] = None
+                             ) -> List[np.ndarray]:
+    """All window queries against an R-tree in O(height) vector rounds."""
+    rects = validate_rects(np.asarray(rects, dtype=float).reshape(-1, 4))
+    m = machine or get_machine()
+    nq = rects.shape[0]
+    top = tree.height - 1
+
+    q_frontier = np.arange(nq, dtype=np.int64)
+    n_frontier = np.zeros(nq, dtype=np.int64)
+    for level in range(top, 0, -1):
+        m.record("elementwise", q_frontier.size)
+        alive = overlaps(tree.level_mbr[level][n_frontier], rects[q_frontier])
+        q_frontier = q_frontier[alive]
+        n_frontier = n_frontier[alive]
+        if not q_frontier.size:
+            break
+        # expand to the children of every surviving node
+        par = tree.level_parent[level - 1]
+        order = np.argsort(par, kind="stable")
+        sorted_par = par[order]
+        starts = np.searchsorted(sorted_par, n_frontier, side="left")
+        ends = np.searchsorted(sorted_par, n_frontier, side="right")
+        counts = ends - starts
+        m.record("permute", int(counts.sum()))
+        reps = np.repeat(np.arange(q_frontier.size), counts)
+        offsets = np.arange(reps.size) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        q_frontier = q_frontier[reps]
+        n_frontier = order[np.repeat(starts, counts) + offsets]
+
+    if not q_frontier.size:
+        return [np.zeros(0, dtype=np.int64) for _ in range(nq)]
+    # leaf level: test the surviving (query, leaf) pairs, then entries
+    m.record("elementwise", q_frontier.size)
+    alive = overlaps(tree.level_mbr[0][n_frontier], rects[q_frontier])
+    q_frontier = q_frontier[alive]
+    n_frontier = n_frontier[alive]
+
+    leaf_order = np.argsort(tree.line_leaf, kind="stable")
+    sorted_leaf = tree.line_leaf[leaf_order]
+    starts = np.searchsorted(sorted_leaf, n_frontier, side="left")
+    ends = np.searchsorted(sorted_leaf, n_frontier, side="right")
+    counts = ends - starts
+    reps = np.repeat(np.arange(q_frontier.size), counts)
+    offsets = np.arange(reps.size) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    qid = q_frontier[reps]
+    lid = leaf_order[np.repeat(starts, counts) + offsets]
+    if qid.size:
+        m.record("elementwise", qid.size)
+        keep = overlaps(tree.entry_bbox[lid], rects[qid])
+        qid = qid[keep]
+        lid = lid[keep]
+    if exact and qid.size:
+        m.record("elementwise", qid.size)
+        keep = segments_intersect_rects(tree.lines[lid], rects[qid])
+        qid = qid[keep]
+        lid = lid[keep]
+    return _pack_results(qid, lid, nq)

@@ -1,0 +1,169 @@
+"""Shared iterative driver for the data-parallel quadtree builds.
+
+Both quadtree constructions of Section 5 are the same loop -- decide
+which nodes split, split them all simultaneously with the Section 4.6
+primitive, repeat -- differing only in the *splitting rule*:
+
+* PM1 (Section 5.1): the vertex-based rule of Section 4.5;
+* bucket PMR (Section 5.2): the capacity check of Section 4.4, cut off
+  at the maximal resolution.
+
+The driver owns the line-vector / node-table correspondence: every
+non-empty node has exactly one segment group; nodes created empty by a
+split are recorded as (line-less) leaves.  It also keeps a per-round
+trace so the scaling benchmarks can count rounds and primitive steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..geometry.generators import check_power_of_two
+from ..geometry.segment import validate_segments
+from ..machine import Machine, Segments, get_machine
+from ..primitives.quad_split import split_quad_nodes
+from .quadblock import NodeTable, Quadtree
+
+__all__ = ["BuildTrace", "RoundStats", "build_quadtree"]
+
+# A splitting rule maps the current build state to one verdict per node
+# segment: (segs_xy, segments, node_boxes, node_levels, machine) -> bool[nseg]
+SplitRule = Callable[[np.ndarray, Segments, np.ndarray, np.ndarray, Machine], np.ndarray]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """One subdivision round of a build."""
+
+    round_index: int
+    nodes_split: int
+    line_processors: int
+    steps_before: float
+    steps_after: float
+
+    @property
+    def steps(self) -> float:
+        return self.steps_after - self.steps_before
+
+
+@dataclass
+class BuildTrace:
+    """Per-round history of a build (experiments C1-C3 read this)."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_steps(self) -> float:
+        return sum(r.steps for r in self.rounds)
+
+    @property
+    def max_line_processors(self) -> int:
+        return max((r.line_processors for r in self.rounds), default=0)
+
+
+def build_quadtree(lines: np.ndarray, domain: int, rule: SplitRule,
+                   max_depth: Optional[int] = None,
+                   machine: Optional[Machine] = None) -> tuple[Quadtree, BuildTrace]:
+    """Run the iterative data-parallel quadtree construction.
+
+    Parameters
+    ----------
+    lines:
+        ``(n, 4)`` input segments, all inside ``[0, domain]^2``.
+    domain:
+        Side of the space; a power of two.
+    rule:
+        Splitting rule (see :data:`SplitRule`).
+    max_depth:
+        Subdivision cap; defaults to ``log2(domain)`` (1x1 blocks), "the
+        maximal resolution of the quadtree".
+    """
+    domain = check_power_of_two(domain)
+    lines = validate_segments(lines)
+    if lines.size:
+        if lines.min() < 0 or lines.max() > domain:
+            raise ValueError("line coordinates must lie inside [0, domain]^2")
+    depth_cap = int(np.log2(domain)) if max_depth is None else int(max_depth)
+    if not 0 <= depth_cap <= int(np.log2(domain)):
+        raise ValueError("max_depth must be between 0 and log2(domain)")
+
+    m = machine or get_machine()
+    table = NodeTable(domain)
+    n = lines.shape[0]
+
+    if n == 0:
+        boxes, level, parent, children = table.freeze()
+        tree = Quadtree(lines, boxes, level, parent, children,
+                        np.zeros(2, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                        float(domain), depth_cap)
+        return tree, BuildTrace()
+
+    segs_xy = lines.copy()
+    lid = np.arange(n, dtype=np.int64)
+    segments = Segments.single(n)
+    seg_node = np.zeros(1, dtype=np.int64)  # segment index -> node id
+
+    trace = BuildTrace()
+    round_index = 0
+    while True:
+        node_boxes = np.vstack([table.boxes[i] for i in seg_node])
+        node_levels = np.asarray([table.level[i] for i in seg_node], dtype=np.int64)
+
+        with m.phase(f"round{round_index}"):
+            verdict = np.asarray(
+                rule(segs_xy, segments, node_boxes, node_levels, m), dtype=bool)
+            if verdict.shape != (segments.nseg,):
+                raise ValueError("splitting rule must return one verdict per segment")
+            split_flags = verdict & (node_levels < depth_cap)
+            if not split_flags.any():
+                break
+
+            steps_before = m.steps
+            res = split_quad_nodes(segs_xy, node_boxes, segments, split_flags,
+                                   payloads={"lid": lid}, machine=m)
+
+        # node-table update: every splitting node gains all four children
+        children_of: dict[int, tuple[int, int, int, int]] = {}
+        for s in np.flatnonzero(split_flags):
+            children_of[int(seg_node[s])] = table.split(int(seg_node[s]))
+
+        new_seg_node = np.empty(res.segments.nseg, dtype=np.int64)
+        for j in range(res.segments.nseg):
+            parent_node = int(seg_node[res.parent_seg[j]])
+            code = int(res.child_code[j])
+            new_seg_node[j] = children_of[parent_node][code] if code >= 0 else parent_node
+
+        segs_xy = res.segs_xy
+        lid = res.payloads["lid"]
+        segments = res.segments
+        seg_node = new_seg_node
+
+        trace.rounds.append(RoundStats(
+            round_index, int(split_flags.sum()), segments.n,
+            steps_before, m.steps))
+        round_index += 1
+        if round_index > depth_cap + 1:
+            raise RuntimeError("build failed to terminate within the depth cap")
+
+    # assemble the CSR line assignment over the full node table
+    boxes, level, parent, children = table.freeze()
+    k = boxes.shape[0]
+    counts = np.zeros(k, dtype=np.int64)
+    counts[seg_node] = segments.lengths
+    node_ptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=node_ptr[1:])
+    node_lines = np.empty(segments.n, dtype=np.int64)
+    for s, sl in enumerate(segments.slices()):
+        node = int(seg_node[s])
+        node_lines[node_ptr[node]:node_ptr[node + 1]] = lid[sl]
+
+    tree = Quadtree(lines, boxes, level, parent, children,
+                    node_ptr, node_lines, float(domain), depth_cap)
+    return tree, trace

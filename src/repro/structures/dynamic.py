@@ -1,0 +1,189 @@
+"""Dynamic maintenance of the bucket PMR quadtree (paper Section 2.2).
+
+The paper describes deletion for the PMR family: remove the line from
+every block it intersects, then merge a block with its siblings when
+their combined occupancy falls below the splitting threshold, applying
+the merge recursively.  Because the bucket PMR's shape is a pure
+function of its line set, the merged result must coincide exactly with
+a fresh build over the surviving lines -- which is how the test suite
+validates :func:`delete_lines`.
+
+Insertion enjoys the same determinism: inserting lines and re-splitting
+overflowing buckets lands, by definition, on the fresh-build shape, so
+:func:`insert_lines` is specified (and implemented) as the canonical
+rebuild.  Both functions return the id remapping from the new tree's
+line indices back to the caller's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..baselines.seq_pm1 import pm1_node_must_split
+from ..machine import Machine
+from .bucket_pmr import build_bucket_pmr
+from .quadblock import Quadtree
+
+__all__ = ["delete_lines", "insert_lines", "pm1_delete_lines"]
+
+
+def delete_lines(tree: Quadtree, ids, capacity: int,
+                 machine: Optional[Machine] = None) -> Tuple[Quadtree, np.ndarray]:
+    """Delete lines from a bucket PMR quadtree, merging sparse blocks.
+
+    Parameters
+    ----------
+    tree:
+        A bucket PMR quadtree (from :func:`build_bucket_pmr`).
+    ids:
+        Line ids to remove.
+    capacity:
+        The tree's bucket capacity (the merge threshold).
+
+    Returns
+    -------
+    (new_tree, survivors):
+        The merged tree over the remaining lines (re-indexed 0..k-1) and
+        the array mapping new ids to the original ones.
+
+    The result is structurally identical to rebuilding from scratch on
+    the survivors -- the determinism that makes the bucket variant safe
+    for simultaneous updates.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    n = tree.lines.shape[0]
+    if ids.size and (ids.min() < 0 or ids.max() >= n):
+        raise IndexError("line id out of range")
+    drop = np.zeros(n, dtype=bool)
+    drop[ids] = True
+    survivors = np.flatnonzero(~drop)
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[survivors] = np.arange(survivors.size)
+
+    # step 1: remove the deleted q-edges from every leaf (a pack per CSR)
+    k = tree.num_nodes
+    new_lists: list[np.ndarray] = []
+    for node in range(k):
+        held = tree.lines_in_node(node)
+        new_lists.append(remap[held[~drop[held]]])
+
+    def mergeable(node: int, union: np.ndarray) -> bool:
+        return union.size <= capacity
+
+    is_leaf, new_lists = _merge_bottom_up(tree, new_lists, mergeable)
+
+    new_tree = _rebuild_from(tree, survivors, is_leaf, new_lists)
+    return new_tree, survivors
+
+
+def _merge_bottom_up(tree: Quadtree, new_lists, mergeable):
+    """Recursive sibling merging, deepest parents first.
+
+    A parent absorbs its four leaf children when ``mergeable(parent,
+    union_of_child_lines)`` holds; processing by decreasing level lets
+    merges cascade upward in one pass (the paper's "merging process is
+    recursively reapplied").
+    """
+    is_leaf = (tree.children[:, 0] < 0).copy()
+    order = np.argsort(tree.level)[::-1]
+    for node in order:
+        ch = tree.children[node]
+        if ch[0] < 0 or not all(is_leaf[c] for c in ch):
+            continue
+        union = np.unique(np.concatenate([new_lists[c] for c in ch])) \
+            if any(new_lists[c].size for c in ch) else np.zeros(0, np.int64)
+        if mergeable(int(node), union):
+            new_lists[node] = union
+            for c in ch:
+                new_lists[c] = np.zeros(0, np.int64)
+            is_leaf[node] = True
+    return is_leaf, new_lists
+
+
+def _rebuild_from(tree: Quadtree, survivors: np.ndarray, is_leaf: np.ndarray,
+                  new_lists) -> Quadtree:
+    """Reassemble dense node arrays keeping only reachable nodes."""
+    k = tree.num_nodes
+    keep_node = np.zeros(k, dtype=bool)
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        keep_node[node] = True
+        if not is_leaf[node]:
+            stack.extend(int(c) for c in tree.children[node])
+    new_index = np.full(k, -1, dtype=np.int64)
+    new_index[keep_node] = np.arange(int(keep_node.sum()))
+
+    kept = np.flatnonzero(keep_node)
+    boxes = tree.boxes[kept]
+    level = tree.level[kept]
+    parent = np.where(tree.parent[kept] >= 0, new_index[tree.parent[kept]], -1)
+    children = np.full((kept.size, 4), -1, dtype=np.int64)
+    for new_i, old in enumerate(kept):
+        if not is_leaf[old]:
+            children[new_i] = new_index[tree.children[old]]
+
+    counts = np.array([new_lists[old].size for old in kept], dtype=np.int64)
+    node_ptr = np.zeros(kept.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=node_ptr[1:])
+    node_lines = (np.concatenate([new_lists[old] for old in kept])
+                  if counts.sum() else np.zeros(0, np.int64))
+
+    return Quadtree(tree.lines[survivors], boxes, level, parent, children,
+                    node_ptr, node_lines, tree.domain, tree.max_depth)
+
+
+def pm1_delete_lines(tree: Quadtree, ids,
+                     machine: Optional[Machine] = None) -> Tuple[Quadtree, np.ndarray]:
+    """Delete lines from a PM1 quadtree, merging blocks the rule releases.
+
+    A parent absorbs its leaf children when the Section 4.5 criteria no
+    longer require it to be split -- e.g. after deletions leave a single
+    q-edge, or leave only lines sharing one vertex.  As with the bucket
+    PMR, determinism makes "identical to a fresh build on the
+    survivors" the correctness condition (and the test).
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    n = tree.lines.shape[0]
+    if ids.size and (ids.min() < 0 or ids.max() >= n):
+        raise IndexError("line id out of range")
+    drop = np.zeros(n, dtype=bool)
+    drop[ids] = True
+    survivors = np.flatnonzero(~drop)
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[survivors] = np.arange(survivors.size)
+
+    new_lists = []
+    for node in range(tree.num_nodes):
+        held = tree.lines_in_node(node)
+        new_lists.append(remap[held[~drop[held]]])
+
+    surviving_lines = tree.lines[survivors]
+
+    def mergeable(node: int, union: np.ndarray) -> bool:
+        return not pm1_node_must_split(surviving_lines, union,
+                                       tree.boxes[node], tree.domain)
+
+    is_leaf, new_lists = _merge_bottom_up(tree, new_lists, mergeable)
+    new_tree = _rebuild_from(tree, survivors, is_leaf, new_lists)
+    return new_tree, survivors
+
+
+def insert_lines(tree: Quadtree, new_lines: np.ndarray, capacity: int,
+                 machine: Optional[Machine] = None) -> Tuple[Quadtree, np.ndarray]:
+    """Insert lines into a bucket PMR quadtree.
+
+    Shape-determinism makes the canonical rebuild the specification of
+    incremental insertion; the returned id map sends the new tree's line
+    indices to ``0..n-1`` for the original lines followed by
+    ``n..n+k-1`` for the inserted ones.
+    """
+    new_lines = np.atleast_2d(np.asarray(new_lines, dtype=float))
+    if new_lines.shape[1] != 4:
+        raise ValueError("new_lines must have shape (k, 4)")
+    combined = np.vstack([tree.lines, new_lines]) if tree.lines.size else new_lines
+    rebuilt, _ = build_bucket_pmr(combined, int(tree.domain), capacity,
+                                  max_depth=tree.max_depth, machine=machine)
+    return rebuilt, np.arange(combined.shape[0], dtype=np.int64)

@@ -1,0 +1,86 @@
+"""Structure serialization: save/load the built indexes as ``.npz``.
+
+Builds are deterministic but not free; a downstream user indexing a
+large map wants to build once and reload.  Every structure serialises
+to a single compressed NumPy archive with a format tag and version, and
+loads back bit-identically (round-trip equality is a test invariant).
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+from typing import Union
+
+import numpy as np
+
+from .quadblock import Quadtree
+from .rtree import RTree
+
+__all__ = ["save_structure", "load_structure"]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, os.PathLike, _io.IOBase]
+
+
+def save_structure(tree, path: PathLike) -> None:
+    """Serialise a :class:`Quadtree` or :class:`RTree` to ``path``.
+
+    The file is a compressed ``.npz`` with a ``kind`` tag; scalar
+    parameters travel in a small metadata vector.
+    """
+    if isinstance(tree, Quadtree):
+        np.savez_compressed(
+            path,
+            kind=np.array("quadtree"),
+            version=np.array([_FORMAT_VERSION]),
+            lines=tree.lines, boxes=tree.boxes, level=tree.level,
+            parent=tree.parent, children=tree.children,
+            node_ptr=tree.node_ptr, node_lines=tree.node_lines,
+            meta=np.array([tree.domain, float(tree.max_depth)]),
+        )
+    elif isinstance(tree, RTree):
+        payload = {
+            "kind": np.array("rtree"),
+            "version": np.array([_FORMAT_VERSION]),
+            "lines": tree.lines,
+            "entry_bbox": tree.entry_bbox,
+            "line_leaf": tree.line_leaf,
+            "meta": np.array([float(tree.m), float(tree.M),
+                              float(tree.height)]),
+        }
+        for i, mbr in enumerate(tree.level_mbr):
+            payload[f"mbr_{i}"] = mbr
+        for i, par in enumerate(tree.level_parent):
+            payload[f"parent_{i}"] = par
+        np.savez_compressed(path, **payload)
+    else:
+        raise TypeError(f"cannot serialise {type(tree).__name__}")
+
+
+def load_structure(path: PathLike):
+    """Load a structure saved by :func:`save_structure`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"file format v{version} is newer than this library")
+        kind = str(data["kind"])
+        if kind == "quadtree":
+            domain, max_depth = data["meta"]
+            return Quadtree(
+                lines=data["lines"], boxes=data["boxes"], level=data["level"],
+                parent=data["parent"], children=data["children"],
+                node_ptr=data["node_ptr"], node_lines=data["node_lines"],
+                domain=float(domain), max_depth=int(max_depth),
+            )
+        if kind == "rtree":
+            m, M, height = (int(v) for v in data["meta"])
+            level_mbr = [data[f"mbr_{i}"] for i in range(height)]
+            level_parent = [data[f"parent_{i}"] for i in range(height - 1)]
+            return RTree(
+                lines=data["lines"], entry_bbox=data["entry_bbox"],
+                line_leaf=data["line_leaf"], level_mbr=level_mbr,
+                level_parent=level_parent, m=m, M=M,
+            )
+        raise ValueError(f"unknown structure kind {kind!r}")

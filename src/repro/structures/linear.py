@@ -1,0 +1,210 @@
+"""Linear quadtree representation (paper Section 3.3, [Best92]).
+
+"Because of the bucket PMR quadtree's regular decomposition, a unique
+linear ordering may readily be obtained (given a particular linear
+ordering methodology such as a Peano curve)."  A *linear* quadtree
+stores only the leaf blocks, sorted by that ordering -- the layout the
+SAM model needs and the form the cited CM-2/CM-5 implementations
+actually held in processor memory.
+
+:class:`LinearQuadtree` is the pointerless twin of
+:class:`~repro.structures.quadblock.Quadtree`: a sorted vector of
+(location code, level) pairs plus the same CSR line assignment.  Point
+queries become a binary search over codes; the pointered and linear
+forms convert losslessly in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..machine.ordering import hilbert_encode, morton_encode
+from .quadblock import Quadtree
+
+__all__ = ["LinearQuadtree", "to_linear"]
+
+
+@dataclass
+class LinearQuadtree:
+    """Pointerless quadtree: leaves sorted by space-filling-curve code.
+
+    Attributes
+    ----------
+    codes:
+        Location code of each leaf's lower-left cell at the finest
+        resolution, shifted so leaves sort in curve order; strictly
+        increasing.
+    levels:
+        Depth of each leaf.
+    boxes:
+        ``(k, 4)`` leaf boxes, in code order.
+    leaf_ptr, leaf_lines:
+        CSR line-id assignment aligned with the code order.
+    lines, domain, height, curve:
+        Input segments, space side, maximal depth, and which curve
+        ordered the codes (``"morton"`` or ``"hilbert"``).
+    """
+
+    codes: np.ndarray
+    levels: np.ndarray
+    boxes: np.ndarray
+    leaf_ptr: np.ndarray
+    leaf_lines: np.ndarray
+    lines: np.ndarray
+    domain: float
+    height: int
+    curve: str
+
+    @property
+    def num_leaves(self) -> int:
+        return int(self.codes.size)
+
+    def lines_in_leaf(self, k: int) -> np.ndarray:
+        return self.leaf_lines[self.leaf_ptr[k]:self.leaf_ptr[k + 1]]
+
+    def find_leaf(self, px: float, py: float) -> int:
+        """Leaf containing the point, by binary search over codes.
+
+        Only valid for Morton ordering, where every block's cells are a
+        contiguous code range; that contiguity is exactly why Morton is
+        the ordering of choice for linear quadtrees.
+        """
+        if self.curve != "morton":
+            raise ValueError("code binary search requires Morton ordering")
+        if not (0 <= px <= self.domain and 0 <= py <= self.domain):
+            raise ValueError(f"point ({px}, {py}) outside the domain")
+        cx = min(int(px), int(self.domain) - 1)
+        cy = min(int(py), int(self.domain) - 1)
+        code = int(morton_encode(np.array([cx]), np.array([cy]),
+                                 bits=max(self.height, 1))[0])
+        k = int(np.searchsorted(self.codes, code, side="right")) - 1
+        k = max(k, 0)
+        # the candidate block covers a code range of size 4**(height-level)
+        span = 4 ** (self.height - int(self.levels[k]))
+        if not self.codes[k] <= code < self.codes[k] + span:
+            raise ValueError(f"point ({px}, {py}) not covered; corrupt code list")
+        return k
+
+    def point_query(self, px: float, py: float) -> np.ndarray:
+        """Ids of lines sharing the leaf that contains the point."""
+        return np.unique(self.lines_in_leaf(self.find_leaf(px, py)))
+
+    def window_query(self, rect, exact: bool = True) -> np.ndarray:
+        """Ids of lines intersecting the closed query rectangle.
+
+        The linear layout has no internal nodes to prune through, so the
+        leaf vector is filtered wholesale -- one vectorised overlap test
+        over all leaves (the data-parallel idiom: every leaf processor
+        tests the window simultaneously), then the candidate lines are
+        optionally verified exactly.
+        """
+        from ..geometry.clip import segments_intersect_rects
+        from ..geometry.rect import overlaps, validate_rects
+
+        rect = validate_rects(np.asarray(rect, dtype=float).reshape(1, 4))[0]
+        hit = overlaps(self.boxes, np.tile(rect, (self.num_leaves, 1)))
+        cand: list[np.ndarray] = [self.lines_in_leaf(int(k))
+                                  for k in np.flatnonzero(hit)]
+        ids = np.unique(np.concatenate(cand)) if cand else np.zeros(0, np.int64)
+        if exact and ids.size:
+            keep = segments_intersect_rects(self.lines[ids],
+                                            np.tile(rect, (ids.size, 1)))
+            ids = ids[keep]
+        return ids
+
+    def window_query_codes(self, rect, exact: bool = True) -> np.ndarray:
+        """Window query via Morton code ranges (binary searches only).
+
+        The classic linear-quadtree range query: the window is
+        decomposed into maximal Morton intervals
+        (:func:`~repro.machine.ordering.morton_window_ranges`), each
+        intersected with the sorted leaf-code vector by binary search.
+        Returns exactly what :meth:`window_query` returns; no leaf-box
+        geometry is touched until the final exact refinement.
+        """
+        from ..geometry.clip import segments_intersect_rects
+        from ..machine.ordering import morton_window_ranges
+
+        if self.curve != "morton":
+            raise ValueError("code-range queries require Morton ordering")
+        rect = np.asarray(rect, dtype=float).reshape(4)
+        res = int(self.domain)
+        # cells whose closed unit box meets the closed window (DESIGN §5)
+        cx0 = max(int(np.ceil(rect[0] - 1.0)), 0)
+        cy0 = max(int(np.ceil(rect[1] - 1.0)), 0)
+        cx1 = min(int(np.floor(rect[2])) + 1, res)
+        cy1 = min(int(np.floor(rect[3])) + 1, res)
+        if cx0 >= cx1 or cy0 >= cy1:
+            return np.zeros(0, dtype=np.int64)
+        bits = max(self.height, 1)
+        ranges = morton_window_ranges(cx0, cy0, cx1, cy1, bits)
+
+        spans = 4 ** (self.height - self.levels)
+        cand: list[np.ndarray] = []
+        for start, stop in ranges:
+            lo = int(np.searchsorted(self.codes, start, side="right")) - 1
+            lo = max(lo, 0)
+            hi = int(np.searchsorted(self.codes, stop, side="left"))
+            for k in range(lo, hi):
+                if self.codes[k] + spans[k] > start and self.codes[k] < stop:
+                    cand.append(self.lines_in_leaf(k))
+        ids = np.unique(np.concatenate(cand)) if cand else np.zeros(0, np.int64)
+        if exact and ids.size:
+            keep = segments_intersect_rects(self.lines[ids],
+                                            np.tile(rect, (ids.size, 1)))
+            ids = ids[keep]
+        return ids
+
+    def check(self) -> None:
+        """Validate sortedness, disjointness and full coverage."""
+        assert np.all(np.diff(self.codes) > 0), "codes must strictly increase"
+        if self.curve == "morton":
+            spans = 4 ** (self.height - self.levels)
+            ends = self.codes + spans
+            assert np.all(ends[:-1] <= self.codes[1:]), "blocks overlap in code space"
+            total = int(spans.sum())
+            assert total == 4 ** self.height, (
+                f"leaves cover {total} cells of {4 ** self.height}")
+        assert self.leaf_ptr.size == self.num_leaves + 1
+
+
+def to_linear(tree: Quadtree, curve: Literal["morton", "hilbert"] = "morton"
+              ) -> LinearQuadtree:
+    """Flatten a pointered quadtree into its linear (sorted-leaf) form."""
+    if curve not in ("morton", "hilbert"):
+        raise ValueError(f"unknown curve {curve!r}")
+    height = tree.max_depth
+    leaves = tree.leaf_ids()
+    boxes = tree.boxes[leaves]
+    levels = tree.level[leaves]
+    bits = max(height, 1)
+    x = boxes[:, 0].astype(np.int64)
+    y = boxes[:, 1].astype(np.int64)
+    if curve == "morton":
+        codes = morton_encode(x, y, bits=bits)
+    else:
+        codes = hilbert_encode(x, y, bits=bits)
+    order = np.argsort(codes, kind="stable")
+
+    leaves = leaves[order]
+    counts = np.diff(tree.node_ptr)[leaves]
+    leaf_ptr = np.zeros(leaves.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=leaf_ptr[1:])
+    leaf_lines = np.concatenate(
+        [tree.lines_in_node(int(leaf)) for leaf in leaves]
+    ) if leaves.size else np.zeros(0, dtype=np.int64)
+
+    return LinearQuadtree(
+        codes=codes[order],
+        levels=levels[order],
+        boxes=boxes[order],
+        leaf_ptr=leaf_ptr,
+        leaf_lines=leaf_lines,
+        lines=tree.lines,
+        domain=tree.domain,
+        height=height,
+        curve=curve,
+    )

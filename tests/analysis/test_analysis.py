@@ -1,0 +1,130 @@
+"""Analysis-layer tests: complexity sweeps, quality metrics, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_query_visits,
+    fit_growth,
+    format_table,
+    measure_build,
+    quadtree_stats,
+    rtree_stats,
+)
+from repro.geometry import random_segments
+from repro.structures import build_bucket_pmr, build_rtree
+
+
+class TestMeasureBuild:
+    def test_sweep_produces_points(self):
+        pts = measure_build(
+            lambda lines, m: build_bucket_pmr(lines, 1024, 8, machine=m),
+            lambda n: random_segments(n, 1024, 64, seed=n),
+            sizes=[50, 100, 200])
+        assert [p.n for p in pts] == [50, 100, 200]
+        assert all(p.steps > 0 and p.rounds > 0 for p in pts)
+        assert all(p.primitives >= p.scans for p in pts)
+
+    def test_each_point_uses_fresh_machine(self):
+        pts = measure_build(
+            lambda lines, m: build_bucket_pmr(lines, 256, 4, machine=m),
+            lambda n: random_segments(n, 256, 32, seed=0),
+            sizes=[50, 50])
+        assert pts[0].steps == pts[1].steps
+
+
+class TestFitGrowth:
+    def test_logarithmic_data_fits_log(self):
+        n = np.array([100, 400, 1600, 6400, 25600])
+        y = 5 * np.log2(n) + 3
+        scores = fit_growth(n, y)
+        assert scores["log"] == min(scores.values())
+
+    def test_quadratic_log_data_fits_log2(self):
+        n = np.array([100, 400, 1600, 6400, 25600])
+        y = 2 * np.log2(n) ** 2 + 7
+        scores = fit_growth(n, y)
+        assert scores["log2"] <= scores["linear"]
+        assert scores["log2"] <= scores["log"]
+
+    def test_linear_data_fits_linear(self):
+        n = np.array([100, 200, 400, 800, 1600])
+        scores = fit_growth(n, 3.0 * n + 11)
+        assert scores["linear"] == min(scores.values())
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_growth([10, 20], [1, 2])
+
+
+class TestQualityMetrics:
+    def setup_method(self):
+        self.segs = random_segments(120, domain=256, max_len=32, seed=1)
+
+    def test_quadtree_stats(self):
+        tree, _ = build_bucket_pmr(self.segs, 256, 4)
+        s = quadtree_stats(tree)
+        assert s.nodes == tree.num_nodes
+        assert s.q_edges >= self.segs.shape[0]
+        assert s.replication >= 1.0
+        assert 0 < s.mean_occupancy <= s.max_occupancy
+
+    def test_rtree_stats(self):
+        tree, _ = build_rtree(self.segs, 2, 8)
+        s = rtree_stats(tree)
+        assert s.leaves == tree.num_leaves
+        assert s.coverage > 0
+        assert s.mean_fill > 0
+
+    def test_average_query_visits(self):
+        tree, _ = build_rtree(self.segs, 2, 8)
+        windows = [np.array([i, i, i + 60, i + 60], float) for i in (0, 50, 100)]
+        avg = average_query_visits(tree, windows)
+        assert avg >= 1.0
+
+    def test_empty_workload_rejected(self):
+        tree, _ = build_rtree(self.segs, 2, 8)
+        with pytest.raises(ValueError):
+            average_query_visits(tree, [])
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["x", 1], ["longer", 2.5]],
+                           title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159], [2.0]])
+        assert "3.14" in out
+        assert " 2" in out  # integral floats print without decimals
+
+
+class TestPhaseTable:
+    def test_rounds_appear_with_totals(self):
+        from repro.analysis import phase_table
+        from repro.machine import Machine, use_machine
+
+        m = Machine()
+        with use_machine(m):
+            build_bucket_pmr(random_segments(60, 128, 24, seed=2), 128, 4)
+        out = phase_table(m, title="per-round")
+        assert "round0" in out
+        assert "total" in out
+        assert "per-round" in out
+
+    def test_unattributed_steps_reported(self):
+        from repro.analysis import phase_table
+        from repro.machine import Machine
+
+        m = Machine()
+        m.record("scan", 4)  # outside any phase
+        out = phase_table(m)
+        assert "(unattributed)" in out

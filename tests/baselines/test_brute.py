@@ -1,0 +1,38 @@
+"""Brute-force oracle sanity tests."""
+
+import numpy as np
+
+from repro.baselines import brute_bbox_query, brute_point_query, brute_window_query
+from repro.geometry import paper_dataset
+
+
+def test_window_query_full_domain():
+    segs = paper_dataset()
+    assert list(brute_window_query(segs, [0, 0, 8, 8])) == list(range(9))
+
+
+def test_window_query_partial():
+    segs = paper_dataset()
+    got = set(brute_window_query(segs, [0, 5, 2, 8]).tolist())
+    assert {2, 3, 8} <= got          # c, d, i start at (1, 6)
+    assert 6 not in got               # g lives in the SE
+
+
+def test_point_query_on_shared_vertex():
+    segs = paper_dataset()
+    got = set(brute_point_query(segs, 1, 6).tolist())
+    assert got == {2, 3, 8}
+
+
+def test_bbox_query_is_superset_of_exact():
+    segs = paper_dataset()
+    rect = [3, 3, 5, 5]
+    exact = set(brute_window_query(segs, rect).tolist())
+    bbox = set(brute_bbox_query(segs, rect).tolist())
+    assert exact <= bbox
+
+
+def test_empty_line_set():
+    empty = np.zeros((0, 4))
+    assert brute_window_query(empty, [0, 0, 1, 1]).size == 0
+    assert brute_bbox_query(empty, [0, 0, 1, 1]).size == 0

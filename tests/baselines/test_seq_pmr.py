@@ -1,0 +1,133 @@
+"""Classic PMR quadtree tests (paper Figures 3, 34; Section 2.2 deletion)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import paper_dataset, random_segments
+from repro.baselines import PMRQuadtree
+
+
+def build_in_order(segs, order, threshold=2, domain=8, max_depth=None):
+    t = PMRQuadtree(domain, threshold, max_depth)
+    for i in order:
+        t.insert(segs[i], int(i))
+    return t
+
+
+class TestInsertion:
+    def test_figure3_style_build(self):
+        """Nine edges a-i inserted in increasing order, threshold 2."""
+        segs = paper_dataset()
+        t = build_in_order(segs, range(9))
+        # every line appears in at least one leaf
+        stored = set()
+        for leaf in t.leaves():
+            stored |= set(leaf.lines)
+        assert stored == set(range(9))
+
+    def test_leaf_membership_is_geometric(self):
+        from repro.geometry.clip import segments_intersect_rects
+        segs = paper_dataset()
+        t = build_in_order(segs, range(9))
+        for leaf in t.leaves():
+            for lid in range(9):
+                member = lid in leaf.lines
+                touches = segments_intersect_rects(
+                    segs[lid][None, :], leaf.box[None, :])[0]
+                assert member == touches
+
+    def test_split_once_can_leave_overfull_leaves(self):
+        """The defining PMR behaviour: one split per insertion only."""
+        segs = np.array([[0, 1, 7, 1], [0, 2, 7, 2], [0, 3, 7, 3],
+                         [0, 5, 7, 5], [0, 6, 7, 6]], dtype=float)
+        t = PMRQuadtree(8, 2)
+        for i, s in enumerate(segs):
+            t.insert(s, i)
+        counts = [len(leaf.lines) for leaf in t.leaves()]
+        assert max(counts) >= 3  # exceeded threshold without resplitting
+
+    def test_duplicate_id_rejected(self):
+        t = PMRQuadtree(8, 2)
+        t.insert([0, 0, 1, 1], 0)
+        with pytest.raises(KeyError):
+            t.insert([2, 2, 3, 3], 0)
+
+
+class TestFigure34:
+    """Insertion order changes the decomposition."""
+
+    def test_order_dependence_on_paper_dataset(self):
+        segs = paper_dataset()
+        t_fwd = build_in_order(segs, range(9))
+        t_rev = build_in_order(segs, range(8, -1, -1))
+        assert t_fwd.decomposition_key() != t_rev.decomposition_key()
+
+    def test_some_pair_of_orders_differs(self):
+        segs = random_segments(12, domain=32, max_len=12, seed=13)
+        keys = set()
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            order = rng.permutation(12)
+            t = build_in_order(segs, order, threshold=2, domain=32)
+            keys.add(tuple(t.decomposition_key()))
+        assert len(keys) > 1
+
+
+class TestDeletion:
+    def test_delete_removes_everywhere(self):
+        segs = paper_dataset()
+        t = build_in_order(segs, range(9))
+        t.delete(8)  # line i spans many blocks
+        for leaf in t.leaves():
+            assert 8 not in leaf.lines
+
+    def test_delete_merges_sparse_blocks(self):
+        segs = paper_dataset()
+        t = build_in_order(segs, range(9))
+        before = t.num_nodes
+        for i in range(8):
+            t.delete(i)
+        assert t.num_nodes < before
+
+    def test_delete_everything_collapses_to_root(self):
+        segs = paper_dataset()
+        t = build_in_order(segs, range(9))
+        for i in range(9):
+            t.delete(i)
+        assert t.num_nodes == 1
+        assert t.root.is_leaf
+
+    def test_delete_then_reinsert_roundtrip(self):
+        segs = paper_dataset()
+        t = build_in_order(segs, range(9))
+        key = t.decomposition_key()
+        t.delete(8)
+        t.insert(segs[8], 8)
+        # shape may legitimately differ (order dependence), but content must match
+        stored = set()
+        for leaf in t.leaves():
+            stored |= set(leaf.lines)
+        assert stored == set(range(9))
+
+    def test_delete_missing_id(self):
+        t = PMRQuadtree(8, 2)
+        with pytest.raises(KeyError):
+            t.delete(4)
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PMRQuadtree(8, 0)
+
+    def test_bad_domain(self):
+        with pytest.raises(ValueError):
+            PMRQuadtree(9, 2)
+
+    def test_max_depth_respected(self):
+        segs = np.array([[1, 1, 2, 2], [1, 2, 2, 1], [1, 1, 2, 1]], dtype=float)
+        t = PMRQuadtree(8, 1, max_depth=1)
+        for i, s in enumerate(segs):
+            t.insert(s, i)
+        for leaf in t.leaves():
+            assert leaf.depth <= 1

@@ -1,0 +1,150 @@
+"""Sequential Guttman R-tree tests (paper Section 2.3, Figures 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SeqRTree, brute_window_query
+from repro.geometry import clustered_map, paper_dataset, random_segments
+
+
+class TestPaperExample:
+    def test_order_1_3_build(self):
+        """Figure 5: M = 3, m = 1 over the nine segments."""
+        tree = SeqRTree.build(paper_dataset(), m=1, M=3)
+        tree.check()
+        assert tree.height() >= 2
+
+    def test_structure_depends_on_insertion_order(self):
+        """Section 2.3: 'the R-tree is not unique'."""
+        segs = paper_dataset()
+        a = SeqRTree.build(segs, 1, 3)
+        b = SeqRTree.build(segs, 1, 3, order=np.arange(8, -1, -1))
+        assert not np.array_equal(np.sort(a.leaf_mbrs(), axis=0),
+                                  np.sort(b.leaf_mbrs(), axis=0))
+
+
+@pytest.mark.parametrize("split", ["quadratic", "linear", "overlap"])
+class TestInvariantsPerSplit:
+    def test_random_build(self, split):
+        segs = random_segments(150, domain=512, max_len=48, seed=1)
+        tree = SeqRTree.build(segs, m=2, M=5, split=split)
+        tree.check()
+
+    def test_clustered_build(self, split):
+        segs = clustered_map(200, clusters=4, spread=25, domain=1024, seed=2)
+        tree = SeqRTree.build(segs, m=2, M=6, split=split)
+        tree.check()
+
+    def test_window_query_matches_brute(self, split):
+        segs = random_segments(100, domain=256, max_len=32, seed=3)
+        tree = SeqRTree.build(segs, m=2, M=4, split=split)
+        for rect in ([0, 0, 256, 256], [40, 40, 90, 120], [200, 10, 250, 50]):
+            got = set(tree.window_query(np.array(rect, float)).tolist())
+            want = set(brute_window_query(segs, rect).tolist())
+            assert got == want
+
+
+class TestSplitGoals:
+    """Figure 6: coverage-minimising vs overlap-minimising splits."""
+
+    def test_overlap_split_reduces_overlap(self):
+        segs = clustered_map(300, clusters=6, spread=40, domain=2048, seed=4)
+        cov_tree = SeqRTree.build(segs, m=2, M=8, split="quadratic")
+        ov_tree = SeqRTree.build(segs, m=2, M=8, split="overlap")
+        assert ov_tree.total_overlap() <= cov_tree.total_overlap() * 1.5
+
+    def test_metrics_are_nonnegative(self):
+        tree = SeqRTree.build(paper_dataset(), 1, 3)
+        assert tree.coverage() >= 0
+        assert tree.total_overlap() >= 0
+
+
+class TestEdgeCases:
+    def test_single_entry(self):
+        tree = SeqRTree.build(np.array([[0, 0, 4, 4]], float), 1, 3)
+        tree.check()
+        assert tree.height() == 1
+
+    def test_exact_capacity_no_split(self):
+        segs = random_segments(3, domain=64, max_len=16, seed=5)
+        tree = SeqRTree.build(segs, 1, 3)
+        assert tree.height() == 1
+        assert tree.num_nodes() == 1
+
+    def test_one_over_capacity_splits_root(self):
+        segs = random_segments(4, domain=64, max_len=16, seed=6)
+        tree = SeqRTree.build(segs, 1, 3)
+        assert tree.height() == 2
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            SeqRTree(m=3, M=4)
+
+    def test_bad_split_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SeqRTree(split="best")
+
+    def test_incremental_insert_interface(self):
+        tree = SeqRTree(1, 3)
+        ids = [tree.insert_line([i, 0, i + 1, 1]) for i in range(7)]
+        assert ids == list(range(7))
+        tree.check()
+        got = tree.window_query(np.array([2.5, 0, 3.5, 1], float), exact=False)
+        assert 2 in got.tolist() and 3 in got.tolist()
+
+
+class TestDeletion:
+    def build(self, n=80, seed=11, m=2, M=5):
+        segs = random_segments(n, domain=256, max_len=32, seed=seed)
+        return segs, SeqRTree.build(segs, m=m, M=M)
+
+    def test_deleted_line_disappears_from_queries(self):
+        segs, tree = self.build()
+        whole = np.array([0, 0, 256, 256], float)
+        assert 7 in tree.window_query(whole).tolist()
+        tree.delete_line(7)
+        assert 7 not in tree.window_query(whole).tolist()
+
+    def test_invariants_survive_many_deletions(self):
+        segs, tree = self.build()
+        rng = np.random.default_rng(0)
+        alive = set(range(80))
+        for lid in rng.permutation(80)[:60]:
+            tree.delete_line(int(lid))
+            alive.discard(int(lid))
+            tree.check()
+        whole = np.array([0, 0, 256, 256], float)
+        assert set(tree.window_query(whole).tolist()) == alive
+
+    def test_delete_everything(self):
+        segs, tree = self.build(n=20)
+        for lid in range(20):
+            tree.delete_line(lid)
+        whole = np.array([0, 0, 256, 256], float)
+        assert tree.window_query(whole).size == 0
+        assert tree.height() == 1
+
+    def test_tree_shrinks(self):
+        segs, tree = self.build(n=120)
+        before = tree.num_nodes()
+        for lid in range(100):
+            tree.delete_line(lid)
+        assert tree.num_nodes() < before
+
+    def test_missing_id_rejected(self):
+        _, tree = self.build(n=10)
+        tree.delete_line(3)
+        with pytest.raises(KeyError):
+            tree.delete_line(3)
+
+    def test_queries_match_brute_after_churn(self):
+        segs, tree = self.build(n=60, seed=12)
+        removed = [0, 5, 10, 30, 31, 32, 59]
+        for lid in removed:
+            tree.delete_line(lid)
+        keep = np.setdiff1d(np.arange(60), removed)
+        for rect in ([0, 0, 256, 256], [40, 40, 120, 160]):
+            got = set(tree.window_query(np.array(rect, float)).tolist())
+            want = {int(i) for i in brute_window_query(segs, rect)
+                    if i in set(keep.tolist())}
+            assert got == want

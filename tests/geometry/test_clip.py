@@ -1,0 +1,122 @@
+"""Segment-vs-rectangle predicate tests (the node-split geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    clip_parameter_interval,
+    crosses_horizontal,
+    crosses_vertical,
+    segments_intersect_rects,
+)
+
+coord = st.integers(0, 16)
+
+
+class TestIntersectRects:
+    def check(self, seg, rect, want):
+        got = segments_intersect_rects(np.array([seg], float), np.array([rect], float))[0]
+        assert got == want
+
+    def test_fully_inside(self):
+        self.check([1, 1, 2, 2], [0, 0, 4, 4], True)
+
+    def test_crossing_through(self):
+        self.check([-1, 2, 5, 2], [0, 0, 4, 4], True)
+
+    def test_outside_bbox(self):
+        self.check([5, 5, 6, 6], [0, 0, 4, 4], False)
+
+    def test_bbox_overlaps_but_line_misses(self):
+        # diagonal passing the corner region without entering
+        self.check([3, 0, 6, 3], [0, 1, 2, 6], False)
+
+    def test_touches_corner_only(self):
+        self.check([2, 0, 6, 4], [0, 2, 4, 6], True)  # passes through (4,2)? no: corner (4,2)? touches (4,2)
+        self.check([0, 4, 4, 0], [4, 4, 8, 8], False)
+
+    def test_touching_edge_counts(self):
+        self.check([0, 4, 4, 4], [0, 0, 4, 4], True)  # runs along the top edge
+        self.check([4, 0, 4, 4], [0, 0, 4, 4], True)  # along right edge
+
+    def test_degenerate_point_segment(self):
+        self.check([2, 2, 2, 2], [0, 0, 4, 4], True)
+        self.check([5, 5, 5, 5], [0, 0, 4, 4], False)
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            segments_intersect_rects(np.zeros((2, 4)), np.zeros((1, 4)))
+
+
+class TestCrossing:
+    def setup_method(self):
+        self.box = np.array([[0, 0, 8, 8]], float)
+
+    def test_crosses_vertical(self):
+        seg = np.array([[2, 2, 6, 5]], float)
+        assert crosses_vertical(seg, self.box, 4)[0]
+
+    def test_does_not_cross_vertical(self):
+        seg = np.array([[1, 1, 3, 3]], float)
+        assert not crosses_vertical(seg, self.box, 4)[0]
+
+    def test_touching_axis_counts_as_crossing(self):
+        # endpoint exactly on the split line: q-edge in both closed halves
+        seg = np.array([[1, 1, 4, 4]], float)
+        assert crosses_vertical(seg, self.box, 4)[0]
+
+    def test_crossing_outside_box_does_not_count(self):
+        # the segment crosses x=4 but outside the node's y-range
+        box = np.array([[0, 0, 8, 2]], float)
+        seg = np.array([[3, 4, 5, 6]], float)
+        assert not crosses_vertical(seg, box, 4)[0]
+
+    def test_crosses_horizontal(self):
+        seg = np.array([[2, 2, 6, 5]], float)
+        assert crosses_horizontal(seg, self.box, 4)[0]
+
+    def test_vertical_line_on_axis(self):
+        seg = np.array([[4, 1, 4, 7]], float)
+        assert crosses_vertical(seg, self.box, 4)[0]
+
+
+@given(st.tuples(coord, coord, coord, coord), st.data())
+def test_crossing_equals_membership_in_both_halves(seg, data):
+    x0, x1 = sorted((data.draw(coord), data.draw(coord)))
+    y0, y1 = sorted((data.draw(coord), data.draw(coord)))
+    if x1 - x0 < 2 or y1 - y0 < 2:
+        return
+    box = np.array([[x0, y0, x1, y1]], float)
+    s = np.array([seg], float)
+    cx = (x0 + x1) / 2
+    left = box.copy(); left[0, 2] = cx
+    right = box.copy(); right[0, 0] = cx
+    want = (segments_intersect_rects(s, left)[0]
+            and segments_intersect_rects(s, right)[0])
+    assert crosses_vertical(s, box, cx)[0] == want
+
+
+class TestLiangBarsky:
+    def test_interval_inside(self):
+        t0, t1 = clip_parameter_interval(np.array([[1, 1, 3, 3]], float),
+                                         np.array([[0, 0, 4, 4]], float))
+        assert t0[0] == 0.0 and t1[0] == 1.0
+
+    def test_interval_crossing(self):
+        t0, t1 = clip_parameter_interval(np.array([[-2, 2, 6, 2]], float),
+                                         np.array([[0, 0, 4, 4]], float))
+        assert np.isclose(t0[0], 0.25) and np.isclose(t1[0], 0.75)
+
+    def test_empty_interval_when_outside(self):
+        t0, t1 = clip_parameter_interval(np.array([[5, 5, 6, 6]], float),
+                                         np.array([[0, 0, 4, 4]], float))
+        assert t0[0] > t1[0]
+
+    @given(st.tuples(coord, coord, coord, coord))
+    def test_agrees_with_exact_predicate(self, seg):
+        box = np.array([[4, 4, 12, 12]], float)
+        s = np.array([seg], float)
+        t0, t1 = clip_parameter_interval(s, box)
+        exact = segments_intersect_rects(s, box)[0]
+        assert (t0[0] <= t1[0] + 1e-12) == exact

@@ -1,0 +1,114 @@
+"""Distance-predicate and intersection-point tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    point_rect_distance,
+    point_segment_distance,
+    segment_intersection_points,
+    segments_intersect_segments,
+)
+
+coord = st.integers(-20, 20)
+segment = st.tuples(coord, coord, coord, coord)
+
+
+class TestPointSegment:
+    def test_perpendicular_foot(self):
+        d = point_segment_distance(2, 3, np.array([[0, 0, 4, 0]]))
+        assert d[0] == 3.0
+
+    def test_clamps_to_endpoint(self):
+        d = point_segment_distance(7, 4, np.array([[0, 0, 4, 0]]))
+        assert d[0] == 5.0
+
+    def test_zero_on_segment(self):
+        d = point_segment_distance(2, 2, np.array([[0, 0, 4, 4]]))
+        assert d[0] == 0.0
+
+    def test_degenerate_segment_is_point_distance(self):
+        d = point_segment_distance(3, 4, np.array([[0, 0, 0, 0]]))
+        assert d[0] == 5.0
+
+    @given(segment, coord, coord)
+    def test_lower_bounded_by_sampling(self, seg, px, py):
+        d = point_segment_distance(px, py, np.array([seg], float))[0]
+        ts = np.linspace(0, 1, 17)
+        sx = seg[0] + ts * (seg[2] - seg[0])
+        sy = seg[1] + ts * (seg[3] - seg[1])
+        sampled = np.hypot(sx - px, sy - py).min()
+        assert d <= sampled + 1e-9
+
+
+class TestPointRect:
+    def test_inside_is_zero(self):
+        assert point_rect_distance(2, 2, np.array([[0, 0, 4, 4]]))[0] == 0.0
+
+    def test_boundary_is_zero(self):
+        assert point_rect_distance(4, 2, np.array([[0, 0, 4, 4]]))[0] == 0.0
+
+    def test_axis_gap(self):
+        assert point_rect_distance(7, 2, np.array([[0, 0, 4, 4]]))[0] == 3.0
+
+    def test_corner_gap(self):
+        assert point_rect_distance(7, 8, np.array([[0, 0, 4, 4]]))[0] == 5.0
+
+    @given(segment, coord, coord)
+    def test_lower_bounds_contained_segment(self, seg, px, py):
+        """The branch-and-bound property: box distance <= segment distance."""
+        s = np.array([seg], float)
+        box = np.array([[min(seg[0], seg[2]), min(seg[1], seg[3]),
+                         max(seg[0], seg[2]), max(seg[1], seg[3])]])
+        d_box = point_rect_distance(px, py, box)[0]
+        d_seg = point_segment_distance(px, py, s)[0]
+        assert d_box <= d_seg + 1e-9
+
+
+class TestIntersectionPoints:
+    def test_proper_crossing(self):
+        pts = segment_intersection_points(np.array([[0, 0, 4, 4]], float),
+                                          np.array([[0, 4, 4, 0]], float))
+        assert tuple(pts[0]) == (2.0, 2.0)
+
+    def test_endpoint_touch(self):
+        pts = segment_intersection_points(np.array([[0, 0, 2, 2]], float),
+                                          np.array([[2, 2, 4, 0]], float))
+        assert tuple(pts[0]) == (2.0, 2.0)
+
+    def test_disjoint_is_nan(self):
+        pts = segment_intersection_points(np.array([[0, 0, 1, 1]], float),
+                                          np.array([[3, 3, 4, 4]], float))
+        assert np.isnan(pts[0]).all()
+
+    def test_collinear_overlap_midpoint(self):
+        pts = segment_intersection_points(np.array([[0, 0, 4, 0]], float),
+                                          np.array([[2, 0, 6, 0]], float))
+        assert tuple(pts[0]) == (3.0, 0.0)  # midpoint of [2, 4]
+
+    def test_degenerate_point_on_segment(self):
+        pts = segment_intersection_points(np.array([[1, 1, 1, 1]], float),
+                                          np.array([[0, 0, 2, 2]], float))
+        assert tuple(pts[0]) == (1.0, 1.0)
+
+    def test_degenerate_point_off_segment(self):
+        pts = segment_intersection_points(np.array([[1, 2, 1, 2]], float),
+                                          np.array([[0, 0, 2, 2]], float))
+        assert np.isnan(pts[0]).all()
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            segment_intersection_points(np.zeros((1, 4)), np.zeros((2, 4)))
+
+    @given(segment, segment)
+    def test_consistent_with_intersection_predicate(self, s1, s2):
+        a = np.array([s1], float)
+        b = np.array([s2], float)
+        pts = segment_intersection_points(a, b)
+        hit = segments_intersect_segments(a, b)[0]
+        assert hit == (not np.isnan(pts[0]).any())
+        if hit:
+            px, py = pts[0]
+            assert point_segment_distance(px, py, a)[0] < 1e-7
+            assert point_segment_distance(px, py, b)[0] < 1e-7

@@ -1,0 +1,133 @@
+"""Dataset-generator tests, including the reconstructed paper dataset."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    check_power_of_two,
+    clustered_map,
+    paper_dataset,
+    paper_labels,
+    pathological_pair,
+    random_segments,
+    road_map,
+    rtree_split_example,
+    star_map,
+)
+from repro.geometry.segment import is_degenerate
+
+
+class TestPaperDataset:
+    """The stated Figure 1 properties (DESIGN.md worked-example note)."""
+
+    def setup_method(self):
+        self.segs = paper_dataset()
+
+    def test_nine_labelled_segments(self):
+        assert self.segs.shape == (9, 4)
+        assert paper_labels() == list("abcdefghi")
+
+    def test_c_d_i_share_a_vertex_in_nw(self):
+        shared = (1.0, 6.0)
+        for row in (2, 3, 8):  # c, d, i
+            assert (self.segs[row, 0], self.segs[row, 1]) == shared
+        assert shared[0] < 4 and shared[1] >= 4  # NW quadrant of the 8x8 space
+
+    def test_b_crosses_both_center_axes(self):
+        x1, y1, x2, y2 = self.segs[1]
+        assert min(x1, x2) < 4 < max(x1, x2)
+        assert min(y1, y2) < 4 < max(y1, y2)
+
+    def test_i_spans_nw_to_se(self):
+        x1, y1, x2, y2 = self.segs[8]
+        assert x1 < 4 and y1 >= 4  # NW start
+        assert x2 >= 4 and y2 < 4  # SE end
+
+    def test_integer_coordinates_in_domain(self):
+        assert np.all(self.segs == np.round(self.segs))
+        assert self.segs.min() >= 0 and self.segs.max() <= 8
+
+    def test_no_degenerate_segments(self):
+        assert not is_degenerate(self.segs).any()
+
+
+class TestPathologicalPair:
+    def test_two_segments_with_close_vertices(self):
+        segs = pathological_pair(32, 1)
+        assert segs.shape == (2, 4)
+        gap = abs(segs[1, 0] - segs[0, 2])
+        assert gap == 1
+
+    def test_separation_parameter_respected(self):
+        segs = pathological_pair(64, 5)
+        assert abs(segs[1, 0] - segs[0, 2]) == 5
+
+    def test_bad_separation_rejected(self):
+        with pytest.raises(ValueError):
+            pathological_pair(32, 0)
+        with pytest.raises(ValueError):
+            pathological_pair(32, 16)
+
+
+class TestStatisticalGenerators:
+    def test_random_segments_bounds_and_shape(self):
+        segs = random_segments(200, domain=256, max_len=32, seed=0)
+        assert segs.shape == (200, 4)
+        assert segs.min() >= 0 and segs.max() <= 256
+        assert not is_degenerate(segs).any()
+
+    def test_random_segments_seed_determinism(self):
+        a = random_segments(50, seed=42)
+        b = random_segments(50, seed=42)
+        c = random_segments(50, seed=43)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_random_segments_length_bound(self):
+        segs = random_segments(300, domain=512, max_len=10, seed=1)
+        assert np.all(np.abs(segs[:, 2] - segs[:, 0]) <= 10)
+        assert np.all(np.abs(segs[:, 3] - segs[:, 1]) <= 10)
+
+    def test_road_map_stays_in_domain(self):
+        segs = road_map(6, 6, domain=512, jitter=8, seed=2)
+        assert segs.shape[0] > 0
+        assert segs.min() >= 0 and segs.max() <= 512
+        assert not is_degenerate(segs).any()
+
+    def test_road_map_has_axis_aligned_trend(self):
+        segs = road_map(4, 4, domain=256, jitter=0, drop=0.0, seed=3)
+        dx = np.abs(segs[:, 2] - segs[:, 0])
+        dy = np.abs(segs[:, 3] - segs[:, 1])
+        assert np.all((dx == 0) | (dy == 0))  # no jitter: perfectly axis-aligned
+
+    def test_clustered_map_concentrates(self):
+        segs = clustered_map(400, clusters=2, spread=20, domain=1024, seed=4)
+        assert segs.shape == (400, 4)
+        xs = 0.5 * (segs[:, 0] + segs[:, 2])
+        # two clusters of width ~40+segments on a 1024 domain: spread is small
+        assert xs.std() < 1024 / 3
+
+    def test_star_map_shares_centers(self):
+        segs = star_map(stars=3, rays=5, radius=16, domain=256, seed=5)
+        starts = {(x, y) for x, y in segs[:, :2]}
+        assert len(starts) == 3  # one shared center per star
+        assert not is_degenerate(segs).any()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_segments(-1)
+
+
+class TestHelpers:
+    def test_check_power_of_two(self):
+        assert check_power_of_two(64) == 64
+        for bad in (0, -4, 3, 48):
+            with pytest.raises(ValueError):
+                check_power_of_two(bad)
+
+    def test_rtree_split_example_is_consistent(self):
+        ex = rtree_split_example()
+        rects = ex["rects"]
+        assert rects.shape == (4, 4)
+        # sorted by left edge, as Figure 29 requires
+        assert np.all(np.diff(rects[:, 0]) > 0)

@@ -1,0 +1,118 @@
+"""Segment array and exact segment-segment predicate tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    bboxes,
+    canonical_order,
+    endpoints,
+    is_degenerate,
+    lengths,
+    midpoints,
+    segments_equal_undirected,
+    segments_intersect_segments,
+    validate_segments,
+)
+
+coord = st.integers(-20, 20)
+segment = st.tuples(coord, coord, coord, coord)
+
+
+class TestBasics:
+    def test_validate_shape(self):
+        with pytest.raises(ValueError):
+            validate_segments(np.zeros((2, 3)))
+
+    def test_validate_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_segments(np.array([[0, 0, np.nan, 1]]))
+
+    def test_endpoints_split(self):
+        p1, p2 = endpoints(np.array([[1, 2, 3, 4]]))
+        assert list(p1[0]) == [1, 2] and list(p2[0]) == [3, 4]
+
+    def test_midpoints(self):
+        assert list(midpoints(np.array([[0, 0, 4, 2]]))[0]) == [2, 1]
+
+    def test_lengths(self):
+        assert lengths(np.array([[0, 0, 3, 4]]))[0] == 5
+
+    def test_bboxes(self):
+        assert list(bboxes(np.array([[3, 1, 0, 5]]))[0]) == [0, 1, 3, 5]
+
+    def test_degenerate_detection(self):
+        d = is_degenerate(np.array([[1, 1, 1, 1], [0, 0, 1, 0]]))
+        assert list(d) == [True, False]
+
+    def test_canonical_order_and_equality(self):
+        a = np.array([[3, 4, 1, 2]], float)
+        b = np.array([[1, 2, 3, 4]], float)
+        assert np.array_equal(canonical_order(a), b)
+        assert segments_equal_undirected(a, b)[0]
+
+
+class TestIntersection:
+    def check(self, s1, s2, want):
+        a = np.array([s1], float)
+        b = np.array([s2], float)
+        assert segments_intersect_segments(a, b)[0] == want
+        assert segments_intersect_segments(b, a)[0] == want  # symmetric
+
+    def test_proper_crossing(self):
+        self.check([0, 0, 4, 4], [0, 4, 4, 0], True)
+
+    def test_clearly_disjoint(self):
+        self.check([0, 0, 1, 1], [3, 3, 4, 4], False)
+
+    def test_shared_endpoint(self):
+        self.check([0, 0, 2, 2], [2, 2, 4, 0], True)
+
+    def test_t_junction(self):
+        self.check([0, 0, 4, 0], [2, -2, 2, 0], True)
+
+    def test_parallel_offset(self):
+        self.check([0, 0, 4, 0], [0, 1, 4, 1], False)
+
+    def test_collinear_overlapping(self):
+        self.check([0, 0, 4, 0], [2, 0, 6, 0], True)
+
+    def test_collinear_disjoint(self):
+        self.check([0, 0, 1, 0], [2, 0, 3, 0], False)
+
+    def test_collinear_touching_at_point(self):
+        self.check([0, 0, 2, 0], [2, 0, 4, 0], True)
+
+    def test_near_miss_beyond_endpoint(self):
+        self.check([0, 0, 2, 2], [3, 3, 5, 3], False)
+
+    def test_degenerate_point_on_segment(self):
+        self.check([1, 1, 1, 1], [0, 0, 2, 2], True)
+
+    def test_degenerate_point_off_segment(self):
+        self.check([1, 2, 1, 2], [0, 0, 2, 2], False)
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError):
+            segments_intersect_segments(np.zeros((2, 4)), np.zeros((3, 4)))
+
+
+def _sample_point(seg, t):
+    return (seg[0] + t * (seg[2] - seg[0]), seg[1] + t * (seg[3] - seg[1]))
+
+
+@given(segment, segment)
+def test_intersection_matches_dense_sampling(s1, s2):
+    """Sampling oracle: if dense point pairs come within ~0, they intersect."""
+    a = np.array([s1], float)
+    b = np.array([s2], float)
+    got = segments_intersect_segments(a, b)[0]
+    ts = np.linspace(0, 1, 33)
+    pa = np.array([_sample_point(s1, t) for t in ts])
+    pb = np.array([_sample_point(s2, t) for t in ts])
+    d = np.min(np.hypot(pa[:, None, 0] - pb[None, :, 0], pa[:, None, 1] - pb[None, :, 1]))
+    if d == 0.0:
+        assert got  # touching samples imply intersection
+    if not got:
+        assert d > 1e-9  # disjoint segments keep samples apart... loosely

@@ -1,0 +1,74 @@
+"""Segmented broadcast / reduce idiom tests (paper Section 4.7, [Hung89])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (
+    Machine,
+    Segments,
+    seg_broadcast,
+    seg_count,
+    seg_first,
+    seg_last,
+    seg_reduce,
+)
+
+
+def test_broadcast_spreads_values():
+    seg = Segments.from_lengths([2, 3, 1])
+    got = seg_broadcast(np.array([7, 9, 4]), seg)
+    assert list(got) == [7, 7, 9, 9, 9, 4]
+
+
+def test_broadcast_requires_one_value_per_segment():
+    with pytest.raises(ValueError, match="one value per segment"):
+        seg_broadcast(np.array([1, 2]), Segments.from_lengths([3]))
+
+
+@pytest.mark.parametrize("op,want", [
+    ("+", [6, 4]),
+    ("max", [3, 4]),
+    ("min", [1, 0]),
+])
+def test_reduce_ops(op, want):
+    seg = Segments.from_lengths([3, 2])
+    got = seg_reduce(np.array([1, 2, 3, 4, 0]), seg, op)
+    assert list(got) == want
+
+
+def test_count_equals_lengths():
+    seg = Segments.from_lengths([4, 1, 2])
+    assert list(seg_count(seg)) == [4, 1, 2]
+
+
+def test_first_and_last():
+    seg = Segments.from_lengths([2, 3])
+    data = np.array([5, 6, 7, 8, 9])
+    assert list(seg_first(data, seg)) == [5, 7]
+    assert list(seg_last(data, seg)) == [6, 9]
+
+
+@given(st.lists(st.integers(1, 6), min_size=1, max_size=8), st.data())
+def test_reduce_matches_per_segment_sum(lengths, data):
+    seg = Segments.from_lengths(lengths)
+    xs = np.array([data.draw(st.integers(-20, 20)) for _ in range(seg.n)])
+    got = seg_reduce(xs, seg, "+")
+    want = [int(xs[sl].sum()) for sl in seg.slices()]
+    assert list(got) == want
+
+
+@given(st.lists(st.integers(1, 6), min_size=1, max_size=8), st.data())
+def test_broadcast_then_first_roundtrips(lengths, data):
+    seg = Segments.from_lengths(lengths)
+    vals = np.array([data.draw(st.integers(-9, 9)) for _ in range(seg.nseg)])
+    assert np.array_equal(seg_first(seg_broadcast(vals, seg), seg), vals)
+
+
+def test_reduce_is_figure19_pattern():
+    """Node capacity check: down-inclusive scan then head read."""
+    m = Machine()
+    seg = Segments.from_lengths([3, 2])
+    seg_reduce(np.ones(5, dtype=np.int64), seg, "+", machine=m)
+    assert m.counts["scan"] == 1
+    assert m.counts["permute"] == 1  # the head gather

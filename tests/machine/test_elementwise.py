@@ -1,0 +1,86 @@
+"""Elementwise primitive tests (paper Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, ew, ew_where
+
+
+def test_figure9_worked_example():
+    a = np.array([0, 1, 2, 1, 4, 3, 6, 2, 9, 5])
+    b = np.array([4, 7, 2, 0, 3, 6, 1, 5, 0, 4])
+    assert list(ew("+", a, b)) == [4, 8, 4, 1, 7, 9, 7, 7, 9, 9]
+
+
+@pytest.mark.parametrize("op,a,b,want", [
+    ("-", [5, 3], [2, 4], [3, -1]),
+    ("*", [2, 3], [4, 5], [8, 15]),
+    ("//", [7, 9], [2, 4], [3, 2]),
+    ("%", [7, 9], [2, 4], [1, 1]),
+    ("min", [1, 8], [5, 2], [1, 2]),
+    ("max", [1, 8], [5, 2], [5, 8]),
+    ("==", [1, 2], [1, 3], [True, False]),
+    ("!=", [1, 2], [1, 3], [False, True]),
+    ("<", [1, 5], [2, 2], [True, False]),
+    ("<=", [2, 5], [2, 2], [True, False]),
+    (">", [3, 1], [2, 2], [True, False]),
+    (">=", [2, 1], [2, 2], [True, False]),
+    ("&", [True, True], [True, False], [True, False]),
+    ("|", [False, True], [False, False], [False, True]),
+    ("^", [True, True], [True, False], [False, True]),
+])
+def test_binary_operators(op, a, b, want):
+    assert list(ew(op, np.array(a), np.array(b))) == want
+
+
+@pytest.mark.parametrize("op,a,want", [
+    ("-1", [1, -2], [-1, 2]),
+    ("abs", [-3, 4], [3, 4]),
+    ("!", [True, False], [False, True]),
+])
+def test_unary_operators(op, a, want):
+    assert list(ew(op, np.array(a))) == want
+
+
+def test_scalar_broadcast():
+    assert list(ew("+", np.array([1, 2, 3]), 10)) == [11, 12, 13]
+
+
+def test_true_division():
+    got = ew("/", np.array([1.0, 3.0]), np.array([2.0, 4.0]))
+    assert list(got) == [0.5, 0.75]
+
+
+def test_ew_where_selects():
+    got = ew_where(np.array([True, False, True]), np.array([1, 2, 3]), 0)
+    assert list(got) == [1, 0, 3]
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown elementwise"):
+            ew("**", np.array([1]), np.array([2]))
+
+    def test_unary_given_two_operands(self):
+        with pytest.raises(ValueError, match="unary"):
+            ew("abs", np.array([1]), np.array([2]))
+
+    def test_binary_given_one_operand(self):
+        with pytest.raises(ValueError, match="binary"):
+            ew("+", np.array([1]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ew("+", np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            ew("+", np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_cost_accounting():
+    m = Machine()
+    ew("+", np.arange(7), np.arange(7), machine=m)
+    ew_where(np.ones(7, bool), np.arange(7), 0, machine=m)
+    assert m.counts == {"elementwise": 2}
+    assert m.max_vector_length == 7

@@ -1,0 +1,111 @@
+"""Blelloch standard-vector-operation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (
+    Machine,
+    Segments,
+    distribute,
+    enumerate_flags,
+    flag_split,
+    index_vector,
+    max_index,
+    min_index,
+    pack,
+)
+
+
+class TestEnumerate:
+    def test_counts_set_flags_before(self):
+        got = enumerate_flags(np.array([1, 0, 1, 1, 0], bool))
+        assert list(got) == [0, 1, 1, 2, 3]
+
+    def test_segmented_restarts(self):
+        seg = Segments.from_lengths([2, 3])
+        got = enumerate_flags(np.array([1, 1, 1, 0, 1], bool), segments=seg)
+        assert list(got) == [0, 1, 0, 1, 1]
+
+    @given(st.lists(st.booleans(), min_size=0, max_size=30))
+    def test_set_positions_get_their_rank(self, flags):
+        f = np.array(flags, bool)
+        got = enumerate_flags(f)
+        ranks = np.flatnonzero(f)
+        for rank, pos in enumerate(ranks):
+            assert got[pos] == rank
+
+
+class TestPack:
+    def test_compacts_flagged(self):
+        (vals,) = pack(np.array([0, 1, 0, 1, 1], bool), np.array([9, 8, 7, 6, 5]))
+        assert list(vals) == [8, 6, 5]
+
+    def test_multiple_payloads(self):
+        a, b = pack(np.array([1, 0, 1], bool), np.arange(3), np.array(list("xyz")))
+        assert list(a) == [0, 2]
+        assert "".join(b) == "xz"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.zeros(3, bool), np.zeros(2))
+
+    @given(st.lists(st.tuples(st.integers(0, 99), st.booleans()), max_size=30))
+    def test_equals_boolean_indexing(self, items):
+        vals = np.array([v for v, _ in items], dtype=np.int64)
+        flags = np.array([f for _, f in items], dtype=bool)
+        (got,) = pack(flags, vals)
+        assert np.array_equal(got, vals[flags])
+
+
+class TestSmallOps:
+    def test_distribute(self):
+        assert list(distribute(7, 4)) == [7, 7, 7, 7]
+
+    def test_distribute_empty(self):
+        assert distribute(1, 0).size == 0
+
+    def test_distribute_negative_rejected(self):
+        with pytest.raises(ValueError):
+            distribute(1, -1)
+
+    def test_index_vector(self):
+        assert list(index_vector(5)) == [0, 1, 2, 3, 4]
+
+    def test_flag_split(self):
+        vals, boundary = flag_split(np.array([1, 0, 1, 0], bool), np.arange(4))
+        assert list(vals) == [1, 3, 0, 2]
+        assert boundary == 2
+
+    def test_flag_split_empty(self):
+        vals, boundary = flag_split(np.zeros(0, bool), np.zeros(0))
+        assert vals.size == 0 and boundary == 0
+
+
+class TestArgReduce:
+    def test_max_index(self):
+        got = max_index(np.array([3, 9, 9, 1]))
+        assert got[0] == 1  # first maximum
+
+    def test_min_index_segmented(self):
+        seg = Segments.from_lengths([3, 2])
+        got = min_index(np.array([5, 2, 2, 7, 1]), segments=seg)
+        assert list(got) == [1, 4]
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=6), st.data())
+    def test_matches_numpy_argmax(self, lengths, data):
+        seg = Segments.from_lengths(lengths)
+        xs = np.array([data.draw(st.integers(-9, 9)) for _ in range(seg.n)])
+        got = max_index(xs, segments=seg)
+        for k, sl in enumerate(seg.slices()):
+            assert got[k] == sl.start + int(np.argmax(xs[sl]))
+
+
+def test_ops_record_on_machine():
+    m = Machine()
+    pack(np.array([1, 0], bool), np.arange(2), machine=m)
+    index_vector(4, machine=m)
+    distribute(0, 4, machine=m)
+    assert m.counts["scan"] == 2
+    assert m.counts["permute"] == 1
+    assert m.counts["elementwise"] == 1

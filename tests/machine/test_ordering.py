@@ -1,0 +1,132 @@
+"""Morton / Hilbert linear-ordering tests (paper Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    block_path_to_morton,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+coords = st.integers(0, 255)
+
+
+class TestMorton:
+    def test_unit_square(self):
+        # child order SW, SE, NW, NE with y in the high bit
+        got = morton_encode(np.array([0, 1, 0, 1]), np.array([0, 0, 1, 1]), bits=1)
+        assert list(got) == [0, 1, 2, 3]
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=30))
+    def test_roundtrip(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        code = morton_encode(x, y, bits=8)
+        rx, ry = morton_decode(code, bits=8)
+        assert np.array_equal(rx, x) and np.array_equal(ry, y)
+
+    def test_codes_are_unique(self):
+        xs, ys = np.meshgrid(np.arange(16), np.arange(16))
+        codes = morton_encode(xs.ravel(), ys.ravel(), bits=4)
+        assert np.unique(codes).size == 256
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([4]), np.array([0]), bits=2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([1, 2]), np.array([1]), bits=4)
+
+
+class TestHilbert:
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=30))
+    def test_roundtrip(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        d = hilbert_encode(x, y, bits=8)
+        rx, ry = hilbert_decode(d, bits=8)
+        assert np.array_equal(rx, x) and np.array_equal(ry, y)
+
+    def test_curve_is_a_bijection(self):
+        xs, ys = np.meshgrid(np.arange(16), np.arange(16))
+        d = hilbert_encode(xs.ravel(), ys.ravel(), bits=4)
+        assert np.unique(d).size == 256
+
+    def test_consecutive_cells_are_grid_neighbours(self):
+        """The Hilbert curve's defining locality property."""
+        d = np.arange(64)
+        x, y = hilbert_decode(d, bits=3)
+        step = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(step == 1)
+
+    def test_morton_lacks_unit_steps(self):
+        x, y = morton_decode(np.arange(64), bits=3)
+        step = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert step.max() > 1  # Z-order jumps; Hilbert does not
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_decode(np.array([64]), bits=3)
+
+
+class TestBlockOrdering:
+    def test_parent_sorts_with_first_child(self):
+        # root (level 0, empty path) vs its SE child at height 3
+        keys = block_path_to_morton(np.array([0, 1]), np.array([0, 1]), height=3)
+        assert keys[0] == 0
+        assert keys[1] == 1 << 4  # SE child spans the second quarter
+
+    def test_deeper_blocks_interleave(self):
+        # four children of the root cover consecutive quarters
+        keys = block_path_to_morton(np.arange(4), np.ones(4, dtype=int), height=2)
+        assert list(keys) == [0, 4, 8, 12]
+
+    def test_level_beyond_height_rejected(self):
+        with pytest.raises(ValueError):
+            block_path_to_morton(np.array([0]), np.array([5]), height=3)
+
+
+class TestMortonWindowRanges:
+    def test_full_window_is_one_range(self):
+        from repro.machine import morton_window_ranges
+        r = morton_window_ranges(0, 0, 8, 8, bits=3)
+        assert r.tolist() == [[0, 64]]
+
+    def test_quadrant_is_one_range(self):
+        from repro.machine import morton_window_ranges
+        r = morton_window_ranges(4, 4, 8, 8, bits=3)  # NE quadrant
+        assert r.shape == (1, 2)
+        assert r[0, 1] - r[0, 0] == 16
+
+    def test_empty_window(self):
+        from repro.machine import morton_window_ranges
+        assert morton_window_ranges(3, 3, 3, 5, bits=3).shape == (0, 2)
+
+    def test_out_of_range_rejected(self):
+        from repro.machine import morton_window_ranges
+        import pytest
+        with pytest.raises(ValueError):
+            morton_window_ranges(0, 0, 9, 4, bits=3)
+
+    @given(st.integers(1, 5), st.data())
+    def test_cover_property(self, bits, data):
+        from repro.machine import morton_window_ranges, morton_encode
+        lim = 1 << bits
+        x0 = data.draw(st.integers(0, lim)); x1 = data.draw(st.integers(x0, lim))
+        y0 = data.draw(st.integers(0, lim)); y1 = data.draw(st.integers(y0, lim))
+        ranges = morton_window_ranges(x0, y0, x1, y1, bits)
+        xs, ys = np.meshgrid(np.arange(lim), np.arange(lim))
+        codes = morton_encode(xs.ravel(), ys.ravel(), bits)
+        inside = ((xs.ravel() >= x0) & (xs.ravel() < x1) &
+                  (ys.ravel() >= y0) & (ys.ravel() < y1))
+        covered = np.zeros(lim * lim, bool)
+        for s, e in ranges:
+            covered |= (codes >= s) & (codes < e)
+        assert np.array_equal(covered, inside)
+        if len(ranges) > 1:
+            assert np.all(ranges[1:, 0] >= ranges[:-1, 1])  # disjoint, sorted

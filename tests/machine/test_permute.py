@@ -1,0 +1,78 @@
+"""Permutation primitive tests (paper Figure 10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Machine, gather, permute, scatter
+
+
+def test_figure10_style_permutation():
+    data = np.array(list("abcde"))
+    index = np.array([3, 0, 4, 1, 2])
+    got = permute(data, index)
+    # element i lands at slot index[i]
+    assert "".join(got) == "bdeac"
+
+
+@given(st.permutations(list(range(8))))
+def test_random_permutations_are_bijections(perm):
+    data = np.arange(8) * 10
+    got = permute(data, np.array(perm))
+    assert sorted(got) == sorted(data)
+    for i, p in enumerate(perm):
+        assert got[p] == data[i]
+
+
+def test_injective_into_longer_output():
+    # the cloning primitive spreads elements out, leaving gaps
+    got = permute(np.array([5, 6]), np.array([0, 3]), out_size=4)
+    assert got[0] == 5 and got[3] == 6
+
+
+def test_collision_rejected():
+    with pytest.raises(ValueError, match="not one-to-one"):
+        permute(np.array([1, 2]), np.array([0, 0]))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(IndexError):
+        permute(np.array([1, 2]), np.array([0, 5]))
+
+
+def test_non_integer_index_rejected():
+    with pytest.raises(TypeError):
+        permute(np.array([1, 2]), np.array([0.0, 1.0]))
+
+
+def test_shorter_output_rejected():
+    with pytest.raises(ValueError, match="shorter"):
+        permute(np.array([1, 2, 3]), np.array([0, 1, 2]), out_size=2)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="length"):
+        permute(np.array([1, 2, 3]), np.array([0, 1]))
+
+
+def test_gather_reads():
+    got = gather(np.array([10, 20, 30]), np.array([2, 0, 2]))
+    assert list(got) == [30, 10, 30]
+
+
+def test_scatter_with_default():
+    got = scatter(np.array([7, 8]), np.array([1, 3]), out_size=5, default=-1)
+    assert list(got) == [-1, 7, -1, 8, -1]
+
+
+def test_scatter_collision_rejected():
+    with pytest.raises(ValueError, match="collide"):
+        scatter(np.array([1, 2]), np.array([0, 0]), out_size=3)
+
+
+def test_cost_accounting():
+    m = Machine()
+    permute(np.arange(4), np.array([1, 0, 3, 2]), machine=m)
+    gather(np.arange(4), np.array([0]), machine=m)
+    scatter(np.array([1]), np.array([0]), out_size=2, machine=m)
+    assert m.counts == {"permute": 3}

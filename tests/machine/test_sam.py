@@ -1,0 +1,76 @@
+"""SAM-model monotonic-mapping tests (paper Figures 11-12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import is_monotonic_mapping, monotonic_rounds, reorderings_required
+
+
+class TestFigure11:
+    def test_valid_monotonic_mapping(self):
+        # Figure 11a: order-preserving inter-set sends
+        assert is_monotonic_mapping([0, 1, 2, 3], [1, 2, 4, 5])
+
+    def test_invalid_mapping(self):
+        # Figure 11b: "f comes before c in the linear ordering"
+        assert not is_monotonic_mapping([0, 1, 2], [5, 1, 2])
+
+    def test_decreasing_is_also_monotonic(self):
+        assert is_monotonic_mapping([0, 1, 2], [9, 5, 1])
+
+    def test_strictness_rejects_fanin(self):
+        assert not is_monotonic_mapping([0, 1], [3, 3])
+        assert is_monotonic_mapping([0, 1], [3, 3], strict=False)
+
+    def test_trivial_mappings(self):
+        assert is_monotonic_mapping([], [])
+        assert is_monotonic_mapping([4], [9])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            is_monotonic_mapping([0, 1], [0])
+
+
+class TestFigure12:
+    """A with C and D, B with C and D: the all-pairs pattern."""
+
+    def setup_method(self):
+        # messages: (A->C), (A->D), (B->C), (B->D) with A<B, C<D
+        self.src = np.array([0, 0, 1, 1])
+        self.dst = np.array([2, 3, 2, 3])
+
+    def test_pattern_is_not_monotonic(self):
+        assert not is_monotonic_mapping(self.src, self.dst)
+
+    def test_two_rounds_schedule_it(self):
+        rounds = monotonic_rounds(self.src, self.dst)
+        assert len(rounds) == 2
+        scheduled = sorted(int(k) for r in rounds for k in r)
+        assert scheduled == [0, 1, 2, 3]
+
+    def test_first_round_subset_is_monotonic(self):
+        rounds = monotonic_rounds(self.src, self.dst)
+        for r in rounds:
+            assert is_monotonic_mapping(self.src[r], self.dst[r])
+
+    def test_reordering_count(self):
+        patterns = [
+            (self.src, self.dst),              # needs a reordering
+            ([0, 1], [2, 3]),                   # already monotonic
+        ]
+        assert reorderings_required(patterns) == 1
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=20, unique=True),
+       st.data())
+def test_rounds_cover_all_messages_monotonically(srcs, data):
+    dsts = [data.draw(st.integers(0, 30)) for _ in srcs]
+    src = np.array(srcs)
+    dst = np.array(dsts)
+    rounds = monotonic_rounds(src, dst)
+    seen = sorted(int(k) for r in rounds for k in r)
+    assert seen == list(range(len(srcs)))
+    for r in rounds:
+        d = dst[r][np.argsort(src[r], kind="stable")]
+        assert np.all(np.diff(d) > 0) or d.size <= 1

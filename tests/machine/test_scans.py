@@ -1,0 +1,171 @@
+"""Segmented scan tests: the Figure 8 worked example, engine agreement,
+exclusive/inclusive and direction semantics, and a per-segment reference
+oracle under hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Machine, Segments, down_scan, seg_scan, up_scan
+from repro.machine.scans import scan_identity
+
+FIG8_DATA = np.array([3, 1, 2, 1, 0, 1, 2, 2, 1, 0, 3, 3])
+FIG8_FLAGS = np.array([1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0])
+
+
+class TestFigure8:
+    """The paper's worked segmented-scan example, value for value."""
+
+    def setup_method(self):
+        self.seg = Segments.from_flags(FIG8_FLAGS)
+
+    def test_up_inclusive(self):
+        got = up_scan(FIG8_DATA, self.seg, "+", "in")
+        assert list(got) == [3, 4, 6, 1, 1, 2, 4, 2, 3, 0, 3, 6]
+
+    def test_up_exclusive(self):
+        got = up_scan(FIG8_DATA, self.seg, "+", "ex")
+        assert list(got) == [0, 3, 4, 0, 1, 1, 2, 0, 2, 0, 0, 3]
+
+    def test_down_inclusive(self):
+        got = down_scan(FIG8_DATA, self.seg, "+", "in")
+        assert list(got) == [6, 3, 2, 4, 3, 3, 2, 3, 1, 6, 6, 3]
+
+    def test_down_exclusive(self):
+        got = down_scan(FIG8_DATA, self.seg, "+", "ex")
+        assert list(got) == [3, 2, 0, 3, 3, 2, 0, 1, 0, 6, 3, 0]
+
+
+def _reference_scan(data, seg, op, direction, inclusive):
+    """Per-segment pure-Python oracle."""
+    import math
+    fns = {"+": lambda a, b: a + b, "max": max, "min": min,
+           "or": lambda a, b: a or b, "and": lambda a, b: a and b}
+    out = np.empty(len(data), dtype=object)
+    for sl in seg.slices():
+        chunk = list(data[sl])
+        if direction == "down":
+            chunk = chunk[::-1]
+        acc = []
+        if op == "copy":
+            acc = [chunk[0]] * len(chunk)
+        else:
+            ident = scan_identity(op, np.asarray(data).dtype if op not in ("or", "and") else np.dtype(bool))
+            run = ident
+            for v in chunk:
+                run = fns[op](run, v)
+                acc.append(run)
+            if not inclusive:
+                acc = [ident] + acc[:-1]
+        if direction == "down":
+            acc = acc[::-1]
+        out[sl] = acc
+    return out.tolist()
+
+
+int_vectors = st.lists(st.integers(-50, 50), min_size=1, max_size=40)
+
+
+@st.composite
+def segmented_vector(draw):
+    data = draw(int_vectors)
+    flags = [True] + [draw(st.booleans()) for _ in range(len(data) - 1)]
+    return np.array(data), Segments.from_flags(np.array(flags))
+
+
+@settings(max_examples=120, deadline=None)
+@given(segmented_vector(),
+       st.sampled_from(["+", "max", "min", "or", "and"]),
+       st.sampled_from(["up", "down"]),
+       st.booleans())
+def test_fast_matches_reference(case, op, direction, inclusive):
+    data, seg = case
+    use = data if op not in ("or", "and") else data > 0
+    got = seg_scan(use, seg, op, direction, inclusive, engine="fast")
+    want = _reference_scan(np.asarray(use), seg, op, direction, inclusive)
+    assert [bool(x) if op in ("or", "and") else int(x) for x in got] == \
+           [bool(x) if op in ("or", "and") else int(x) for x in want]
+
+
+@settings(max_examples=80, deadline=None)
+@given(segmented_vector(),
+       st.sampled_from(["+", "max", "min", "copy"]),
+       st.sampled_from(["up", "down"]))
+def test_engines_agree(case, op, direction):
+    data, seg = case
+    a = seg_scan(data, seg, op, direction, True, engine="fast")
+    b = seg_scan(data, seg, op, direction, True, engine="hillis_steele")
+    assert np.array_equal(a, b)
+
+
+class TestSemantics:
+    def test_copy_scan_broadcasts_head(self):
+        seg = Segments.from_lengths([3, 2])
+        got = seg_scan([7, 1, 2, 9, 4], seg, "copy", "up", True)
+        assert list(got) == [7, 7, 7, 9, 9]
+
+    def test_down_copy_broadcasts_tail(self):
+        seg = Segments.from_lengths([3, 2])
+        got = seg_scan([7, 1, 2, 9, 4], seg, "copy", "down", True)
+        assert list(got) == [2, 2, 2, 4, 4]
+
+    def test_exclusive_heads_get_identity(self):
+        seg = Segments.from_lengths([2, 2])
+        got = seg_scan([5, 5, 5, 5], seg, "max", "up", False)
+        assert got[0] == np.iinfo(got.dtype).min
+        assert got[2] == np.iinfo(got.dtype).min
+
+    def test_float_min_down_exclusive(self):
+        # R-tree suffix boxes: last element must be +inf (empty suffix)
+        seg = Segments.from_lengths([3])
+        got = seg_scan(np.array([3.0, 1.0, 2.0]), seg, "min", "down", False)
+        assert got[2] == np.inf
+        assert list(got[:2]) == [1.0, 2.0]
+
+    def test_unsegmented_default(self):
+        got = seg_scan([1, 2, 3])
+        assert list(got) == [1, 3, 6]
+
+    def test_bool_sum_promotes(self):
+        got = seg_scan(np.array([True, True, False, True]))
+        assert list(got) == [1, 2, 2, 3]
+
+    def test_empty_vector(self):
+        got = seg_scan(np.zeros(0, dtype=np.int64), Segments.single(0))
+        assert got.size == 0
+
+    def test_band_overflow_falls_back_exactly(self):
+        # huge value range forces the doubling engine for integer min/max
+        data = np.array([2**61, -2**61, 5, 2**60])
+        seg = Segments.from_lengths([2, 2])
+        got = seg_scan(data, seg, "max", "up", True)
+        assert list(got) == [2**61, 2**61, 5, 2**60]
+
+
+class TestErrors:
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown scan operator"):
+            seg_scan([1], op="xor")
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            seg_scan([1], direction="sideways")
+
+    def test_exclusive_copy_undefined(self):
+        with pytest.raises(ValueError, match="exclusive copy"):
+            seg_scan([1], op="copy", inclusive=False)
+
+    def test_descriptor_length_mismatch(self):
+        with pytest.raises(ValueError, match="covers"):
+            seg_scan([1, 2, 3], Segments.single(2))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            seg_scan(np.zeros((2, 2)))
+
+
+def test_scan_records_one_primitive():
+    m = Machine()
+    seg_scan([1, 2, 3], machine=m)
+    assert m.counts == {"scan": 1}
+    assert m.steps == 1.0

@@ -1,0 +1,94 @@
+"""Data-parallel sorting tests, including the scan-composed radix sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    Machine,
+    Segments,
+    rank,
+    seg_rank,
+    seg_sort,
+    sort,
+    split_radix_sort,
+)
+
+
+class TestRankAndSort:
+    def test_rank_gives_destinations(self):
+        r = rank(np.array([30, 10, 20]))
+        assert list(r) == [2, 0, 1]
+
+    def test_rank_is_stable(self):
+        r = rank(np.array([5, 5, 5]))
+        assert list(r) == [0, 1, 2]
+
+    def test_sort_with_payload(self):
+        keys, tag = sort(np.array([3, 1, 2]), np.array(list("abc")))
+        assert list(keys) == [1, 2, 3]
+        assert "".join(tag) == "bca"
+
+    @given(st.lists(st.integers(-100, 100), min_size=0, max_size=50))
+    def test_sort_matches_numpy(self, xs):
+        assert list(sort(np.array(xs, dtype=np.int64))) == sorted(xs)
+
+
+class TestSegmentedSort:
+    def test_segments_sort_independently(self):
+        seg = Segments.from_lengths([3, 3])
+        got = seg_sort(np.array([3, 1, 2, 9, 0, 5]), seg)
+        assert list(got) == [1, 2, 3, 0, 5, 9]
+
+    def test_seg_rank_destinations_stay_in_segment(self):
+        seg = Segments.from_lengths([2, 3])
+        r = seg_rank(np.array([9, 1, 5, 3, 4]), seg)
+        assert list(r) == [1, 0, 4, 2, 3]
+
+    def test_seg_sort_stability(self):
+        seg = Segments.from_lengths([4])
+        keys, tag = seg_sort(np.array([1, 0, 1, 0]), seg, np.array(list("abcd")))
+        assert "".join(tag) == "bdac"
+
+    def test_descriptor_mismatch(self):
+        with pytest.raises(ValueError):
+            seg_sort(np.array([1, 2]), Segments.single(3))
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=30),
+           st.data())
+    def test_seg_sort_equals_per_segment_sorted(self, xs, data):
+        flags = [True] + [data.draw(st.booleans()) for _ in range(len(xs) - 1)]
+        seg = Segments.from_flags(np.array(flags))
+        got = seg_sort(np.array(xs), seg)
+        want = np.concatenate([np.sort(np.array(xs)[sl]) for sl in seg.slices()])
+        assert np.array_equal(got, want)
+
+
+class TestSplitRadixSort:
+    def test_small_example(self):
+        got = split_radix_sort(np.array([5, 3, 9, 1, 3, 0]))
+        assert list(got) == [0, 1, 3, 3, 5, 9]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1023), min_size=0, max_size=60))
+    def test_matches_sorted(self, xs):
+        got = split_radix_sort(np.array(xs, dtype=np.int64))
+        assert list(got) == sorted(xs)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError):
+            split_radix_sort(np.array([-1, 2]))
+
+    def test_records_scan_rounds(self):
+        # one unshuffle (2 scans + ew + permute) per key bit
+        m = Machine()
+        split_radix_sort(np.array([7, 0, 5, 2]), machine=m)
+        bits = 3  # max key 7
+        assert m.counts["scan"] == 2 * bits
+        assert m.counts["permute"] == bits
+
+
+def test_sort_cost_is_logarithmic_in_scan_model():
+    m = Machine(cost_model="scan_model")
+    sort(np.arange(1024), machine=m)
+    assert m.steps == 10.0  # ceil(log2(1024))

@@ -1,0 +1,46 @@
+"""Node-capacity-check primitive tests (paper Section 4.4, Figure 19)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Machine, Segments
+from repro.primitives import node_counts, overflow_per_line, overflowing_nodes
+
+
+def test_counts_match_segment_lengths():
+    seg = Segments.from_lengths([3, 5, 1, 2])
+    assert list(node_counts(seg)) == [3, 5, 1, 2]
+
+
+def test_overflow_verdicts():
+    seg = Segments.from_lengths([3, 5, 1])
+    assert list(overflowing_nodes(seg, capacity=2)) == [True, True, False]
+    assert list(overflowing_nodes(seg, capacity=5)) == [False, False, False]
+
+
+def test_overflow_broadcast_to_lines():
+    seg = Segments.from_lengths([2, 3])
+    got = overflow_per_line(seg, capacity=2)
+    assert list(got.astype(int)) == [0, 0, 1, 1, 1]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        overflowing_nodes(Segments.single(3), 0)
+
+
+@given(st.lists(st.integers(1, 9), min_size=1, max_size=10),
+       st.integers(1, 9))
+def test_overflow_is_count_comparison(lengths, cap):
+    seg = Segments.from_lengths(lengths)
+    got = overflowing_nodes(seg, cap)
+    assert list(got) == [length > cap for length in lengths]
+
+
+def test_uses_downward_scan_pattern():
+    """Figure 19: a downward inclusive segmented scan plus a head read."""
+    m = Machine()
+    node_counts(Segments.from_lengths([4, 4]), machine=m)
+    assert m.counts["scan"] == 1
+    assert m.counts["permute"] == 1

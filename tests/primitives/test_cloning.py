@@ -1,0 +1,97 @@
+"""Cloning primitive tests (paper Section 4.1, Figures 13-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Machine, Segments
+from repro.primitives import clone
+
+
+class TestFigure13:
+    """The worked example: clone a, d, g out of [a..h]."""
+
+    def setup_method(self):
+        self.x = np.array(list("abcdefgh"))
+        self.flags = np.array([1, 0, 0, 1, 0, 0, 1, 0], dtype=bool)
+
+    def test_result_vector(self):
+        r = clone(self.flags, self.x)
+        assert "".join(r.arrays[0]) == "aabcddefggh"
+
+    def test_clone_marks(self):
+        r = clone(self.flags, self.x)
+        assert list(np.flatnonzero(r.is_clone)) == [1, 5, 9]
+
+    def test_source_mapping(self):
+        r = clone(self.flags, self.x)
+        assert list(r.source) == [0, 0, 1, 2, 3, 3, 4, 5, 6, 6, 7]
+
+
+class TestGeneral:
+    def test_no_flags_is_identity(self):
+        r = clone(np.zeros(4, bool), np.arange(4))
+        assert list(r.arrays[0]) == [0, 1, 2, 3]
+        assert not r.is_clone.any()
+
+    def test_all_flags_doubles(self):
+        r = clone(np.ones(3, bool), np.array([7, 8, 9]))
+        assert list(r.arrays[0]) == [7, 7, 8, 8, 9, 9]
+
+    def test_multiple_payloads_move_together(self):
+        r = clone(np.array([0, 1, 0], bool), np.array([1, 2, 3]), np.array(list("xyz")))
+        assert list(r.arrays[0]) == [1, 2, 2, 3]
+        assert "".join(r.arrays[1]) == "xyyz"
+
+    def test_empty_vector(self):
+        r = clone(np.zeros(0, bool), np.zeros(0))
+        assert r.arrays[0].size == 0
+
+    def test_payload_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            clone(np.zeros(3, bool), np.zeros(2))
+
+    def test_descriptor_mismatch(self):
+        with pytest.raises(ValueError, match="cover"):
+            clone(np.zeros(3, bool), np.zeros(3), segments=Segments.single(2))
+
+
+class TestSegmented:
+    def test_clones_stay_in_segment(self):
+        seg = Segments.from_lengths([2, 3])
+        flags = np.array([0, 1, 1, 0, 0], bool)
+        r = clone(flags, np.array([1, 2, 3, 4, 5]), segments=seg)
+        assert list(r.segments.lengths) == [3, 4]
+        assert list(r.arrays[0]) == [1, 2, 2, 3, 3, 4, 5]
+
+    def test_head_clone(self):
+        seg = Segments.from_lengths([1, 2])
+        r = clone(np.array([1, 0, 0], bool), np.array([9, 1, 2]), segments=seg)
+        assert list(r.segments.lengths) == [2, 2]
+        assert list(r.arrays[0]) == [9, 9, 1, 2]
+
+
+@given(st.lists(st.tuples(st.integers(-99, 99), st.booleans()),
+                min_size=0, max_size=40))
+def test_clone_equals_interleaving(items):
+    """Property: output is the input with flagged items doubled in place."""
+    data = np.array([v for v, _ in items], dtype=np.int64)
+    flags = np.array([f for _, f in items], dtype=bool)
+    r = clone(flags, data)
+    want = []
+    for v, f in items:
+        want.append(v)
+        if f:
+            want.append(v)
+    assert list(r.arrays[0]) == want
+    assert r.arrays[0].size == len(items) + int(flags.sum())
+
+
+def test_cost_is_constant_number_of_primitives():
+    """Figure 14: one scan + elementwise + permute regardless of clones."""
+    for n in (4, 400):
+        m = Machine()
+        clone(np.ones(n, bool), np.zeros(n), machine=m)
+        assert m.counts["scan"] == 1
+        assert m.counts["permute"] >= 1
+        assert m.total_primitives <= 6

@@ -1,0 +1,74 @@
+"""Duplicate-deletion primitive tests (paper Section 4.3, Figures 17-18)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Machine, Segments
+from repro.primitives import delete_duplicates, mark_duplicates
+
+
+class TestMarkDuplicates:
+    def test_equal_neighbours_flagged(self):
+        flags = mark_duplicates(np.array([1, 1, 2, 3, 3, 3]))
+        assert list(flags.astype(int)) == [0, 1, 0, 0, 1, 1]
+
+    def test_first_element_never_flagged(self):
+        assert not mark_duplicates(np.array([5]))[0]
+
+    def test_segment_heads_never_flagged(self):
+        seg = Segments.from_lengths([2, 2])
+        flags = mark_duplicates(np.array([7, 7, 7, 7]), segments=seg)
+        assert list(flags.astype(int)) == [0, 1, 0, 1]
+
+    def test_empty(self):
+        assert mark_duplicates(np.zeros(0)).size == 0
+
+
+class TestDeleteDuplicates:
+    def test_figure17_style(self):
+        keys = np.array([1, 1, 2, 3, 3, 3, 4])
+        r = delete_duplicates(mark_duplicates(keys), keys)
+        assert list(r.arrays[0]) == [1, 2, 3, 4]
+        assert list(r.kept) == [0, 2, 3, 6]
+
+    def test_payloads_compact_together(self):
+        keys = np.array([1, 1, 2])
+        r = delete_duplicates(mark_duplicates(keys), keys, np.array(list("abc")))
+        assert "".join(r.arrays[1]) == "ac"
+
+    def test_nothing_flagged_is_identity(self):
+        r = delete_duplicates(np.zeros(3, bool), np.array([1, 2, 3]))
+        assert list(r.arrays[0]) == [1, 2, 3]
+
+    def test_segmented_descriptor_shrinks(self):
+        seg = Segments.from_lengths([3, 2])
+        keys = np.array([1, 1, 2, 5, 5])
+        r = delete_duplicates(mark_duplicates(keys, segments=seg), keys, segments=seg)
+        assert list(r.segments.lengths) == [2, 1]
+        assert list(r.arrays[0]) == [1, 2, 5]
+
+    def test_deleting_segment_head_rejected(self):
+        seg = Segments.from_lengths([2, 1])
+        with pytest.raises(ValueError, match="segment head"):
+            delete_duplicates(np.array([0, 0, 1], bool), np.arange(3), segments=seg)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            delete_duplicates(np.zeros(3, bool), np.zeros(2))
+
+
+@given(st.lists(st.integers(0, 12), min_size=0, max_size=50))
+def test_equals_numpy_unique_on_sorted_input(xs):
+    keys = np.sort(np.array(xs, dtype=np.int64))
+    r = delete_duplicates(mark_duplicates(keys), keys)
+    assert np.array_equal(r.arrays[0], np.unique(keys))
+
+
+def test_cost_is_constant_number_of_primitives():
+    """Figure 18: one scan, one elementwise, one permute."""
+    m = Machine()
+    keys = np.repeat(np.arange(10), 3)
+    delete_duplicates(mark_duplicates(keys, machine=m), keys, machine=m)
+    assert m.counts["scan"] == 1
+    assert m.counts["permute"] == 1

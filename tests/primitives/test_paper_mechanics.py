@@ -1,0 +1,85 @@
+"""Figures 23-28 end-to-end: the worked node-splitting example.
+
+The paper walks one node with five lines through the two-stage split:
+two lines cross the first (horizontal) split axis and are cloned
+(Figure 24); after the vertical-stage regrouping one line crosses its
+half's horizontal axis and is cloned again (Figure 26); the result is
+four quadrant groups (Figure 28).  This module reconstructs segments
+with exactly that crossing pattern and checks every intermediate count.
+"""
+
+import numpy as np
+
+from repro.geometry.clip import segments_intersect_rects
+from repro.machine import Machine, Segments
+from repro.primitives import split_quad_nodes
+from repro.structures.quadblock import child_box
+
+# five lines in an 8x8 node with the Figure 23 crossing pattern:
+#   a crosses y = 4 only (stays left of x = 4)
+#   b crosses y = 4, and its upper half also crosses x = 4
+#   c, d, e each sit in a single quadrant
+LINES = np.array([
+    [1.0, 3.0, 2.0, 5.0],   # a
+    [3.0, 3.0, 5.0, 6.0],   # b
+    [1.0, 1.0, 2.0, 2.0],   # c
+    [6.0, 6.0, 7.0, 7.0],   # d
+    [6.0, 1.0, 7.0, 2.0],   # e
+])
+BOX = np.array([[0.0, 0.0, 8.0, 8.0]])
+
+
+def run_split():
+    seg = Segments.single(5)
+    return split_quad_nodes(LINES, BOX, seg, np.array([True]),
+                            payloads={"lid": np.arange(5)}, machine=Machine())
+
+
+class TestFigure24to28:
+    def test_stage_one_clones_the_axis_crossers(self):
+        """Figure 24: exactly a and b meet the horizontal split axis."""
+        bottom = BOX.copy()
+        bottom[0, 3] = 4.0
+        top = BOX.copy()
+        top[0, 1] = 4.0
+        crossers = [
+            i for i in range(5)
+            if segments_intersect_rects(LINES[i][None, :], bottom)[0]
+            and segments_intersect_rects(LINES[i][None, :], top)[0]
+        ]
+        assert crossers == [0, 1]  # a and b
+
+    def test_total_copies(self):
+        """5 lines + 2 first-stage clones + 1 second-stage clone = 8."""
+        res = run_split()
+        assert res.segments.n == 8
+
+    def test_copy_counts_per_line(self):
+        res = run_split()
+        counts = np.bincount(res.payloads["lid"], minlength=5)
+        assert list(counts) == [2, 3, 1, 1, 1]  # a twice, b three times
+
+    def test_final_quadrant_groups(self):
+        """Figure 28: the regrouped segment structure, child by child."""
+        res = run_split()
+        groups = {}
+        for sl, code in zip(res.segments.slices(), res.child_code):
+            groups[int(code)] = sorted(res.payloads["lid"][sl].tolist())
+        assert groups[0] == [0, 1, 2]      # SW: a, b, c
+        assert groups[1] == [4]            # SE: e
+        assert groups[2] == [0, 1]         # NW: a, b
+        assert groups[3] == [1, 3]         # NE: b, d
+        assert set(groups) == {0, 1, 2, 3}
+
+    def test_groups_match_geometry(self):
+        res = run_split()
+        for sl, code in zip(res.segments.slices(), res.child_code):
+            quadrant = child_box(BOX[0], int(code))
+            for lid in res.payloads["lid"][sl]:
+                assert segments_intersect_rects(
+                    LINES[lid][None, :], quadrant[None, :])[0]
+
+    def test_capacity_four_triggers_the_split(self):
+        """Figure 23's framing: five lines exceed the node capacity of 4."""
+        from repro.primitives import overflowing_nodes
+        assert overflowing_nodes(Segments.single(5), 4, machine=Machine())[0]

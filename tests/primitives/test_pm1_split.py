@@ -1,0 +1,112 @@
+"""PM1 split-determination tests (paper Section 4.5, Figures 20-22).
+
+Each test constructs a segmented line vector mirroring one of the
+figure's four node cases and checks the verdict plus the intermediate
+scan products the figures annotate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import Segments
+from repro.primitives import pm1_should_split
+
+DOMAIN = 16.0
+BOX = np.array([0.0, 0.0, 16.0, 16.0])
+
+
+def run(segs, lengths):
+    segs = np.asarray(segs, dtype=float)
+    segments = Segments.from_lengths(lengths)
+    boxes = np.tile(BOX, (segs.shape[0], 1))
+    return pm1_should_split(segs, boxes, segments, DOMAIN)
+
+
+class TestFourCases:
+    def test_max_two_endpoints_splits(self):
+        """Figure 20's node 2: a line wholly inside forces a split."""
+        d = run([[2, 2, 5, 5]], [1])
+        assert d.max_eps[0] == 2
+        assert d.must_split[0]
+
+    def test_vertex_plus_passing_line_splits(self):
+        """max == 1, min == 0: endpoint and a non-incident q-edge."""
+        d = run([[2, 2, 20, 20],       # one endpoint inside
+                 [-1, 8, 20, 8]],      # passes through, no endpoints
+                [2])
+        assert d.max_eps[0] == 1 and d.min_eps[0] == 0
+        assert d.must_split[0]
+
+    def test_shared_vertex_does_not_split(self):
+        """Figure 21's node 4 analogue: all lines share one vertex."""
+        d = run([[4, 4, 20, 4],
+                 [4, 4, 20, 9],
+                 [4, 4, -1, 20]],
+                [3])
+        assert d.max_eps[0] == 1 and d.min_eps[0] == 1
+        # MBB of in-node endpoints is the single point (4, 4)
+        assert list(d.mbb[0]) == [4, 4, 4, 4]
+        assert not d.must_split[0]
+
+    def test_distinct_vertices_split(self):
+        """Figure 21's node 1 analogue: two different in-node endpoints."""
+        d = run([[4, 4, 20, 4],
+                 [6, 6, -1, 20]],
+                [2])
+        assert d.max_eps[0] == 1 and d.min_eps[0] == 1
+        assert d.must_split[0]
+
+    def test_single_passing_line_does_not_split(self):
+        """Figure 22's node 3: one vertex-free q-edge is fine."""
+        d = run([[-1, 8, 20, 8]], [1])
+        assert d.max_eps[0] == 0 and d.min_eps[0] == 0
+        assert d.line_counts[0] == 1
+        assert not d.must_split[0]
+
+    def test_two_passing_lines_split(self):
+        """max == min == 0 with count > 1."""
+        d = run([[-1, 4, 20, 4], [-1, 9, 20, 9]], [2])
+        assert d.must_split[0]
+
+    def test_single_line_one_endpoint_inside(self):
+        """One line, one vertex: the legal PM1 leaf."""
+        d = run([[4, 4, 20, 20]], [1])
+        assert not d.must_split[0]
+
+
+class TestMultiNode:
+    def test_simultaneous_verdicts(self):
+        """Three nodes judged in one primitive call (the Figure 20 layout)."""
+        segs = np.array([
+            [2, 2, 5, 5],        # node A: interior line -> split
+            [4, 4, 20, 4],       # node B: shared vertex...
+            [4, 4, -1, 20],      # node B
+            [-1, 8, 20, 8],      # node C: single passing line -> keep
+        ], dtype=float)
+        segments = Segments.from_lengths([1, 2, 1])
+        boxes = np.tile(BOX, (4, 1))
+        d = pm1_should_split(segs, boxes, segments, DOMAIN)
+        assert list(d.must_split) == [True, False, False]
+
+    def test_vertices_on_node_boundary_are_halfopen(self):
+        """An endpoint on the shared edge belongs to exactly one node."""
+        left = np.array([0.0, 0.0, 8.0, 16.0])
+        segs = np.array([[8.0, 4.0, 12.0, 4.0]])   # endpoint at x == 8
+        segments = Segments.single(1)
+        d = pm1_should_split(segs, left[None, :], segments, DOMAIN)
+        # (8, 4) is NOT in [0,8) x [0,16): the line is a passing q-edge here
+        assert d.max_eps[0] == 0
+
+    def test_domain_boundary_is_closed(self):
+        box = np.array([8.0, 8.0, 16.0, 16.0])
+        segs = np.array([[16.0, 16.0, 10.0, 10.0]])
+        d = pm1_should_split(segs, box[None, :], Segments.single(1), DOMAIN)
+        assert d.max_eps[0] == 2  # both endpoints count, incl. the corner
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            pm1_should_split(np.zeros((2, 4)), np.zeros((2, 4)), Segments.single(3), 8.0)
+        with pytest.raises(ValueError):
+            pm1_should_split(np.zeros((3, 4)), np.zeros((2, 4)), Segments.single(3), 8.0)

@@ -1,0 +1,155 @@
+"""Quadtree node-splitting tests (paper Section 4.6, Figures 23-28)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import paper_dataset, segments_intersect_rects
+from repro.machine import Machine, Segments
+from repro.primitives import split_quad_nodes
+from repro.structures.quadblock import child_box
+
+
+def quadrants(box):
+    return [child_box(np.asarray(box, float), c) for c in range(4)]
+
+
+class TestSingleNode:
+    """Splitting the Figure 23 layout: one node, lines regrouped."""
+
+    def setup_method(self):
+        self.segs = paper_dataset()
+        self.box = np.array([[0.0, 0.0, 8.0, 8.0]])
+        self.seg = Segments.single(9)
+
+    def split(self):
+        return split_quad_nodes(self.segs, self.box, self.seg,
+                                np.array([True]),
+                                payloads={"lid": np.arange(9)})
+
+    def test_children_emerge_in_morton_order(self):
+        res = self.split()
+        assert list(res.child_code) == [0, 1, 2, 3]
+        assert list(res.parent_seg) == [0, 0, 0, 0]
+
+    def test_crossing_lines_cloned(self):
+        """Figure 31: lines a, b, i intersect the split axes and clone."""
+        res = self.split()
+        lid = res.payloads["lid"]
+        counts = np.bincount(lid, minlength=9)
+        assert counts[0] == 2   # a spans SW/NW
+        assert counts[1] == 3   # b crosses both axes
+        assert counts[8] == 3   # i crosses NW -> SW/SE
+        assert counts[2:8].max() == 1  # c..h stay single
+
+    def test_grouping_matches_geometry(self):
+        res = self.split()
+        lid = res.payloads["lid"]
+        for (sl, code) in zip(res.segments.slices(), res.child_code):
+            qbox = quadrants(self.box[0])[code]
+            members = set(lid[sl].tolist())
+            want = set(np.flatnonzero(segments_intersect_rects(
+                self.segs, np.tile(qbox, (9, 1)))).tolist())
+            assert members == want, (code, members, want)
+
+    def test_unflagged_node_untouched(self):
+        res = split_quad_nodes(self.segs, self.box, self.seg,
+                               np.array([False]), payloads={"lid": np.arange(9)})
+        assert res.segments == self.seg
+        assert list(res.child_code) == [-1]
+        assert list(res.payloads["lid"]) == list(range(9))
+
+
+class TestMultiNode:
+    def test_selective_split(self):
+        """Two nodes, only one splits; the other's order is untouched."""
+        lines = np.array([
+            [1, 1, 3, 3], [0, 2, 2, 0],       # node 1 (box [0,4]^2)
+            [5, 5, 7, 7],                      # node 2 (box [4,4,8,8])
+        ], dtype=float)
+        seg = Segments.from_lengths([2, 1])
+        boxes = np.array([[0, 0, 4, 4], [4, 4, 8, 8]], float)
+        res = split_quad_nodes(lines, boxes, seg, np.array([True, False]),
+                               payloads={"lid": np.arange(3)})
+        # last new segment is node 2, unchanged
+        assert res.child_code[-1] == -1
+        assert res.parent_seg[-1] == 1
+        assert res.payloads["lid"][-1] == 2
+        # node 1 children grouped geometrically
+        for sl, parent, code in zip(res.segments.slices(), res.parent_seg, res.child_code):
+            if code < 0:
+                continue
+            qbox = quadrants(boxes[parent])[code]
+            for lid in res.payloads["lid"][sl]:
+                assert segments_intersect_rects(
+                    lines[lid][None, :], qbox[None, :])[0]
+
+    def test_all_lines_in_one_quadrant(self):
+        """A split can produce a single non-empty child."""
+        lines = np.array([[0, 0, 1, 1], [1, 0, 0, 1]], dtype=float)
+        seg = Segments.single(2)
+        boxes = np.array([[0, 0, 8, 8]], float)
+        res = split_quad_nodes(lines, boxes, seg, np.array([True]))
+        assert res.segments.nseg == 1
+        assert res.child_code[0] == 0  # SW
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_rounds_preserve_membership(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 30))
+        lines = rng.integers(0, 17, size=(n, 4)).astype(float)
+        degenerate = (lines[:, 0] == lines[:, 2]) & (lines[:, 1] == lines[:, 3])
+        lines[degenerate, 2] += 1
+        lines = np.clip(lines, 0, 16)
+        seg = Segments.single(n)
+        boxes = np.array([[0, 0, 16, 16]], float)
+        res = split_quad_nodes(lines, boxes, seg, np.array([True]),
+                               payloads={"lid": np.arange(n)})
+        # every line copy's q-edge intersects its assigned quadrant, and
+        # every (line, quadrant) incidence appears exactly once
+        seen = set()
+        for sl, code in zip(res.segments.slices(), res.child_code):
+            qbox = quadrants(boxes[0])[code]
+            for lid in res.payloads["lid"][sl]:
+                assert segments_intersect_rects(
+                    lines[lid][None, :], qbox[None, :])[0]
+                key = (int(lid), int(code))
+                assert key not in seen, "duplicate q-edge"
+                seen.add(key)
+        for lid in range(n):
+            for code in range(4):
+                qbox = quadrants(boxes[0])[code]
+                if segments_intersect_rects(lines[lid][None, :], qbox[None, :])[0]:
+                    assert (lid, code) in seen, "missing q-edge"
+
+
+class TestValidation:
+    def test_shape_errors(self):
+        seg = Segments.single(2)
+        with pytest.raises(ValueError, match="segs_xy"):
+            split_quad_nodes(np.zeros((3, 4)), np.zeros((1, 4)), seg, np.array([True]))
+        with pytest.raises(ValueError, match="node_boxes"):
+            split_quad_nodes(np.zeros((2, 4)), np.zeros((2, 4)), seg, np.array([True]))
+        with pytest.raises(ValueError, match="split_flags"):
+            split_quad_nodes(np.zeros((2, 4)), np.zeros((1, 4)), seg,
+                             np.array([True, False]))
+        with pytest.raises(ValueError, match="payload"):
+            split_quad_nodes(np.zeros((2, 4)), np.zeros((1, 4)), seg,
+                             np.array([True]), payloads={"x": np.zeros(3)})
+
+
+def test_round_uses_fixed_primitive_budget():
+    """Section 5.1: each subdivision stage is O(1) primitives."""
+    counts = []
+    for n in (8, 64, 512):
+        rng = np.random.default_rng(1)
+        lines = rng.integers(0, 16, size=(n, 4)).astype(float)
+        lines[:, 2] = np.clip(lines[:, 2] + 1, 0, 16)
+        m = Machine()
+        split_quad_nodes(lines, np.array([[0, 0, 16, 16]], float),
+                         Segments.single(n), np.array([True]), machine=m)
+        counts.append(m.total_primitives)
+    assert counts[0] == counts[1] == counts[2]

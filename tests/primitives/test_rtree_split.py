@@ -1,0 +1,172 @@
+"""R-tree split-selection tests (paper Section 4.7, Figure 29)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import intersection_area, rtree_split_example
+from repro.machine import Machine, Segments
+from repro.primitives import mean_split, prefix_suffix_boxes, sweep_split
+
+
+class TestFigure29:
+    """The worked prefix/suffix scan values, number for number."""
+
+    def setup_method(self):
+        ex = rtree_split_example()
+        self.rects = ex["rects"]
+        self.ex = ex
+        self.seg = Segments.single(4)
+
+    def test_left_bbox_scans(self):
+        L, _ = prefix_suffix_boxes(self.rects, self.seg)
+        assert np.array_equal(L[:, 0], self.ex["left_bbox_left"])
+        assert np.array_equal(L[:, 2], self.ex["left_bbox_right"])
+
+    def test_right_bbox_scans(self):
+        _, R = prefix_suffix_boxes(self.rects, self.seg)
+        assert np.array_equal(R[:, 0], self.ex["right_bbox_left"])
+        assert np.array_equal(R[:, 2], self.ex["right_bbox_right"])
+
+    def test_node_b_worked_values(self):
+        """For node B the text gives L Bbox (10, 50) and R Bbox (40, 80)."""
+        L, R = prefix_suffix_boxes(self.rects, self.seg)
+        assert (L[1, 0], L[1, 2]) == (10.0, 50.0)
+        assert (R[1, 0], R[1, 2]) == (40.0, 80.0)
+
+
+def _brute_best_split(rects, min_counts):
+    """Exhaustive oracle over both axes and all legal sorted cuts."""
+    best = None
+    k = rects.shape[0]
+    for axis in (0, 1):
+        order = np.argsort(rects[:, 0 + axis], kind="stable")
+        sr = rects[order]
+        for cut in range(int(min_counts), k - int(min_counts) + 1):
+            lbox = np.array([sr[:cut, 0].min(), sr[:cut, 1].min(),
+                             sr[:cut, 2].max(), sr[:cut, 3].max()])
+            rbox = np.array([sr[cut:, 0].min(), sr[cut:, 1].min(),
+                             sr[cut:, 2].max(), sr[cut:, 3].max()])
+            ov = float(intersection_area(lbox[None, :], rbox[None, :])[0])
+            if best is None or ov < best:
+                best = ov
+    return best
+
+
+rect_strategy = st.tuples(st.integers(0, 30), st.integers(0, 30),
+                          st.integers(1, 10), st.integers(1, 10))
+
+
+class TestSweepSplit:
+    def test_min_fill_respected(self):
+        rng = np.random.default_rng(0)
+        rects = np.column_stack([rng.integers(0, 50, 12), rng.integers(0, 50, 12),
+                                 np.zeros(12), np.zeros(12)]).astype(float)
+        rects[:, 2] = rects[:, 0] + rng.integers(1, 8, 12)
+        rects[:, 3] = rects[:, 1] + rng.integers(1, 8, 12)
+        ch = sweep_split(rects, Segments.single(12), min_fill=3)
+        nright = int(ch.side.sum())
+        assert 3 <= nright <= 9
+
+    def test_fractional_rule_balances(self):
+        """node_capacity engages the paper's m/M fraction."""
+        rng = np.random.default_rng(1)
+        n = 64
+        rects = np.zeros((n, 4))
+        rects[:, 0] = rects[:, 2] = np.arange(n, dtype=float)
+        rects[:, 1] = rects[:, 3] = rng.integers(0, 5, n).astype(float)
+        ch = sweep_split(rects, Segments.single(n), min_fill=2, node_capacity=4)
+        nright = int(ch.side.sum())
+        assert n // 2 == nright or abs(nright - n // 2) <= n // 2 - np.ceil(n * 2 / 4) + 1
+        assert min(nright, n - nright) >= np.ceil(n * 2 / 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rect_strategy, min_size=4, max_size=12))
+    def test_overlap_is_exhaustively_minimal(self, raw):
+        rects = np.array([[x, y, x + w, y + h] for x, y, w, h in raw], float)
+        ch = sweep_split(rects, Segments.single(len(raw)), min_fill=1)
+        want = _brute_best_split(rects, 1)
+        assert np.isclose(ch.overlap[0], want)
+
+    def test_side_is_in_original_order(self):
+        rects = np.array([[10, 0, 11, 1], [0, 0, 1, 1], [12, 0, 13, 1], [2, 0, 3, 1]],
+                         float)
+        ch = sweep_split(rects, Segments.single(4), min_fill=2)
+        # left-most two rects (rows 1 and 3) on one side, others on the other
+        assert ch.side[1] == ch.side[3]
+        assert ch.side[0] == ch.side[2]
+        assert ch.side[1] != ch.side[0]
+
+    def test_multiple_segments_split_independently(self):
+        rects = np.array([
+            [0, 0, 1, 1], [10, 0, 11, 1], [1, 0, 2, 1], [11, 0, 12, 1],
+            [0, 0, 1, 1], [0, 10, 1, 11], [0, 1, 1, 2], [0, 11, 1, 12],
+        ], float)
+        seg = Segments.from_lengths([4, 4])
+        ch = sweep_split(rects, seg, min_fill=2)
+        assert ch.axis[0] == 0  # first group separates along x
+        assert ch.axis[1] == 1  # second along y
+        assert int(ch.side[:4].sum()) == 2
+        assert int(ch.side[4:].sum()) == 2
+
+    def test_too_small_segment_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            sweep_split(np.zeros((3, 4)), Segments.single(3), min_fill=2)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="node_capacity"):
+            sweep_split(np.zeros((4, 4)), Segments.single(4), min_fill=2,
+                        node_capacity=3)
+
+
+class TestMeanSplit:
+    def test_splits_at_midpoint_mean(self):
+        rects = np.array([[0, 0, 2, 2], [1, 0, 3, 2], [10, 0, 12, 2], [11, 0, 13, 2]],
+                         float)
+        ch = mean_split(rects, Segments.single(4))
+        assert ch.axis[0] == 0
+        assert list(ch.side) == [False, False, True, True]
+        assert ch.overlap[0] == 0.0
+
+    def test_identical_midpoints_fall_back_balanced(self):
+        rects = np.tile(np.array([2.0, 2.0, 4.0, 4.0]), (4, 1))
+        ch = mean_split(rects, Segments.single(4))
+        assert int(ch.side.sum()) == 2
+
+    def test_chooses_less_overlapping_axis(self):
+        # separated along y, interleaved along x
+        rects = np.array([[0, 0, 10, 1], [1, 0, 11, 1],
+                          [0, 10, 10, 11], [1, 10, 11, 11]], float)
+        ch = mean_split(rects, Segments.single(4))
+        assert ch.axis[0] == 1
+
+    def test_constant_primitive_count(self):
+        """Algorithm 1 is O(1) scans per stage (paper's complexity claim)."""
+        totals = []
+        for n in (8, 128):
+            rng = np.random.default_rng(3)
+            rects = np.zeros((n, 4))
+            rects[:, 0] = rng.integers(0, 100, n)
+            rects[:, 1] = rng.integers(0, 100, n)
+            rects[:, 2] = rects[:, 0] + 1
+            rects[:, 3] = rects[:, 1] + 1
+            m = Machine()
+            mean_split(rects, Segments.single(n), machine=m)
+            totals.append(m.total_primitives)
+        assert totals[0] == totals[1]
+
+    def test_sweep_uses_sorts_mean_does_not(self):
+        rng = np.random.default_rng(4)
+        rects = np.zeros((16, 4))
+        rects[:, 0] = rng.integers(0, 100, 16)
+        rects[:, 1] = rng.integers(0, 100, 16)
+        rects[:, 2] = rects[:, 0] + 1
+        rects[:, 3] = rects[:, 1] + 1
+        m1 = Machine()
+        sweep_split(rects, Segments.single(16), min_fill=1, machine=m1)
+        assert m1.counts.get("sort", 0) == 2  # one per axis
+        m2 = Machine()
+        mean_split(rects, Segments.single(16), machine=m2)
+        assert m2.counts.get("sort", 0) == 0

@@ -1,0 +1,95 @@
+"""Unshuffle primitive tests (paper Section 4.2, Figures 15-16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Machine, Segments
+from repro.primitives import unshuffle
+
+
+class TestFigure15:
+    """The worked example: a-type elements pack left, b-type right."""
+
+    def setup_method(self):
+        # types a b a a b b a b over payload ABCDEFGH
+        self.side = np.array([0, 1, 0, 0, 1, 1, 0, 1], dtype=bool)
+        self.vals = np.array(list("ABCDEFGH"))
+
+    def test_partition(self):
+        r = unshuffle(self.side, self.vals)
+        assert "".join(r.arrays[0]) == "ACDGBEFH"
+
+    def test_destination_vector(self):
+        r = unshuffle(self.side, self.vals)
+        # F3 of Figure 16: a's shift left by #b before, b's right by #a after
+        assert list(r.destination) == [0, 4, 1, 2, 5, 6, 3, 7]
+
+    def test_left_counts(self):
+        r = unshuffle(self.side, self.vals)
+        assert list(r.left_counts) == [4]
+
+
+class TestGeneral:
+    def test_identity_when_sorted(self):
+        side = np.array([0, 0, 1, 1], bool)
+        r = unshuffle(side, np.arange(4))
+        assert list(r.arrays[0]) == [0, 1, 2, 3]
+
+    def test_all_one_side(self):
+        r = unshuffle(np.ones(3, bool), np.array([5, 6, 7]))
+        assert list(r.arrays[0]) == [5, 6, 7]
+
+    def test_multiple_payloads(self):
+        side = np.array([1, 0], bool)
+        r = unshuffle(side, np.array([1, 2]), np.array(list("xy")))
+        assert list(r.arrays[0]) == [2, 1]
+        assert "".join(r.arrays[1]) == "yx"
+
+    def test_empty(self):
+        r = unshuffle(np.zeros(0, bool), np.zeros(0))
+        assert r.arrays[0].size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            unshuffle(np.zeros(2, bool), np.zeros(3))
+
+
+class TestSegmented:
+    def test_segments_partition_independently(self):
+        seg = Segments.from_lengths([3, 3])
+        side = np.array([1, 0, 1, 0, 1, 0], bool)
+        r = unshuffle(side, np.arange(6), segments=seg)
+        assert list(r.arrays[0]) == [1, 0, 2, 3, 5, 4]
+        assert list(r.left_counts) == [1, 2]
+
+    def test_elements_never_cross_segments(self):
+        seg = Segments.from_lengths([2, 2])
+        side = np.array([1, 1, 0, 0], bool)
+        r = unshuffle(side, np.array([10, 11, 20, 21]), segments=seg)
+        assert list(r.arrays[0]) == [10, 11, 20, 21]
+
+
+@given(st.lists(st.tuples(st.integers(0, 99), st.booleans()),
+                min_size=1, max_size=40),
+       st.data())
+def test_unshuffle_is_stable_partition_per_segment(items, data):
+    values = np.array([v for v, _ in items])
+    side = np.array([s for _, s in items], dtype=bool)
+    flags = [True] + [data.draw(st.booleans()) for _ in range(len(items) - 1)]
+    seg = Segments.from_flags(np.array(flags))
+    r = unshuffle(side, values, segments=seg)
+    for sl in seg.slices():
+        chunk_v = values[sl]
+        chunk_s = side[sl]
+        want = list(chunk_v[~chunk_s]) + list(chunk_v[chunk_s])
+        assert list(r.arrays[0][sl]) == want
+
+
+def test_cost_is_constant_number_of_primitives():
+    """Figure 16: two scans, two elementwise, one permute."""
+    m = Machine()
+    unshuffle(np.tile([True, False], 50), np.arange(100), machine=m)
+    assert m.counts["scan"] == 2
+    assert m.counts["elementwise"] == 2
+    assert m.counts["permute"] == 1

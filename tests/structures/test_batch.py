@@ -1,0 +1,109 @@
+"""Batch (data-parallel) window-query tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import clustered_map, random_segments
+from repro.machine import Machine
+from repro.structures import (
+    batch_window_query_quadtree,
+    batch_window_query_rtree,
+    build_bucket_pmr,
+    build_pm1,
+    build_rtree,
+)
+
+DOMAIN = 512
+
+
+def windows(k, seed):
+    rng = np.random.default_rng(seed)
+    r = np.zeros((k, 4))
+    r[:, 0] = rng.integers(0, 400, k)
+    r[:, 1] = rng.integers(0, 400, k)
+    r[:, 2] = r[:, 0] + rng.integers(8, 112, k)
+    r[:, 3] = r[:, 1] + rng.integers(8, 112, k)
+    return r
+
+
+class TestQuadtreeBatch:
+    def setup_method(self):
+        self.segs = random_segments(250, DOMAIN, 48, seed=3)
+        self.tree, _ = build_bucket_pmr(self.segs, DOMAIN, 6)
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_matches_scalar_queries(self, exact):
+        rects = windows(30, 4)
+        got = batch_window_query_quadtree(self.tree, rects, exact=exact)
+        assert len(got) == 30
+        for i, r in enumerate(rects):
+            want = np.unique(self.tree.window_query(r, exact=exact))
+            assert np.array_equal(got[i], want)
+
+    def test_single_query(self):
+        rect = np.array([[10, 10, 200, 200]], float)
+        got = batch_window_query_quadtree(self.tree, rect)
+        assert np.array_equal(got[0], np.unique(self.tree.window_query(rect[0])))
+
+    def test_empty_query_set(self):
+        assert batch_window_query_quadtree(self.tree, np.zeros((0, 4))) == []
+
+    def test_all_miss(self):
+        rects = np.array([[600, 600, 700, 700], [-50, -50, -10, -10]], float)
+        got = batch_window_query_quadtree(self.tree, rects)
+        assert all(g.size == 0 for g in got)
+
+    def test_works_on_pm1(self):
+        tree, _ = build_pm1(np.unique(self.segs, axis=0), DOMAIN)
+        rects = windows(10, 5)
+        got = batch_window_query_quadtree(tree, rects)
+        for i, r in enumerate(rects):
+            assert np.array_equal(got[i], np.unique(tree.window_query(r)))
+
+    def test_rounds_bounded_by_height(self):
+        m = Machine()
+        rects = windows(64, 6)
+        batch_window_query_quadtree(self.tree, rects, machine=m)
+        # one elementwise test per frontier round: height+1 rounds max
+        assert m.counts["elementwise"] <= self.tree.height + 2
+
+
+class TestRtreeBatch:
+    def setup_method(self):
+        self.segs = clustered_map(250, clusters=5, spread=40, domain=DOMAIN, seed=7)
+        self.tree, _ = build_rtree(self.segs, 2, 8)
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_matches_scalar_queries(self, exact):
+        rects = windows(30, 8)
+        got = batch_window_query_rtree(self.tree, rects, exact=exact)
+        for i, r in enumerate(rects):
+            want = np.unique(self.tree.window_query(r, exact=exact))
+            assert np.array_equal(got[i], want)
+
+    def test_single_leaf_tree(self):
+        small, _ = build_rtree(self.segs[:3], 1, 4)
+        rects = windows(6, 9)
+        got = batch_window_query_rtree(small, rects)
+        for i, r in enumerate(rects):
+            assert np.array_equal(got[i], np.unique(small.window_query(r)))
+
+    def test_all_miss(self):
+        rects = np.array([[600, 600, 700, 700]], float)
+        got = batch_window_query_rtree(self.tree, rects)
+        assert got[0].size == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_fuzz_batch_consensus(seed):
+    rng = np.random.default_rng(seed)
+    segs = random_segments(int(rng.integers(5, 80)), DOMAIN, 48, seed=seed)
+    pmr, _ = build_bucket_pmr(segs, DOMAIN, 4)
+    rt, _ = build_rtree(segs, 1, 4)
+    rects = windows(8, seed)
+    got_q = batch_window_query_quadtree(pmr, rects)
+    got_r = batch_window_query_rtree(rt, rects)
+    for a, b in zip(got_q, got_r):
+        assert np.array_equal(a, b)

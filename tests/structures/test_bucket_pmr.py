@@ -1,0 +1,157 @@
+"""Data-parallel bucket PMR quadtree tests (paper Section 5.2, Figures 4, 35-38)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_window_query, seq_bucket_pmr_decomposition
+from repro.geometry import paper_dataset, random_segments
+from repro.machine import Machine, use_machine
+from repro.structures import build_bucket_pmr, occupancy_bound_ok
+from repro.structures.bucket_pmr import build_bucket_pmr as _build
+
+
+class TestPaperExample:
+    """Figure 4 / Figures 35-38: capacity 2, maximal height 3, 8x8 space."""
+
+    def setup_method(self):
+        self.segs = paper_dataset()
+        self.tree, self.trace = build_bucket_pmr(self.segs, 8, capacity=2, max_depth=3)
+
+    def test_invariants(self):
+        self.tree.check(full=True)
+
+    def test_matches_sequential_oracle(self):
+        assert self.tree.decomposition_key() == \
+            seq_bucket_pmr_decomposition(self.segs, 8, 2, 3)
+
+    def test_three_rounds_like_figures_36_38(self):
+        assert self.trace.num_rounds == 3
+
+    def test_a_max_depth_bucket_may_exceed_capacity(self):
+        """Figure 38's node 9: at maximal resolution the capacity yields."""
+        counts = np.diff(self.tree.node_ptr)
+        at_max = self.tree.is_leaf & (self.tree.level == 3)
+        assert counts[at_max].max() > 2
+
+    def test_occupancy_bound_below_max_depth(self):
+        assert occupancy_bound_ok(self.tree, 2)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("seed,capacity", [(0, 1), (1, 2), (2, 4), (3, 8)])
+    def test_random_maps(self, seed, capacity):
+        segs = random_segments(60, domain=64, max_len=16, seed=seed)
+        tree, _ = build_bucket_pmr(segs, 64, capacity)
+        assert tree.decomposition_key() == \
+            seq_bucket_pmr_decomposition(segs, 64, capacity)
+        tree.check(full=True)
+        assert occupancy_bound_ok(tree, capacity)
+
+    def test_order_independence(self):
+        """Section 5.2's whole point: shape ignores insertion order."""
+        segs = random_segments(50, domain=64, max_len=16, seed=9)
+        rng = np.random.default_rng(1)
+        a, _ = build_bucket_pmr(segs, 64, 3)
+        b, _ = build_bucket_pmr(segs[rng.permutation(50)], 64, 3)
+        boxes_a = sorted(box for box, _ in a.decomposition_key())
+        boxes_b = sorted(box for box, _ in b.decomposition_key())
+        assert boxes_a == boxes_b
+
+
+class TestCapacityBehaviour:
+    """Section 2.2: larger thresholds -> smaller, shallower structures."""
+
+    def setup_method(self):
+        self.segs = random_segments(300, domain=256, max_len=32, seed=4)
+
+    def test_nodes_decrease_with_capacity(self):
+        nodes = []
+        for cap in (2, 4, 8, 16):
+            tree, _ = build_bucket_pmr(self.segs, 256, cap)
+            nodes.append(tree.num_nodes)
+        assert nodes == sorted(nodes, reverse=True)
+        assert nodes[0] > nodes[-1]
+
+    def test_rounds_decrease_with_capacity(self):
+        r2 = build_bucket_pmr(self.segs, 256, 2)[1].num_rounds
+        r16 = build_bucket_pmr(self.segs, 256, 16)[1].num_rounds
+        assert r16 <= r2
+
+    def test_occupancy_grows_with_capacity(self):
+        t2, _ = build_bucket_pmr(self.segs, 256, 2)
+        t16, _ = build_bucket_pmr(self.segs, 256, 16)
+        c2 = np.diff(t2.node_ptr)[t2.is_leaf]
+        c16 = np.diff(t16.node_ptr)[t16.is_leaf]
+        assert c16.max() > c2[t2.level[t2.is_leaf] < t2.max_depth].max()
+
+
+class TestQueries:
+    def setup_method(self):
+        self.segs = random_segments(80, domain=128, max_len=24, seed=8)
+        self.tree, _ = build_bucket_pmr(self.segs, 128, 4)
+
+    @pytest.mark.parametrize("rect", [
+        [0, 0, 128, 128], [5, 90, 30, 120], [64, 0, 128, 64], [31, 31, 33, 33],
+    ])
+    def test_window_query_matches_brute(self, rect):
+        got = set(self.tree.window_query(np.array(rect, float)).tolist())
+        want = set(brute_window_query(self.segs, rect).tolist())
+        assert got == want
+
+    def test_inexact_query_is_superset(self):
+        rect = np.array([10, 10, 50, 50], float)
+        exact = set(self.tree.window_query(rect, exact=True).tolist())
+        loose = set(self.tree.window_query(rect, exact=False).tolist())
+        assert exact <= loose
+
+
+class TestEdgeCases:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            build_bucket_pmr(np.zeros((0, 4)), 8, 0)
+
+    def test_under_capacity_input_stays_one_node(self):
+        segs = np.array([[0, 0, 2, 2], [5, 5, 7, 7]], float)
+        tree, trace = build_bucket_pmr(segs, 8, capacity=4)
+        assert tree.num_nodes == 1
+        assert trace.num_rounds == 0
+
+    def test_duplicate_lines_allowed(self):
+        """Unlike PM1, identical lines are fine: the bucket just counts."""
+        segs = np.array([[1, 1, 3, 3]] * 5, dtype=float)
+        tree, _ = build_bucket_pmr(segs, 8, capacity=2, max_depth=2)
+        tree.check(full=False)
+        assert tree.q_edge_count >= 5
+
+    def test_max_depth_zero_never_splits(self):
+        segs = random_segments(20, domain=16, max_len=8, seed=3)
+        tree, _ = build_bucket_pmr(segs, 16, 1, max_depth=0)
+        assert tree.num_nodes == 1
+
+
+def test_rounds_cost_constant_primitives():
+    """Section 5.2: O(1) scans and un-shuffles per subdivision stage."""
+    segs = random_segments(400, domain=512, max_len=32, seed=10)
+    m = Machine()
+    with use_machine(m):
+        _, trace = build_bucket_pmr(segs, 512, 4)
+    per_round = [r.steps for r in trace.rounds]
+    assert len(set(per_round)) == 1
+
+
+class TestRenderGrid:
+    def test_grid_is_deterministic_and_bounded(self):
+        from repro.geometry import paper_dataset
+        tree, _ = build_bucket_pmr(paper_dataset(), 8, 2, max_depth=3)
+        art = tree.render_grid(cell=1)
+        assert art == tree.render_grid(cell=1)
+        lines = art.splitlines()
+        assert len(lines) == 9              # 8 cells + border
+        assert all(len(ln) <= 17 for ln in lines)
+        assert art.count("+") > 4           # boundaries drawn
+
+    def test_large_domain_rejected(self):
+        segs = random_segments(10, domain=256, max_len=32, seed=0)
+        tree, _ = build_bucket_pmr(segs, 256, 4)
+        with pytest.raises(ValueError, match="small domains"):
+            tree.render_grid()

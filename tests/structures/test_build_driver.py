@@ -1,0 +1,94 @@
+"""Tests for the public build driver as an extension point.
+
+``build_quadtree`` accepts arbitrary splitting rules; third parties can
+define new quadtree variants by supplying one.  These tests exercise
+that contract directly (custom rules, error paths, trace contents).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_segments
+from repro.machine import Machine, Segments, use_machine
+from repro.structures import build_quadtree
+from repro.structures.build import RoundStats
+
+
+def lines():
+    return random_segments(40, domain=64, max_len=16, seed=21)
+
+
+class TestCustomRules:
+    def test_never_split_rule(self):
+        tree, trace = build_quadtree(
+            lines(), 64, lambda s, seg, boxes, lvls, m: np.zeros(seg.nseg, bool))
+        assert tree.num_nodes == 1
+        assert trace.num_rounds == 0
+
+    def test_fixed_depth_rule(self):
+        """Split everything to depth 2: a uniform 4x4 grid."""
+        def rule(segs_xy, segments, boxes, levels, m):
+            return levels < 2
+        tree, trace = build_quadtree(lines(), 64, rule)
+        assert trace.num_rounds == 2
+        leaf_levels = tree.level[tree.is_leaf]
+        # non-empty leaves are all at depth 2; empty siblings also exist
+        assert set(leaf_levels.tolist()) <= {1, 2}
+        assert tree.height == 2
+        tree.check(full=True)
+
+    def test_area_threshold_rule(self):
+        """Split while a block is wider than 16 units."""
+        def rule(segs_xy, segments, boxes, levels, m):
+            return (boxes[:, 2] - boxes[:, 0]) > 16
+        tree, _ = build_quadtree(lines(), 64, rule)
+        widths = tree.boxes[tree.is_leaf][:, 2] - tree.boxes[tree.is_leaf][:, 0]
+        assert widths.max() <= 16
+        tree.check(full=True)
+
+    def test_trace_rounds_are_monotone(self):
+        def rule(segs_xy, segments, boxes, levels, m):
+            return levels < 3
+        _, trace = build_quadtree(lines(), 64, rule)
+        assert [r.round_index for r in trace.rounds] == list(range(trace.num_rounds))
+        assert all(isinstance(r, RoundStats) and r.steps > 0 for r in trace.rounds)
+        assert trace.total_steps == sum(r.steps for r in trace.rounds)
+        assert trace.max_line_processors >= 40
+
+
+class TestErrorPaths:
+    def test_rule_with_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="one verdict per segment"):
+            build_quadtree(lines(), 64,
+                           lambda s, seg, boxes, lvls, m: np.zeros(1 + seg.nseg, bool))
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            build_quadtree(lines(), 63, lambda *a: np.zeros(1, bool))
+
+    def test_bad_max_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            build_quadtree(lines(), 64, lambda *a: np.zeros(1, bool), max_depth=99)
+
+    def test_runaway_rule_terminates_via_depth_cap(self):
+        """An always-split rule is stopped by the resolution cap."""
+        def rule(segs_xy, segments, boxes, levels, m):
+            return np.ones(segments.nseg, bool)
+        small = random_segments(12, domain=16, max_len=6, seed=22)
+        tree, trace = build_quadtree(small, 16, rule)
+        assert tree.height <= 4
+        assert trace.num_rounds <= 4
+
+
+def test_machine_threading():
+    """The rule receives the same machine that accumulates build cost."""
+    seen = []
+
+    def rule(segs_xy, segments, boxes, levels, m):
+        seen.append(m)
+        return levels < 1
+
+    mach = Machine()
+    build_quadtree(lines(), 64, rule, machine=mach)
+    assert all(m is mach for m in seen)
+    assert mach.steps > 0

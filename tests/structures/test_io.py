@@ -1,0 +1,86 @@
+"""Serialization round-trip tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_segments
+from repro.structures import (
+    build_bucket_pmr,
+    build_pm1,
+    build_rtree,
+    load_structure,
+    save_structure,
+)
+
+
+def roundtrip(tree, tmp_path, name):
+    path = tmp_path / name
+    save_structure(tree, path)
+    return load_structure(str(path) + ".npz" if not str(path).endswith(".npz") else path)
+
+
+class TestQuadtreeRoundtrip:
+    def test_bucket_pmr(self, tmp_path):
+        segs = random_segments(80, 128, 24, seed=1)
+        tree, _ = build_bucket_pmr(segs, 128, 4)
+        back = roundtrip(tree, tmp_path, "pmr.npz")
+        assert back.decomposition_key() == tree.decomposition_key()
+        assert back.domain == tree.domain and back.max_depth == tree.max_depth
+        back.check(full=True)
+
+    def test_pm1(self, tmp_path):
+        segs = np.unique(random_segments(40, 64, 16, seed=2), axis=0)
+        tree, _ = build_pm1(segs, 64)
+        back = roundtrip(tree, tmp_path, "pm1.npz")
+        assert back.decomposition_key() == tree.decomposition_key()
+
+    def test_queries_survive(self, tmp_path):
+        segs = random_segments(60, 128, 24, seed=3)
+        tree, _ = build_bucket_pmr(segs, 128, 4)
+        back = roundtrip(tree, tmp_path, "q.npz")
+        rect = np.array([10, 10, 90, 70], float)
+        assert np.array_equal(np.sort(back.window_query(rect)),
+                              np.sort(tree.window_query(rect)))
+
+
+class TestRtreeRoundtrip:
+    def test_rtree(self, tmp_path):
+        segs = random_segments(90, 256, 32, seed=4)
+        tree, _ = build_rtree(segs, 2, 6)
+        back = roundtrip(tree, tmp_path, "rt.npz")
+        back.check()
+        assert back.m == 2 and back.M == 6
+        assert np.array_equal(back.line_leaf, tree.line_leaf)
+        for a, b in zip(back.level_mbr, tree.level_mbr):
+            assert np.array_equal(a, b)
+
+    def test_single_leaf_tree(self, tmp_path):
+        segs = random_segments(3, 64, 16, seed=5)
+        tree, _ = build_rtree(segs, 1, 4)
+        back = roundtrip(tree, tmp_path, "small.npz")
+        assert back.height == 1
+
+    def test_queries_survive(self, tmp_path):
+        segs = random_segments(70, 256, 32, seed=6)
+        tree, _ = build_rtree(segs, 2, 6)
+        back = roundtrip(tree, tmp_path, "rq.npz")
+        rect = np.array([30, 30, 180, 200], float)
+        assert np.array_equal(np.sort(back.window_query(rect)),
+                              np.sort(tree.window_query(rect)))
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_structure(object(), tmp_path / "x.npz")
+
+    def test_in_memory_buffer(self):
+        segs = random_segments(20, 64, 16, seed=7)
+        tree, _ = build_bucket_pmr(segs, 64, 4)
+        buf = io.BytesIO()
+        save_structure(tree, buf)
+        buf.seek(0)
+        back = load_structure(buf)
+        assert back.decomposition_key() == tree.decomposition_key()

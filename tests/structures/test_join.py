@@ -1,0 +1,88 @@
+"""Spatial-join tests (the Section 6 application)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import clustered_map, paper_dataset, random_segments
+from repro.structures import (
+    brute_join,
+    build_bucket_pmr,
+    build_rtree,
+    quadtree_join,
+    rtree_join,
+)
+
+
+class TestBruteJoin:
+    def test_known_pairs(self):
+        a = np.array([[0, 0, 4, 4], [10, 10, 12, 12]], float)
+        b = np.array([[0, 4, 4, 0], [20, 20, 22, 22]], float)
+        got = brute_join(a, b)
+        assert got.tolist() == [[0, 0]]
+
+    def test_self_join_of_paper_dataset(self):
+        segs = paper_dataset()
+        pairs = brute_join(segs, segs)
+        keys = set(map(tuple, pairs.tolist()))
+        # every line intersects itself
+        assert all((i, i) in keys for i in range(9))
+        # c, d, i pairwise intersect (shared vertex)
+        for i in (2, 3, 8):
+            for j in (2, 3, 8):
+                assert (i, j) in keys
+
+    def test_empty_inputs(self):
+        assert brute_join(np.zeros((0, 4)), np.zeros((0, 4))).shape == (0, 2)
+
+    def test_blocking_is_invisible(self):
+        a = random_segments(40, 128, 32, seed=0)
+        b = random_segments(40, 128, 32, seed=1)
+        assert np.array_equal(brute_join(a, b, block=7), brute_join(a, b, block=512))
+
+
+@pytest.mark.parametrize("seed_a,seed_b,n", [(0, 1, 50), (2, 3, 80), (4, 5, 30)])
+class TestStructuredJoins:
+    def test_quadtree_join_matches_brute(self, seed_a, seed_b, n):
+        a = random_segments(n, 256, 48, seed=seed_a)
+        b = random_segments(n, 256, 48, seed=seed_b)
+        ta, _ = build_bucket_pmr(a, 256, 8)
+        tb, _ = build_bucket_pmr(b, 256, 8)
+        assert np.array_equal(quadtree_join(ta, tb), brute_join(a, b))
+
+    def test_rtree_join_matches_brute(self, seed_a, seed_b, n):
+        a = random_segments(n, 256, 48, seed=seed_a)
+        b = random_segments(n, 256, 48, seed=seed_b)
+        ra, _ = build_rtree(a, 2, 8)
+        rb, _ = build_rtree(b, 2, 8)
+        assert np.array_equal(rtree_join(ra, rb), brute_join(a, b))
+
+
+class TestJoinEdgeCases:
+    def test_mismatched_domains_rejected(self):
+        ta, _ = build_bucket_pmr(random_segments(10, 64, 16, seed=0), 64, 4)
+        tb, _ = build_bucket_pmr(random_segments(10, 128, 16, seed=1), 128, 4)
+        with pytest.raises(ValueError, match="domain"):
+            quadtree_join(ta, tb)
+
+    def test_disjoint_maps_have_no_pairs(self):
+        a = np.array([[0, 0, 10, 10]], float)
+        b = np.array([[100, 100, 120, 120]], float)
+        ta, _ = build_bucket_pmr(a, 128, 4)
+        tb, _ = build_bucket_pmr(b, 128, 4)
+        assert quadtree_join(ta, tb).shape == (0, 2)
+
+    def test_uneven_tree_depths(self):
+        """One dense map (deep tree) joined with one sparse map."""
+        a = clustered_map(120, clusters=1, spread=10, domain=256, seed=6)
+        b = random_segments(10, 256, 64, seed=7)
+        ta, _ = build_bucket_pmr(a, 256, 2)
+        tb, _ = build_bucket_pmr(b, 256, 8)
+        assert np.array_equal(quadtree_join(ta, tb), brute_join(a, b))
+        ra, _ = build_rtree(a, 2, 4)
+        rb, _ = build_rtree(b, 1, 8)
+        assert np.array_equal(rtree_join(ra, rb), brute_join(a, b))
+
+    def test_empty_rtree_join(self):
+        ra, _ = build_rtree(np.zeros((0, 4)), 1, 3)
+        rb, _ = build_rtree(paper_dataset(), 1, 3)
+        assert rtree_join(ra, rb).shape == (0, 2)

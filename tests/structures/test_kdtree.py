@@ -1,0 +1,127 @@
+"""Data-parallel k-d tree tests ([Blel89b] related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Machine, use_machine
+from repro.structures import build_kdtree
+
+
+def points(n, seed=0, domain=1000):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, domain, size=(n, 2))
+
+
+class TestBuild:
+    @pytest.mark.parametrize("n,leaf", [(1, 1), (2, 1), (17, 4), (100, 4), (1000, 8)])
+    def test_invariants(self, n, leaf):
+        tree, _ = build_kdtree(points(n, seed=n), leaf_size=leaf)
+        tree.check()
+
+    def test_balance_gives_log_height(self):
+        tree, trace = build_kdtree(points(4096, seed=1), leaf_size=1)
+        assert tree.height == 13  # ceil(log2 4096) + 1
+        assert trace.num_rounds == 12
+
+    def test_every_point_in_exactly_one_leaf(self):
+        tree, _ = build_kdtree(points(200, seed=2), leaf_size=4)
+        leaves = [node for node in range(tree.num_nodes)
+                  if tree.node_left[node] < 0 and
+                  (node == 0 or tree.node_end[node] > tree.node_start[node])]
+        ids = np.concatenate([tree.points_in_node(n) for n in leaves])
+        assert np.array_equal(np.sort(ids), np.arange(200))
+
+    def test_duplicate_points(self):
+        pts = np.tile([[5.0, 5.0]], (33, 1))
+        tree, _ = build_kdtree(pts, leaf_size=2)
+        tree.check()
+
+    def test_empty(self):
+        tree, trace = build_kdtree(np.zeros((0, 2)), leaf_size=2)
+        assert tree.num_nodes == 1
+        assert trace.num_rounds == 0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_kdtree(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            build_kdtree(points(5), leaf_size=0)
+
+    def test_axes_alternate(self):
+        tree, _ = build_kdtree(points(64, seed=3), leaf_size=1)
+        assert tree.split_axis[0] == 0
+        kids = [int(tree.node_left[0]), int(tree.node_right[0])]
+        for k in kids:
+            if tree.node_left[k] >= 0:
+                assert tree.split_axis[k] == 1
+
+
+class TestQueries:
+    def setup_method(self):
+        self.pts = points(300, seed=4)
+        self.tree, _ = build_kdtree(self.pts, leaf_size=4)
+
+    def test_nearest_matches_brute(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            qx, qy = rng.uniform(-100, 1100, 2)
+            d = np.hypot(self.pts[:, 0] - qx, self.pts[:, 1] - qy)
+            got_id, got_d = self.tree.nearest(qx, qy)
+            assert abs(got_d - d.min()) < 1e-9
+            assert got_id == int(np.argmin(d))
+
+    def test_nearest_of_member_point(self):
+        got_id, got_d = self.tree.nearest(*self.pts[42])
+        assert got_d == 0.0
+
+    def test_range_matches_brute(self):
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            qx, qy = rng.uniform(0, 1000, 2)
+            r = rng.uniform(10, 300)
+            d = np.hypot(self.pts[:, 0] - qx, self.pts[:, 1] - qy)
+            want = np.sort(np.flatnonzero(d <= r))
+            got = self.tree.range_query(qx, qy, r)
+            assert np.array_equal(got, want)
+
+    def test_zero_radius(self):
+        got = self.tree.range_query(*self.pts[0], 0.0)
+        assert 0 in got.tolist()
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            self.tree.range_query(0, 0, -1)
+
+    def test_empty_nearest_rejected(self):
+        tree, _ = build_kdtree(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            tree.nearest(0, 0)
+
+
+class TestCost:
+    def test_one_sort_per_level(self):
+        m = Machine()
+        with use_machine(m):
+            _, trace = build_kdtree(points(512, seed=7), leaf_size=1)
+        assert m.counts["sort"] == trace.num_rounds
+
+    def test_rounds_are_logarithmic(self):
+        rounds = []
+        for n in (128, 1024, 8192):
+            _, trace = build_kdtree(points(n, seed=n), leaf_size=4)
+            rounds.append(trace.num_rounds)
+        assert rounds == sorted(rounds)
+        assert rounds[-1] - rounds[0] == 6  # log2(8192/128)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(1, 6))
+def test_property_build_and_query(seed, leaf):
+    pts = points(int(np.random.default_rng(seed).integers(1, 60)), seed=seed)
+    tree, _ = build_kdtree(pts, leaf_size=leaf)
+    tree.check()
+    qx, qy = 500.0, 500.0
+    d = np.hypot(pts[:, 0] - qx, pts[:, 1] - qy)
+    _, got_d = tree.nearest(qx, qy)
+    assert abs(got_d - d.min()) < 1e-9

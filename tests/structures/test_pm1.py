@@ -1,0 +1,135 @@
+"""Data-parallel PM1 quadtree build tests (paper Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_point_query, brute_window_query, seq_pm1_decomposition
+from repro.geometry import paper_dataset, random_segments, star_map
+from repro.machine import Machine, use_machine
+from repro.structures import build_pm1
+
+
+class TestPaperDataset:
+    def setup_method(self):
+        self.segs = paper_dataset()
+        self.tree, self.trace = build_pm1(self.segs, 8)
+
+    def test_structural_invariants(self):
+        self.tree.check(full=True)
+
+    def test_matches_sequential_oracle(self):
+        assert self.tree.decomposition_key() == seq_pm1_decomposition(self.segs, 8)
+
+    def test_shared_vertex_region_survives(self):
+        """The paper's region A: c, d, i share (1, 6) and stay together."""
+        leaf = self.tree.find_leaf(1.2, 6.2)
+        ids = set(self.tree.lines_in_node(leaf).tolist())
+        assert {2, 3, 8} <= ids  # c, d, i
+
+    def test_three_rounds_like_figures_30_33(self):
+        assert self.trace.num_rounds == 3
+
+    def test_empty_leaves_exist(self):
+        # subdivision always creates all four children (Figure 2 discussion)
+        assert self.tree.num_empty_leaves > 0
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_maps(self, seed):
+        segs = random_segments(40, domain=64, max_len=16, seed=seed)
+        segs = np.unique(segs, axis=0)
+        tree, _ = build_pm1(segs, 64)
+        assert tree.decomposition_key() == seq_pm1_decomposition(segs, 64)
+        tree.check(full=True)
+
+    def test_star_map_shared_vertices(self):
+        segs = star_map(stars=2, rays=5, radius=12, domain=64, seed=9)
+        tree, _ = build_pm1(segs, 64)
+        assert tree.decomposition_key() == seq_pm1_decomposition(segs, 64)
+
+    def test_order_independence(self):
+        """PM1 shape is a pure function of the line set."""
+        segs = random_segments(30, domain=64, max_len=16, seed=5)
+        segs = np.unique(segs, axis=0)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(segs.shape[0])
+        a, _ = build_pm1(segs, 64)
+        b, _ = build_pm1(segs[perm], 64)
+        boxes_a = sorted(box for box, _ in a.decomposition_key())
+        boxes_b = sorted(box for box, _ in b.decomposition_key())
+        assert boxes_a == boxes_b
+
+
+class TestQueries:
+    def setup_method(self):
+        self.segs = random_segments(60, domain=128, max_len=24, seed=7)
+        self.segs = np.unique(self.segs, axis=0)
+        self.tree, _ = build_pm1(self.segs, 128)
+
+    @pytest.mark.parametrize("rect", [
+        [0, 0, 128, 128], [10, 10, 40, 40], [100, 5, 120, 60], [63, 63, 65, 65],
+    ])
+    def test_window_query_matches_brute(self, rect):
+        got = set(self.tree.window_query(np.array(rect, float)).tolist())
+        want = set(brute_window_query(self.segs, rect).tolist())
+        assert got == want
+
+    def test_point_query_returns_leaf_residents(self):
+        ids = self.tree.point_query(50, 50)
+        leaf = self.tree.find_leaf(50, 50)
+        assert set(ids.tolist()) == set(self.tree.lines_in_node(leaf).tolist())
+
+    def test_point_query_outside_domain_raises(self):
+        with pytest.raises(ValueError):
+            self.tree.find_leaf(200, 50)
+
+    def test_window_visit_count_reported(self):
+        ids, visits = self.tree.window_query(
+            np.array([0, 0, 10, 10], float), count_visits=True)
+        assert visits >= 1
+
+
+class TestInputValidation:
+    def test_duplicate_lines_rejected(self):
+        segs = np.array([[0, 0, 4, 4], [4, 4, 0, 0]], float)  # same undirected line
+        with pytest.raises(ValueError, match="duplicate"):
+            build_pm1(segs, 8)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            build_pm1(np.array([[1, 1, 1, 1]], float), 8)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError, match="inside"):
+            build_pm1(np.array([[0, 0, 9, 9]], float), 8)
+
+    def test_empty_input_gives_root_leaf(self):
+        tree, trace = build_pm1(np.zeros((0, 4)), 8)
+        assert tree.num_nodes == 1
+        assert tree.num_leaves == 1
+        assert trace.num_rounds == 0
+
+    def test_single_line(self):
+        tree, _ = build_pm1(np.array([[1, 1, 6, 3]], float), 8)
+        tree.check(full=True)
+        # one line with two vertices still forces subdivision (max EPs == 2)
+        assert tree.num_nodes > 1
+
+
+def test_build_is_pure_function_of_input():
+    segs = paper_dataset()
+    a, _ = build_pm1(segs, 8)
+    b, _ = build_pm1(segs, 8)
+    assert a.decomposition_key() == b.decomposition_key()
+
+
+def test_rounds_are_constant_primitives():
+    """Section 5.1: each subdivision stage costs O(1) primitives."""
+    segs = random_segments(200, domain=256, max_len=32, seed=11)
+    segs = np.unique(segs, axis=0)
+    m = Machine()
+    with use_machine(m):
+        _, trace = build_pm1(segs, 256)
+    per_round = [r.steps for r in trace.rounds]
+    assert max(per_round) - min(per_round) <= 25  # fixed primitive schedule

@@ -1,0 +1,55 @@
+"""Figure 2's pathological PM1 behaviour: close vertices force deep trees."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import pathological_pair
+from repro.structures import build_pm1
+
+
+def depth_and_empties(separation, domain=64):
+    segs = pathological_pair(domain, separation)
+    tree, trace = build_pm1(segs, domain)
+    return tree.height, tree.num_empty_leaves, tree.num_nodes, trace.num_rounds
+
+
+class TestPathology:
+    def test_two_lines_many_nodes(self):
+        """Two segments produce a tree with dozens of nodes (Figure 2b's
+        'fifteen new nodes ... eleven of which are empty')."""
+        height, empties, nodes, _ = depth_and_empties(1)
+        assert nodes > 15
+        assert empties >= nodes // 3  # a large share of created nodes is empty
+
+    def test_depth_grows_as_separation_shrinks(self):
+        h_wide = depth_and_empties(15)[0]
+        h_close = depth_and_empties(1)[0]
+        assert h_close > h_wide
+
+    def test_depth_tracks_log_of_separation(self):
+        heights = [depth_and_empties(s)[0] for s in (1, 2, 4, 8)]
+        assert heights == sorted(heights, reverse=True)
+        # one extra level roughly per halving of the separation
+        assert heights[0] - heights[-1] >= 2
+
+    def test_rounds_track_depth(self):
+        """The data-parallel build pays one round per extra level."""
+        _, _, _, r_close = depth_and_empties(1)
+        _, _, _, r_wide = depth_and_empties(15)
+        assert r_close > r_wide
+
+    def test_terminates_at_max_resolution(self):
+        tree, _ = build_pm1(pathological_pair(32, 1), 32)
+        assert tree.height <= 5  # log2(32)
+        tree.check(full=True)
+
+
+def test_bucket_pmr_is_immune():
+    """Section 2.2: the PMR family avoids the Figure 2 blow-up."""
+    from repro.structures import build_bucket_pmr
+
+    segs = pathological_pair(64, 1)
+    pm1_tree, _ = build_pm1(segs, 64)
+    pmr_tree, _ = build_bucket_pmr(segs, 64, capacity=2)
+    assert pmr_tree.num_nodes < pm1_tree.num_nodes
+    assert pmr_tree.height < pm1_tree.height

@@ -1,0 +1,139 @@
+"""PR quadtree tests ([Best92] related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.rect import contains_point_halfopen
+from repro.machine import Machine, use_machine
+from repro.structures.pr_quadtree import build_pr_quadtree
+
+
+def seq_pr_decomposition(points, domain, capacity, depth_cap):
+    """Sequential recursive oracle (same conventions)."""
+    out = []
+
+    def rec(box, ids, depth):
+        if ids.size > capacity and depth < depth_cap:
+            x0, y0, x1, y1 = box
+            cx, cy = (x0 + x1) / 2, (y0 + y1) / 2
+            quads = [(x0, y0, cx, cy), (cx, y0, x1, cy),
+                     (x0, cy, cx, y1), (cx, cy, x1, y1)]
+            for b in quads:
+                m = contains_point_halfopen(
+                    np.tile(b, (ids.size, 1)).astype(float),
+                    points[ids, 0], points[ids, 1], domain)
+                rec(b, ids[m], depth + 1)
+        else:
+            out.append((tuple(float(v) for v in box), tuple(sorted(ids.tolist()))))
+
+    rec((0.0, 0.0, float(domain), float(domain)),
+        np.arange(points.shape[0]), 0)
+    out.sort()
+    return out
+
+
+def random_points(n, domain, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, domain + 1, size=(n, 2)).astype(float)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("seed,cap", [(0, 1), (1, 2), (2, 4), (3, 8)])
+    def test_matches_oracle(self, seed, cap):
+        pts = random_points(100, 64, seed)
+        tree, _ = build_pr_quadtree(pts, 64, cap)
+        tree.check(cap)
+        assert tree.decomposition_key() == seq_pr_decomposition(pts, 64, cap, 6)
+
+    def test_no_replication(self):
+        """Unlike q-edges, every point lives in exactly one leaf."""
+        pts = random_points(200, 128, 4)
+        tree, _ = build_pr_quadtree(pts, 128, 2)
+        assert tree.node_points.size == 200
+        assert np.array_equal(np.sort(tree.node_points), np.arange(200))
+
+    def test_classic_pr_capacity_one(self):
+        pts = np.array([[1, 1], [60, 60], [62, 62]], float)
+        tree, _ = build_pr_quadtree(pts, 64, 1)
+        tree.check(1)
+        counts = np.diff(tree.node_ptr)[tree.is_leaf]
+        assert counts.max() == 1
+
+    def test_coincident_points_stop_at_max_depth(self):
+        pts = np.tile([[5.0, 5.0]], (6, 1))
+        tree, _ = build_pr_quadtree(pts, 16, 1)
+        tree.check(1)
+        assert tree.height == 4  # log2(16): the cap
+
+    def test_order_independence(self):
+        pts = random_points(80, 64, 5)
+        rng = np.random.default_rng(6)
+        a, _ = build_pr_quadtree(pts, 64, 2)
+        b, _ = build_pr_quadtree(pts[rng.permutation(80)], 64, 2)
+        assert sorted(box for box, _ in a.decomposition_key()) == \
+            sorted(box for box, _ in b.decomposition_key())
+
+    def test_domain_boundary_points(self):
+        pts = np.array([[64, 64], [64, 0], [0, 64], [0, 0], [64, 32]], float)
+        tree, _ = build_pr_quadtree(pts, 64, 1)
+        tree.check(1)
+
+    def test_empty_and_single(self):
+        tree, trace = build_pr_quadtree(np.zeros((0, 2)), 16, 1)
+        assert tree.num_nodes == 1 and trace.num_rounds == 0
+        tree, trace = build_pr_quadtree(np.array([[3, 3]], float), 16, 1)
+        assert tree.num_nodes == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_pr_quadtree(np.zeros((2, 3)), 16, 1)
+        with pytest.raises(ValueError):
+            build_pr_quadtree(np.array([[1, 1]], float), 16, 0)
+        with pytest.raises(ValueError):
+            build_pr_quadtree(np.array([[20, 1]], float), 16, 1)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.pts = random_points(150, 128, 7)
+        self.tree, _ = build_pr_quadtree(self.pts, 128, 2)
+
+    @pytest.mark.parametrize("rect", [
+        [0, 0, 128, 128], [10, 10, 60, 40], [100, 100, 128, 128], [63, 63, 65, 65],
+    ])
+    def test_window_matches_brute(self, rect):
+        r = np.array(rect, float)
+        want = np.flatnonzero(
+            (self.pts[:, 0] >= r[0]) & (self.pts[:, 0] <= r[2]) &
+            (self.pts[:, 1] >= r[1]) & (self.pts[:, 1] <= r[3]))
+        assert np.array_equal(self.tree.window_query(r), want)
+
+    def test_find_leaf_partitions(self):
+        rng = np.random.default_rng(8)
+        for _ in range(25):
+            px, py = rng.uniform(0, 128, 2)
+            leaf = self.tree.find_leaf(px, py)
+            assert self.tree.is_leaf[leaf]
+
+    def test_outside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            self.tree.find_leaf(200, 0)
+
+
+def test_rounds_cost_constant_primitives():
+    m = Machine()
+    with use_machine(m):
+        _, trace = build_pr_quadtree(random_points(500, 1024, 9), 1024, 4)
+    per_round = [r.steps for r in trace.rounds]
+    assert len(set(per_round)) == 1  # fixed schedule per round
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6), st.integers(1, 4))
+def test_property_oracle_agreement(seed, cap):
+    rng = np.random.default_rng(seed)
+    pts = rng.integers(0, 33, size=(int(rng.integers(1, 60)), 2)).astype(float)
+    tree, _ = build_pr_quadtree(pts, 32, cap)
+    tree.check(cap)
+    assert tree.decomposition_key() == seq_pr_decomposition(pts, 32, cap, 5)

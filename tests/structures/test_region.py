@@ -1,0 +1,148 @@
+"""Region quadtree tests (the Section 1 raster prior-work substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Machine, use_machine
+from repro.structures.region import GRAY, RegionQuadtree, build_region_quadtree
+
+
+def raster(side, seed, density=0.4):
+    rng = np.random.default_rng(seed)
+    return rng.random((side, side)) < density
+
+
+class TestBuild:
+    def test_empty_raster_is_one_white_node(self):
+        t = build_region_quadtree(np.zeros((8, 8), bool))
+        t.check()
+        assert t.node_count() == 1
+        assert t.area() == 0
+
+    def test_full_raster_is_one_black_node(self):
+        t = build_region_quadtree(np.ones((8, 8), bool))
+        assert t.node_count() == 1
+        assert t.area() == 64
+
+    def test_checkerboard_is_maximal(self):
+        img = np.indices((8, 8)).sum(axis=0) % 2 == 0
+        t = build_region_quadtree(img)
+        t.check()
+        # every internal node is gray: 1 + 4 + 16 + 64 nodes
+        assert t.node_count() == 1 + 4 + 16 + 64
+
+    def test_half_plane(self):
+        img = np.zeros((8, 8), bool)
+        img[:, :4] = True
+        t = build_region_quadtree(img)
+        t.check()
+        assert t.area() == 32
+        # two black quadrant leaves + two white: 5 nodes
+        assert t.node_count() == 5
+        assert t.leaf_count() == 4
+
+    @given(st.integers(0, 10**6), st.sampled_from([2, 4, 8, 16, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_raster_roundtrip(self, seed, side):
+        img = raster(side, seed)
+        t = build_region_quadtree(img)
+        t.check()
+        assert np.array_equal(t.to_raster(), img)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            build_region_quadtree(np.zeros((4, 8), bool))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            build_region_quadtree(np.zeros((6, 6), bool))
+
+    def test_build_is_log_levels(self):
+        m = Machine()
+        with use_machine(m):
+            build_region_quadtree(np.zeros((64, 64), bool))
+        assert m.counts["elementwise"] == 7  # 64 -> 1 plus the pixel pass
+
+
+class TestSetOperations:
+    @pytest.mark.parametrize("op,npop", [
+        ("union", np.logical_or),
+        ("intersect", np.logical_and),
+        ("xor", np.logical_xor),
+    ])
+    def test_binary_ops_match_numpy(self, op, npop):
+        a_img = raster(16, 1)
+        b_img = raster(16, 2)
+        a = build_region_quadtree(a_img)
+        b = build_region_quadtree(b_img)
+        got = getattr(a, op)(b)
+        got.check()
+        assert np.array_equal(got.to_raster(), npop(a_img, b_img))
+
+    def test_complement(self):
+        img = raster(16, 3)
+        t = build_region_quadtree(img).complement()
+        assert np.array_equal(t.to_raster(), ~img)
+
+    def test_de_morgan(self):
+        a = build_region_quadtree(raster(16, 4))
+        b = build_region_quadtree(raster(16, 5))
+        lhs = a.union(b).complement()
+        rhs = a.complement().intersect(b.complement())
+        assert np.array_equal(lhs.to_raster(), rhs.to_raster())
+
+    def test_union_with_complement_is_full(self):
+        a = build_region_quadtree(raster(16, 6))
+        full = a.union(a.complement())
+        assert full.node_count() == 1
+        assert full.area() == 256
+
+    def test_mismatched_sides_rejected(self):
+        a = build_region_quadtree(np.zeros((8, 8), bool))
+        b = build_region_quadtree(np.zeros((16, 16), bool))
+        with pytest.raises(ValueError):
+            a.union(b)
+
+
+class TestRegionProperties:
+    def test_area_counts_pixels(self):
+        img = raster(32, 7)
+        t = build_region_quadtree(img)
+        assert t.area() == int(img.sum())
+
+    def test_perimeter_of_square_block(self):
+        img = np.zeros((16, 16), bool)
+        img[4:8, 4:8] = True
+        t = build_region_quadtree(img)
+        assert t.perimeter() == 16  # 4x4 block
+
+    def test_perimeter_counts_domain_edge(self):
+        t = build_region_quadtree(np.ones((4, 4), bool))
+        assert t.perimeter() == 16
+
+    def test_pixel_lookup(self):
+        img = raster(16, 8)
+        t = build_region_quadtree(img)
+        for y in range(16):
+            for x in range(16):
+                assert t.pixel(x, y) == img[y, x]
+
+    def test_pixel_out_of_range(self):
+        t = build_region_quadtree(np.zeros((4, 4), bool))
+        with pytest.raises(IndexError):
+            t.pixel(4, 0)
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_property_set_algebra(seed):
+    rng = np.random.default_rng(seed)
+    a_img = rng.random((16, 16)) < 0.5
+    b_img = rng.random((16, 16)) < 0.5
+    a = build_region_quadtree(a_img)
+    b = build_region_quadtree(b_img)
+    # inclusion-exclusion on areas
+    assert a.union(b).area() == a.area() + b.area() - a.intersect(b).area()
+    # xor = union minus intersection
+    assert a.xor(b).area() == a.union(b).area() - a.intersect(b).area()

@@ -1,0 +1,162 @@
+"""Data-parallel R-tree build tests (paper Section 5.3, Figures 39-44)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_window_query
+from repro.geometry import clustered_map, paper_dataset, random_segments
+from repro.machine import Machine, use_machine
+from repro.structures import build_rtree
+
+
+class TestPaperExample:
+    """The order-(1, 3) worked example of Figures 39-44."""
+
+    def setup_method(self):
+        self.tree, self.trace = build_rtree(paper_dataset(), m_fill=1, M=3)
+
+    def test_invariants(self):
+        self.tree.check()
+
+    def test_nine_entries_grouped_in_threes_or_fewer(self):
+        counts = np.bincount(self.tree.line_leaf, minlength=self.tree.num_leaves)
+        assert counts.max() <= 3
+        assert counts.sum() == 9
+
+    def test_height_grew_past_one(self):
+        """Figure 42: the root split produces a taller tree."""
+        assert self.tree.height >= 2
+
+    def test_root_covers_everything(self):
+        root = self.tree.root_mbr
+        bb = self.tree.entry_bbox
+        assert root[0] <= bb[:, 0].min() and root[2] >= bb[:, 2].max()
+        assert root[1] <= bb[:, 1].min() and root[3] >= bb[:, 3].max()
+
+
+class TestInvariantsAcrossConfigs:
+    @pytest.mark.parametrize("n,m_fill,M", [
+        (1, 1, 3), (3, 1, 3), (4, 1, 3), (50, 2, 4), (200, 2, 8), (500, 4, 10),
+    ])
+    def test_sweep_build(self, n, m_fill, M):
+        segs = random_segments(n, domain=1024, max_len=64, seed=n)
+        tree, _ = build_rtree(segs, m_fill=m_fill, M=M)
+        tree.check()
+
+    @pytest.mark.parametrize("n", [10, 120])
+    def test_mean_build(self, n):
+        segs = random_segments(n, domain=512, max_len=48, seed=n + 1)
+        tree, _ = build_rtree(segs, m_fill=1, M=4, algo="mean")
+        tree.check(strict_min_fill=False)
+
+    def test_clustered_data(self):
+        segs = clustered_map(400, clusters=5, spread=30, domain=2048, seed=2)
+        tree, _ = build_rtree(segs, m_fill=2, M=8)
+        tree.check()
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            build_rtree(paper_dataset(), m_fill=3, M=4)
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            build_rtree(paper_dataset(), 1, 3, algo="fancy")
+
+    def test_empty_input(self):
+        tree, trace = build_rtree(np.zeros((0, 4)), 1, 3)
+        assert tree.height == 1
+        assert trace.num_rounds == 0
+
+    def test_under_capacity_single_leaf(self):
+        segs = random_segments(3, domain=64, max_len=16, seed=0)
+        tree, trace = build_rtree(segs, 1, 4)
+        assert tree.height == 1
+        assert tree.num_leaves == 1
+        assert trace.num_rounds == 0
+
+
+class TestDeterminism:
+    def test_build_is_deterministic(self):
+        segs = random_segments(150, domain=512, max_len=32, seed=6)
+        a, _ = build_rtree(segs, 2, 6)
+        b, _ = build_rtree(segs, 2, 6)
+        assert np.array_equal(a.line_leaf, b.line_leaf)
+        for la, lb in zip(a.level_mbr, b.level_mbr):
+            assert np.array_equal(la, lb)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.segs = random_segments(200, domain=512, max_len=48, seed=3)
+        self.tree, _ = build_rtree(self.segs, 2, 8)
+
+    @pytest.mark.parametrize("rect", [
+        [0, 0, 512, 512], [100, 100, 200, 180], [400, 10, 500, 80], [255, 255, 257, 257],
+    ])
+    def test_window_query_matches_brute(self, rect):
+        got = set(self.tree.window_query(np.array(rect, float)).tolist())
+        want = set(brute_window_query(self.segs, rect).tolist())
+        assert got == want
+
+    def test_query_outside_root_is_empty(self):
+        ids, visits = self.tree.window_query(
+            np.array([-50, -50, -10, -10], float), count_visits=True)
+        assert ids.size == 0
+        assert visits == 1  # only the root was inspected
+
+    def test_point_query(self):
+        seg = self.segs[0]
+        mx, my = (seg[0] + seg[2]) / 2, (seg[1] + seg[3]) / 2
+        ids = self.tree.point_query(mx, my)
+        assert 0 in ids.tolist()
+
+    def test_inexact_query_is_bbox_filter(self):
+        rect = np.array([50, 50, 150, 150], float)
+        loose = set(self.tree.window_query(rect, exact=False).tolist())
+        exact = set(self.tree.window_query(rect, exact=True).tolist())
+        assert exact <= loose
+
+
+class TestScaling:
+    def test_rounds_grow_logarithmically(self):
+        """Section 5.3: O(log n) stages."""
+        rounds = []
+        for n in (100, 400, 1600):
+            segs = random_segments(n, domain=4096, max_len=64, seed=n)
+            _, trace = build_rtree(segs, 2, 8)
+            rounds.append(trace.num_rounds)
+        assert rounds[-1] <= rounds[0] * 3  # log-ish, nowhere near linear
+        assert rounds == sorted(rounds)
+
+    def test_round_cost_uses_sorts(self):
+        """Each stage is O(log n): two sorts per split selection."""
+        segs = random_segments(300, domain=1024, max_len=64, seed=12)
+        m = Machine()
+        with use_machine(m):
+            build_rtree(segs, 2, 8)
+        assert m.counts.get("sort", 0) > 0
+
+
+class TestFillRuleAblation:
+    """The Section 4.7 'at least m/M of the lines' legality rule."""
+
+    def test_absolute_rule_still_builds_valid_trees(self):
+        segs = random_segments(300, domain=2048, max_len=64, seed=20)
+        tree, _ = build_rtree(segs, 2, 8, fractional_fill=False)
+        tree.check()
+
+    def test_fractional_rule_needs_fewer_rounds(self):
+        segs = random_segments(1500, domain=8192, max_len=96, seed=21)
+        _, frac = build_rtree(segs, 2, 8, fractional_fill=True)
+        _, absolute = build_rtree(segs, 2, 8, fractional_fill=False)
+        assert frac.num_rounds < absolute.num_rounds
+
+    def test_same_invariants_either_way(self):
+        segs = random_segments(200, domain=1024, max_len=48, seed=22)
+        for flag in (True, False):
+            tree, _ = build_rtree(segs, 2, 6, fractional_fill=flag)
+            tree.check()
+            rect = np.array([100, 100, 600, 700], float)
+            got = set(tree.window_query(rect).tolist())
+            want = set(brute_window_query(segs, rect).tolist())
+            assert got == want

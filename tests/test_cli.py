@@ -1,0 +1,95 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestBuild:
+    def test_default_pmr_build(self, capsys):
+        code, out = run(capsys, "build", "--n", "200", "--domain", "256")
+        assert code == 0
+        assert "pmr build" in out
+        assert "q-edges" in out
+        assert "scan" in out
+
+    def test_pm1_build(self, capsys):
+        code, out = run(capsys, "build", "--structure", "pm1", "--n", "60",
+                        "--domain", "64")
+        assert code == 0
+        assert "pm1 build" in out
+
+    def test_rtree_build_on_paper_map(self, capsys):
+        code, out = run(capsys, "build", "--structure", "rtree", "--map", "paper",
+                        "--capacity", "3", "--min-fill", "1")
+        assert code == 0
+        assert "coverage" in out
+
+    def test_kdtree_build(self, capsys):
+        code, out = run(capsys, "build", "--structure", "kdtree", "--n", "200",
+                        "--domain", "256", "--capacity", "4")
+        assert code == 0
+        assert "height" in out
+
+    def test_render_flag(self, capsys):
+        code, out = run(capsys, "build", "--map", "paper", "--capacity", "2",
+                        "--render")
+        assert code == 0
+        assert "Quadtree domain=8" in out
+
+    def test_cost_model_selection(self, capsys):
+        code, out = run(capsys, "build", "--n", "100", "--domain", "128",
+                        "--cost-model", "hypercube", "--processors", "64")
+        assert code == 0
+        assert "hypercube" in out
+
+    def test_deterministic_output(self, capsys):
+        _, a = run(capsys, "build", "--n", "150", "--domain", "256", "--seed", "3")
+        _, b = run(capsys, "build", "--n", "150", "--domain", "256", "--seed", "3")
+        assert a == b
+
+    def test_seed_changes_output(self, capsys):
+        _, a = run(capsys, "build", "--n", "150", "--domain", "256", "--seed", "3")
+        _, b = run(capsys, "build", "--n", "150", "--domain", "256", "--seed", "4")
+        assert a != b
+
+
+class TestFigures:
+    def test_figures_replay(self, capsys):
+        code, out = run(capsys, "figures")
+        assert code == 0
+        assert "Figure 8" in out
+        assert "Figures 30-33" in out
+        assert "Figures 39-44" in out
+        # the Figure 8 worked row must appear
+        assert "3   4   6" in out.replace("  ", "   ") or "3  4  6" in out
+
+
+class TestJoin:
+    def test_verified_join(self, capsys):
+        code, out = run(capsys, "join", "--map", "uniform", "--n", "150",
+                        "--domain", "256", "--verify")
+        assert code == 0
+        assert "verified" in out and "yes" in out
+
+    def test_rtree_join(self, capsys):
+        code, out = run(capsys, "join", "--structure", "rtree", "--n", "100",
+                        "--domain", "256", "--verify")
+        assert code == 0
+        assert "rtree" in out
+
+
+class TestArgErrors:
+    def test_unknown_structure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["build", "--structure", "btree"])
+
+    def test_missing_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
