@@ -38,6 +38,7 @@ from .baselines import (
     seq_bucket_pmr_decomposition,
     seq_pm1_decomposition,
 )
+from .engine import EngineConfig, SpatialQueryEngine
 from .geometry import (
     clustered_map,
     paper_dataset,
@@ -72,6 +73,10 @@ from .primitives import (
 )
 from .structures import (
     BucketPMRQuadtree,
+    batch_nearest_quadtree,
+    batch_nearest_rtree,
+    batch_point_query_quadtree,
+    batch_point_query_rtree,
     batch_window_query_quadtree,
     batch_window_query_rtree,
     BuildTrace,
@@ -126,6 +131,10 @@ __all__ = [
     "connected_components", "polygonize", "MapTopology",
     "build_kdtree", "KDTree", "build_pr_quadtree", "build_region_quadtree",
     "batch_window_query_quadtree", "batch_window_query_rtree",
+    "batch_point_query_quadtree", "batch_point_query_rtree",
+    "batch_nearest_quadtree", "batch_nearest_rtree",
+    # engine
+    "SpatialQueryEngine", "EngineConfig",
     # baselines
     "seq_pm1_decomposition", "pm1_node_must_split", "PMRQuadtree",
     "seq_bucket_pmr_decomposition", "SeqRTree",

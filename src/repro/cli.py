@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the everyday entry points:
+Four subcommands cover the everyday entry points:
 
 ``build``
     Generate (or take the paper's) map, run one of the data-parallel
@@ -11,6 +11,10 @@ Three subcommands cover the everyday entry points:
 ``join``
     Spatial join of two generated maps through a chosen structure,
     verified against brute force.
+``serve``
+    Drive the concurrent batched query engine (:mod:`repro.engine`)
+    with a mixed probe workload from several client threads and print
+    the serving statistics (throughput, batching, cache, latency).
 
 Everything is seeded and offline; see ``--help`` on each subcommand.
 """
@@ -157,6 +161,95 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time as _time
+
+    from .engine import SpatialQueryEngine
+
+    lines = _make_map(args.map, args.n, args.domain, args.seed)
+    rng = np.random.default_rng(args.seed + 7)
+    engine = SpatialQueryEngine(structure=args.structure,
+                                capacity=args.capacity,
+                                max_batch=args.max_batch,
+                                max_wait=args.max_wait,
+                                workers=args.workers,
+                                queue_depth=args.queue_depth)
+    with engine:
+        fp = engine.register(lines, domain=args.domain)
+        engine.warm(fp)
+
+        # a seeded mixed workload: windows, points, nearest probes
+        probes = []
+        for _ in range(args.probes):
+            kind = rng.choice(("window", "point", "nearest"),
+                              p=(0.6, 0.2, 0.2))
+            if kind == "window":
+                x, y = rng.uniform(0, args.domain * 0.9, 2)
+                w, h = rng.uniform(8, args.domain * 0.1, 2)
+                probes.append(("window", np.array(
+                    [x, y, min(x + w, args.domain), min(y + h, args.domain)])))
+            else:
+                probes.append((kind, rng.uniform(0, args.domain, 2)))
+
+        futures: List = [None] * len(probes)
+
+        def client(lo: int, hi: int) -> None:
+            for i in range(lo, hi):
+                kind, payload = probes[i]
+                if kind == "window":
+                    futures[i] = engine.submit_window(fp, payload)
+                elif kind == "point":
+                    futures[i] = engine.submit_point(fp, payload)
+                else:
+                    futures[i] = engine.submit_nearest(fp, payload)
+
+        start = _time.perf_counter()
+        chunk = (len(probes) + args.clients - 1) // args.clients
+        threads = [threading.Thread(target=client,
+                                    args=(c * chunk,
+                                          min((c + 1) * chunk, len(probes))))
+                   for c in range(args.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        engine.flush()
+        errors = 0
+        for f in futures:
+            try:
+                f.result(timeout=30)
+            except Exception:
+                errors += 1
+        elapsed = _time.perf_counter() - start
+
+        snap = engine.snapshot()
+        cache = snap["cache"]
+        print(format_table(
+            ["metric", "value"],
+            [["map", args.map], ["segments", lines.shape[0]],
+             ["structure", args.structure], ["probes", len(probes)],
+             ["clients", args.clients], ["errors", errors],
+             ["throughput (q/s)", f"{len(probes) / elapsed:,.0f}"],
+             ["batches", snap["batches"]],
+             ["mean batch size", f"{snap['mean_batch_size']:.1f}"],
+             ["max batch size", snap["max_batch_size"]],
+             ["p50 latency (ms)", f"{snap['latency_p50_ms']:.2f}"],
+             ["p95 latency (ms)", f"{snap['latency_p95_ms']:.2f}"],
+             ["cache hit rate", f"{cache['hit_rate']:.2f}"],
+             ["scan-model steps", f"{snap['steps']:g}"]],
+            title="repro.engine serving stats"))
+        per = snap["per_index"]
+        if per:
+            print()
+            print(format_table(
+                ["index:kind", "batches", "queries", "steps"],
+                [[k, int(v["batches"]), int(v["queries"]), f"{v['steps']:g}"]
+                 for k, v in sorted(per.items())],
+                title="per-index batches"))
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -193,6 +286,28 @@ def _parser() -> argparse.ArgumentParser:
     j.add_argument("--verify", action="store_true",
                    help="check the result against brute force")
     j.set_defaults(fn=_cmd_join)
+
+    s = sub.add_parser("serve",
+                       help="drive the batched query engine with a workload")
+    s.add_argument("--structure", choices=("pmr", "pm1", "rtree"),
+                   default="pmr")
+    s.add_argument("--map", choices=MAPS, default="uniform")
+    s.add_argument("--n", type=int, default=2000, help="segment count")
+    s.add_argument("--domain", type=int, default=1024)
+    s.add_argument("--capacity", type=int, default=8)
+    s.add_argument("--probes", type=int, default=2000,
+                   help="total probes across all clients")
+    s.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads")
+    s.add_argument("--workers", type=int, default=4,
+                   help="engine worker threads")
+    s.add_argument("--max-batch", type=int, default=256,
+                   help="coalescing count trigger")
+    s.add_argument("--max-wait", type=float, default=0.002,
+                   help="coalescing deadline trigger (seconds)")
+    s.add_argument("--queue-depth", type=int, default=64)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(fn=_cmd_serve)
     return p
 
 

@@ -1,0 +1,29 @@
+"""Concurrent batched spatial query engine (the serving layer).
+
+Turns the one-shot builders and the data-parallel batch queries into a
+serving stack: an index registry with an LRU cache, a request
+coalescer, a bounded worker pool, and an engine-stats layer.  See
+:mod:`repro.engine.engine` for the composition and README's "Serving
+queries with repro.engine" for a tour.
+"""
+
+from .coalescer import Coalescer, Probe
+from .engine import EngineConfig, SpatialQueryEngine
+from .executor import BoundedExecutor, RejectedError
+from .registry import BuiltIndex, IndexKey, IndexRegistry, dataset_fingerprint
+from .stats import EngineStats, LatencyReservoir
+
+__all__ = [
+    "SpatialQueryEngine",
+    "EngineConfig",
+    "IndexRegistry",
+    "IndexKey",
+    "BuiltIndex",
+    "dataset_fingerprint",
+    "Coalescer",
+    "Probe",
+    "BoundedExecutor",
+    "RejectedError",
+    "EngineStats",
+    "LatencyReservoir",
+]

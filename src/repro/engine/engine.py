@@ -1,0 +1,324 @@
+"""The concurrent batched spatial query engine.
+
+:class:`SpatialQueryEngine` composes the serving stack:
+
+* an :class:`~repro.engine.registry.IndexRegistry` building PM1 /
+  bucket-PMR / R-tree indexes on demand, keyed by dataset fingerprint,
+  with LRU eviction and invalidation hooks for dynamic updates;
+* a :class:`~repro.engine.coalescer.Coalescer` that batches individual
+  window / point / nearest probes per (index, kind) within a count or
+  deadline window;
+* a :class:`~repro.engine.executor.BoundedExecutor` dispatching each
+  batch as **one** vectorized ``structures.batch`` frontier pass over
+  the shared read-only index, with backpressure when saturated;
+* an :class:`~repro.engine.stats.EngineStats` layer aggregating batch
+  sizes, queue depth, cache hit rate, latency percentiles, and the
+  scan-model step accounting per batch.
+
+Results are bit-identical to looping the scalar queries (a test
+invariant): batching changes the schedule, never the answer.
+
+Example::
+
+    from repro.engine import SpatialQueryEngine
+
+    with SpatialQueryEngine(workers=4, max_batch=256) as eng:
+        fp = eng.register(lines, domain=4096)
+        hits = eng.window(fp, [100, 100, 400, 300])
+        line, dist = eng.nearest(fp, (250.0, 250.0), structure="rtree")
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..structures.batch import (
+    batch_nearest_quadtree,
+    batch_nearest_rtree,
+    batch_point_query_quadtree,
+    batch_point_query_rtree,
+    batch_window_query_quadtree,
+    batch_window_query_rtree,
+)
+from ..structures.join import quadtree_join, rtree_join
+from .coalescer import Coalescer, Probe
+from .executor import BoundedExecutor, RejectedError
+from .registry import IndexKey, IndexRegistry
+from .stats import EngineStats
+
+__all__ = ["EngineConfig", "SpatialQueryEngine"]
+
+#: structure name -> tree family used to pick the batch kernels
+_FAMILY = {"pmr": "quadtree", "pm1": "quadtree", "rtree": "rtree"}
+
+KINDS = ("window", "point", "nearest")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the serving stack (see class docstrings for roles)."""
+
+    structure: str = "pmr"        # default index family for probes
+    capacity: int = 8             # bucket capacity / R-tree M
+    min_fill: int = 2             # R-tree m
+    max_batch: int = 64           # coalescing count trigger
+    max_wait: float = 0.002       # coalescing deadline trigger (seconds)
+    workers: int = 4              # executor threads
+    queue_depth: int = 64         # bounded executor queue
+    cache_capacity: int = 8       # LRU-cached built indexes
+    default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
+
+    def __post_init__(self) -> None:
+        if self.structure not in _FAMILY:
+            raise ValueError(f"unknown structure {self.structure!r}")
+
+
+class SpatialQueryEngine:
+    """Concurrent batched query serving over the paper's structures."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, **overrides):
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config or keyword overrides")
+        self.config = config
+        self.registry = IndexRegistry(capacity=config.cache_capacity)
+        self.stats = EngineStats()
+        self._executor = BoundedExecutor(workers=config.workers,
+                                         queue_depth=config.queue_depth)
+        self._coalescer = Coalescer(self._dispatch,
+                                    max_batch=config.max_batch,
+                                    max_wait=config.max_wait)
+        self._closed = False
+
+    # -- datasets --------------------------------------------------------
+
+    def register(self, lines: np.ndarray, domain: Optional[int] = None) -> str:
+        """Register a segment map; returns the fingerprint probes use."""
+        return self.registry.register(lines, domain=domain)
+
+    def insert_lines(self, fingerprint: str, new_lines) -> str:
+        """Dynamic insert: new fingerprint, stale indexes invalidated."""
+        return self.registry.insert_lines(fingerprint, new_lines)
+
+    def delete_lines(self, fingerprint: str, ids) -> str:
+        """Dynamic delete: new fingerprint, stale indexes invalidated."""
+        return self.registry.delete_lines(fingerprint, ids)
+
+    def warm(self, fingerprint: str, structure: Optional[str] = None) -> None:
+        """Build (or touch) the index ahead of traffic."""
+        key = self._index_key(fingerprint, structure)
+        self.registry.get(key.fingerprint, key.structure, **dict(key.params))
+
+    # -- asynchronous probes ---------------------------------------------
+
+    def submit_window(self, fingerprint: str, rect,
+                      structure: Optional[str] = None,
+                      exact: bool = True) -> Future:
+        rect = np.asarray(rect, dtype=float).reshape(4)
+        return self._submit("window", fingerprint, rect, structure, exact)
+
+    def submit_point(self, fingerprint: str, point,
+                     structure: Optional[str] = None,
+                     exact: bool = True) -> Future:
+        pt = np.asarray(point, dtype=float).reshape(2)
+        structure = structure or self.config.structure
+        if _FAMILY[structure] == "quadtree":
+            dom = self.registry.domain(fingerprint)
+            if not (0 <= pt[0] <= dom and 0 <= pt[1] <= dom):
+                # mirror the scalar query's error without failing the batch
+                fut: Future = Future()
+                fut.set_exception(
+                    ValueError(f"point {tuple(pt)} outside the domain"))
+                self.stats.record_submitted("point")
+                self.stats.record_failed()
+                return fut
+        return self._submit("point", fingerprint, pt, structure, exact)
+
+    def submit_nearest(self, fingerprint: str, point,
+                       structure: Optional[str] = None) -> Future:
+        pt = np.asarray(point, dtype=float).reshape(2)
+        return self._submit("nearest", fingerprint, pt, structure, True)
+
+    def submit_join(self, fingerprint_a: str, fingerprint_b: str,
+                    structure: Optional[str] = None) -> Future:
+        """Spatial join of two registered maps (dispatched unbatched)."""
+        structure = structure or self.config.structure
+        key_a = self._index_key(fingerprint_a, structure)
+        key_b = self._index_key(fingerprint_b, structure)
+        self.stats.record_submitted("join")
+
+        def job(machine):
+            start = time.monotonic()
+            ta = self.registry.get(key_a.fingerprint, key_a.structure,
+                                   **dict(key_a.params)).tree
+            tb = self.registry.get(key_b.fingerprint, key_b.structure,
+                                   **dict(key_b.params)).tree
+            join = rtree_join if _FAMILY[structure] == "rtree" else quadtree_join
+            pairs = join(ta, tb)
+            self.stats.record_batch(f"{structure}:join", 1, machine.steps,
+                                    machine.total_primitives,
+                                    time.monotonic() - start)
+            return pairs
+
+        try:
+            return self._executor.submit(job)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason)
+            fut: Future = Future()
+            fut.set_exception(exc)
+            return fut
+
+    # -- synchronous helpers ---------------------------------------------
+
+    def window(self, fingerprint: str, rect, structure: Optional[str] = None,
+               exact: bool = True, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking window query; raises TimeoutError past ``timeout``."""
+        return self._await(self.submit_window(fingerprint, rect, structure,
+                                              exact), timeout)
+
+    def point(self, fingerprint: str, point, structure: Optional[str] = None,
+              exact: bool = True, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking point query."""
+        return self._await(self.submit_point(fingerprint, point, structure,
+                                             exact), timeout)
+
+    def nearest(self, fingerprint: str, point,
+                structure: Optional[str] = None,
+                timeout: Optional[float] = None) -> Tuple[int, float]:
+        """Blocking nearest-line query; returns ``(line id, distance)``."""
+        return self._await(self.submit_nearest(fingerprint, point, structure),
+                           timeout)
+
+    def join(self, fingerprint_a: str, fingerprint_b: str,
+             structure: Optional[str] = None,
+             timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking spatial join of two registered maps."""
+        return self._await(self.submit_join(fingerprint_a, fingerprint_b,
+                                            structure), timeout)
+
+    # -- lifecycle / introspection ---------------------------------------
+
+    def flush(self) -> None:
+        """Dispatch all pending probes now (deterministic batching in tests)."""
+        self._coalescer.flush()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Engine counters + cache stats + current queue/pending gauges."""
+        out = self.stats.snapshot()
+        out["cache"] = self.registry.snapshot()
+        out["queue_depth"] = self._executor.queue_depth
+        out["pending_probes"] = self._coalescer.pending
+        return out
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._coalescer.close()
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SpatialQueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _index_key(self, fingerprint: str, structure: Optional[str]) -> IndexKey:
+        structure = structure or self.config.structure
+        if structure not in _FAMILY:
+            raise ValueError(f"unknown structure {structure!r}")
+        if structure == "rtree":
+            params = {"min_fill": self.config.min_fill,
+                      "capacity": self.config.capacity}
+        elif structure == "pmr":
+            params = {"capacity": self.config.capacity}
+        else:
+            params = {}
+        return IndexKey.make(fingerprint, structure, **params)
+
+    def _submit(self, kind: str, fingerprint: str, payload: np.ndarray,
+                structure: Optional[str], exact: bool) -> Future:
+        if fingerprint not in self.registry._datasets:
+            raise KeyError(f"unknown dataset fingerprint {fingerprint!r}")
+        key = (self._index_key(fingerprint, structure), kind, bool(exact))
+        probe = Probe(payload)
+        self.stats.record_submitted(kind)
+        try:
+            self._coalescer.submit(key, probe)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason)
+            probe.future.set_exception(exc)
+        return probe.future
+
+    def _await(self, future: Future, timeout: Optional[float]):
+        timeout = self.config.default_timeout if timeout is None else timeout
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            self.stats.record_timeout()
+            raise
+
+    def _batch_fn(self, structure: str, kind: str, exact: bool):
+        family = _FAMILY[structure]
+        if kind == "window":
+            if family == "quadtree":
+                return lambda tree, v, m: batch_window_query_quadtree(
+                    tree, v, exact=exact, machine=m)
+            return lambda tree, v, m: batch_window_query_rtree(
+                tree, v, exact=exact, machine=m)
+        if kind == "point":
+            if family == "quadtree":
+                # out-of-domain points were rejected at submit time
+                return lambda tree, v, m: batch_point_query_quadtree(
+                    tree, v, strict=False, machine=m)
+            return lambda tree, v, m: batch_point_query_rtree(
+                tree, v, exact=exact, machine=m)
+        if family == "quadtree":
+            return lambda tree, v, m: batch_nearest_quadtree(tree, v, machine=m)
+        return lambda tree, v, m: batch_nearest_rtree(tree, v, machine=m)
+
+    def _dispatch(self, group_key, probes: List[Probe]) -> None:
+        """Flush callback: run one group as a single vectorized pass."""
+        index_key, kind, exact = group_key
+        batch_fn = self._batch_fn(index_key.structure, kind, exact)
+        started = min(p.submitted_at for p in probes)
+
+        def job(machine):
+            entry = self.registry.get(index_key.fingerprint,
+                                      index_key.structure,
+                                      **dict(index_key.params))
+            payloads = np.stack([p.payload for p in probes])
+            results = batch_fn(entry.tree, payloads, machine)
+            self.stats.record_batch(
+                f"{index_key.structure}:{kind}", len(probes), machine.steps,
+                machine.total_primitives, time.monotonic() - started)
+            return results
+
+        try:
+            fut = self._executor.submit(job)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason, len(probes))
+            for p in probes:
+                p.future.set_exception(RejectedError(exc.reason))
+            return
+
+        def deliver(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                self.stats.record_failed(len(probes))
+                for p in probes:
+                    p.future.set_exception(exc)
+                return
+            results = done.result()
+            for p, res in zip(probes, results):
+                p.future.set_result(res)
+
+        fut.add_done_callback(deliver)

@@ -1,0 +1,106 @@
+"""Bounded thread-pool executor with backpressure.
+
+A deliberately small worker pool tuned for the engine's needs rather
+than a general-purpose executor:
+
+* the submission queue is **bounded** -- when it is full, `submit`
+  fails *immediately* with :class:`RejectedError` carrying a reason,
+  so overload surfaces as explicit rejections instead of unbounded
+  memory growth and collapsing latency;
+* every job runs under a **fresh scan-model** :class:`Machine`
+  installed with :func:`use_machine`.  Because the machine default is
+  contextvar-scoped, concurrent workers account in isolation; the
+  job's machine is handed to the job callable so the engine can fold
+  its step counts into the per-batch statistics;
+* workers only ever *read* the shared indexes (all structures are
+  immutable once built), so no further synchronisation is needed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, Optional
+
+from ..machine import Machine, use_machine
+
+__all__ = ["RejectedError", "BoundedExecutor"]
+
+
+class RejectedError(RuntimeError):
+    """A request the engine refused to enqueue (backpressure or shutdown)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class BoundedExecutor:
+    """Fixed worker pool over a bounded queue; rejects when saturated."""
+
+    def __init__(self, workers: int = 4, queue_depth: int = 64):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repro-engine-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (a gauge for the stats layer)."""
+        return self._queue.qsize()
+
+    def submit(self, fn: Callable[[Machine], object]) -> "Future":
+        """Enqueue ``fn(machine)``; raises :class:`RejectedError` when full.
+
+        The returned future resolves to ``fn``'s return value; errors
+        raised by ``fn`` propagate through the future.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise RejectedError("executor is shut down")
+        fut: Future = Future()
+        try:
+            self._queue.put_nowait((fn, fut))
+        except queue.Full:
+            raise RejectedError(
+                f"queue full ({self._queue.maxsize} jobs pending)") from None
+        return fut
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, fut = item
+            if not fut.set_running_or_notify_cancel():
+                continue
+            machine = Machine()
+            try:
+                with use_machine(machine):
+                    result = fn(machine)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                fut.set_exception(exc)
+            else:
+                fut.set_result(result)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for t in self._threads:
+                t.join()

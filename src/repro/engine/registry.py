@@ -1,0 +1,271 @@
+"""Fingerprint-keyed index registry with an LRU cache.
+
+The serving layer's indexes are pure functions of ``(dataset,
+structure, build parameters)``: the PM1 and bucket PMR decompositions
+are shape-deterministic (DESIGN.md Section 5) and the R-tree build is
+seeded only by its input order.  That determinism is what makes
+caching safe -- a fingerprint of the segment array plus the canonical
+parameter tuple fully identifies the built structure, so concurrent
+readers can share one immutable index without coordination.
+
+The registry therefore keeps two maps:
+
+* ``datasets``: fingerprint -> the registered segment array (held
+  read-only so a misbehaving caller cannot mutate data under a cached
+  index), and
+* an LRU-ordered cache of built indexes, capped at ``capacity``.
+
+Dynamic updates (:mod:`repro.structures.dynamic`) go through
+:meth:`IndexRegistry.apply_update`, which registers the new dataset and
+*invalidates* every cached index of the old fingerprint -- the explicit
+hook the engine uses so stale trees are never served after an insert or
+delete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..machine import Machine, use_machine
+from ..structures import build_bucket_pmr, build_pm1, build_rtree
+
+__all__ = ["dataset_fingerprint", "IndexKey", "BuiltIndex", "IndexRegistry"]
+
+
+def dataset_fingerprint(lines: np.ndarray) -> str:
+    """Stable content hash of a segment array.
+
+    Canonicalises to a C-contiguous float64 ``(n, 4)`` array so the
+    fingerprint depends only on the values, not on layout or dtype.
+    """
+    arr = np.ascontiguousarray(np.asarray(lines, dtype=np.float64).reshape(-1, 4))
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class IndexKey:
+    """Cache key: what was indexed, how, and with which parameters."""
+
+    fingerprint: str
+    structure: str
+    params: Tuple[Tuple[str, object], ...]
+
+    @classmethod
+    def make(cls, fingerprint: str, structure: str, **params) -> "IndexKey":
+        return cls(fingerprint, structure, tuple(sorted(params.items())))
+
+
+@dataclass
+class BuiltIndex:
+    """A cached immutable index plus its build accounting."""
+
+    key: IndexKey
+    tree: object
+    build_steps: float
+    build_primitives: int
+    num_lines: int
+
+
+def _next_pow2(x: float) -> int:
+    n = 1
+    while n < x:
+        n *= 2
+    return n
+
+
+class IndexRegistry:
+    """Thread-safe build-on-demand index cache with LRU eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of *built indexes* kept (datasets are retained
+        until :meth:`forget`); least-recently-used entries are evicted
+        first.
+    """
+
+    #: structure name -> builder(lines, domain, **params) -> tree
+    BUILDERS: Dict[str, Callable] = {}
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._datasets: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._domains: Dict[str, int] = {}
+        self._cache: "OrderedDict[IndexKey, BuiltIndex]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- datasets --------------------------------------------------------
+
+    def register(self, lines: np.ndarray, domain: Optional[int] = None) -> str:
+        """Register a segment array; returns its fingerprint.
+
+        ``domain`` (the power-of-two space side the quadtree builders
+        need) defaults to the smallest power of two covering every
+        coordinate.
+        """
+        arr = np.ascontiguousarray(
+            np.asarray(lines, dtype=np.float64).reshape(-1, 4))
+        arr.setflags(write=False)
+        fp = dataset_fingerprint(arr)
+        if domain is None:
+            top = float(arr.max()) if arr.size else 1.0
+            domain = _next_pow2(max(top, 1.0))
+        with self._lock:
+            self._datasets[fp] = arr
+            self._domains[fp] = int(domain)
+        return fp
+
+    def dataset(self, fingerprint: str) -> np.ndarray:
+        with self._lock:
+            try:
+                return self._datasets[fingerprint]
+            except KeyError:
+                raise KeyError(f"unknown dataset fingerprint {fingerprint!r}")
+
+    def domain(self, fingerprint: str) -> int:
+        with self._lock:
+            return self._domains[fingerprint]
+
+    def forget(self, fingerprint: str) -> None:
+        """Drop a dataset and every index built from it."""
+        with self._lock:
+            self._datasets.pop(fingerprint, None)
+            self._domains.pop(fingerprint, None)
+        self.invalidate(fingerprint)
+
+    # -- indexes ---------------------------------------------------------
+
+    def get(self, fingerprint: str, structure: str, **params) -> BuiltIndex:
+        """Return the cached index, building (and caching) it on a miss."""
+        if structure not in self.BUILDERS:
+            raise ValueError(f"unknown structure {structure!r}; "
+                             f"available: {sorted(self.BUILDERS)}")
+        key = IndexKey.make(fingerprint, structure, **params)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+            lines = self.dataset(fingerprint)
+            dom = self._domains[fingerprint]
+        # build outside the lock: builds are deterministic, so a racing
+        # duplicate build wastes work but never yields a wrong entry
+        machine = Machine()
+        with use_machine(machine):
+            tree = self.BUILDERS[structure](lines, dom, **params)
+        entry = BuiltIndex(key, tree, machine.steps, machine.total_primitives,
+                           int(lines.shape[0]))
+        with self._lock:
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        """Drop cached indexes (all of them, or one dataset's); returns count.
+
+        This is the hook :mod:`repro.structures.dynamic` updates call
+        through -- after an insert/delete the old fingerprint's trees
+        must never be served again.
+        """
+        with self._lock:
+            if fingerprint is None:
+                n = len(self._cache)
+                self._cache.clear()
+            else:
+                doomed = [k for k in self._cache if k.fingerprint == fingerprint]
+                for k in doomed:
+                    del self._cache[k]
+                n = len(doomed)
+            self.invalidations += n
+            return n
+
+    def apply_update(self, fingerprint: str,
+                     update: Callable[[np.ndarray], np.ndarray]) -> str:
+        """Apply a dataset update and invalidate the stale indexes.
+
+        ``update`` maps the old segment array to the new one (e.g. a
+        vstack for inserts, a row selection for deletes -- the canonical
+        rebuild semantics of :mod:`repro.structures.dynamic`).  Returns
+        the new fingerprint.
+        """
+        old = self.dataset(fingerprint)
+        new_fp = self.register(update(old))
+        self.invalidate(fingerprint)
+        return new_fp
+
+    def insert_lines(self, fingerprint: str, new_lines: np.ndarray) -> str:
+        """Convenience :meth:`apply_update` for appending segments."""
+        new_lines = np.asarray(new_lines, dtype=np.float64).reshape(-1, 4)
+        return self.apply_update(
+            fingerprint,
+            lambda old: np.vstack([old, new_lines]) if old.size else new_lines)
+
+    def delete_lines(self, fingerprint: str, ids) -> str:
+        """Convenience :meth:`apply_update` for removing segments by id."""
+        ids = np.asarray(ids, dtype=np.int64)
+        return self.apply_update(
+            fingerprint, lambda old: np.delete(old, ids, axis=0))
+
+    # -- stats -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "datasets": float(len(self._datasets)),
+                "cached_indexes": float(len(self._cache)),
+                "capacity": float(self.capacity),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "evictions": float(self.evictions),
+                "invalidations": float(self.invalidations),
+            }
+
+    def cached_keys(self):
+        """LRU-ordered cache keys, oldest first (for tests/introspection)."""
+        with self._lock:
+            return list(self._cache)
+
+
+def _build_pmr(lines, domain, capacity: int = 8, max_depth=None):
+    tree, _ = build_bucket_pmr(lines, domain, capacity, max_depth=max_depth)
+    return tree
+
+
+def _build_pm1(lines, domain, max_depth=None):
+    tree, _ = build_pm1(lines, domain, max_depth=max_depth)
+    return tree
+
+
+def _build_rtree(lines, domain, min_fill: int = 2, capacity: int = 8):
+    # domain is irrelevant to the R-tree but kept for a uniform signature
+    tree, _ = build_rtree(lines, min_fill, capacity)
+    return tree
+
+
+IndexRegistry.BUILDERS = {
+    "pmr": _build_pmr,
+    "pm1": _build_pm1,
+    "rtree": _build_rtree,
+}

@@ -1,0 +1,124 @@
+"""Engine statistics: counters, latency percentiles, step accounting.
+
+Mirrors what a production query server exports: request/rejection
+counters, batch-size distribution, queue depth, cache hit rate, and
+p50/p95 latency -- plus the repo's own currency, scan-model steps and
+primitive counts aggregated per batch, so the cost semantics of the
+paper survive into the serving layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["LatencyReservoir", "EngineStats"]
+
+
+class LatencyReservoir:
+    """Fixed-size ring of recent latency samples with percentile readout."""
+
+    def __init__(self, size: int = 2048):
+        self._buf = np.zeros(size, dtype=float)
+        self._n = 0
+        self._lock = threading.Lock()
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self._buf[self._n % self._buf.size] = seconds
+            self._n += 1
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; 0.0 when no samples were recorded yet."""
+        with self._lock:
+            filled = min(self._n, self._buf.size)
+            if not filled:
+                return 0.0
+            return float(np.percentile(self._buf[:filled], q))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._n
+
+
+class EngineStats:
+    """Thread-safe counters for the serving stack."""
+
+    def __init__(self, reservoir_size: int = 2048):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.rejected: Dict[str, int] = {}
+        self.batches = 0
+        self.batch_sizes: List[int] = []
+        self.steps = 0.0
+        self.primitives = 0
+        self.per_kind: Dict[str, int] = {}
+        self.per_index: Dict[str, Dict[str, float]] = {}
+        self.latency = LatencyReservoir(reservoir_size)
+
+    # -- recording -------------------------------------------------------
+
+    def record_submitted(self, kind: str, n: int = 1) -> None:
+        with self._lock:
+            self.submitted += n
+            self.per_kind[kind] = self.per_kind.get(kind, 0) + n
+
+    def record_rejected(self, reason: str, n: int = 1) -> None:
+        with self._lock:
+            self.rejected[reason] = self.rejected.get(reason, 0) + n
+
+    def record_timeout(self, n: int = 1) -> None:
+        with self._lock:
+            self.timeouts += n
+
+    def record_failed(self, n: int = 1) -> None:
+        with self._lock:
+            self.failed += n
+
+    def record_batch(self, index_name: str, size: int, steps: float,
+                     primitives: int, latency_s: Optional[float] = None) -> None:
+        """One dispatched batch: its size and its scan-model accounting."""
+        with self._lock:
+            self.batches += 1
+            self.batch_sizes.append(size)
+            self.completed += size
+            self.steps += steps
+            self.primitives += primitives
+            per = self.per_index.setdefault(
+                index_name, {"batches": 0.0, "queries": 0.0, "steps": 0.0,
+                             "primitives": 0.0})
+            per["batches"] += 1
+            per["queries"] += size
+            per["steps"] += steps
+            per["primitives"] += primitives
+        if latency_s is not None:
+            self.latency.add(latency_s)
+
+    # -- readout ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            sizes = np.asarray(self.batch_sizes, dtype=float)
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "timeouts": self.timeouts,
+                "rejected": dict(self.rejected),
+                "rejected_total": int(sum(self.rejected.values())),
+                "batches": self.batches,
+                "mean_batch_size": float(sizes.mean()) if sizes.size else 0.0,
+                "max_batch_size": int(sizes.max()) if sizes.size else 0,
+                "steps": self.steps,
+                "primitives": self.primitives,
+                "per_kind": dict(self.per_kind),
+                "per_index": {k: dict(v) for k, v in self.per_index.items()},
+                "latency_p50_ms": self.latency.percentile(50) * 1e3,
+                "latency_p95_ms": self.latency.percentile(95) * 1e3,
+            }

@@ -17,6 +17,9 @@ from .segment import validate_segments
 __all__ = [
     "point_segment_distance",
     "point_rect_distance",
+    "points_segments_distance",
+    "points_rects_distance",
+    "points_rects_max_distance",
     "segment_intersection_points",
 ]
 
@@ -45,6 +48,61 @@ def point_rect_distance(px: float, py: float, rects: np.ndarray) -> np.ndarray:
     r = validate_rects(rects)
     dx = np.maximum(np.maximum(r[:, 0] - px, px - r[:, 2]), 0.0)
     dy = np.maximum(np.maximum(r[:, 1] - py, py - r[:, 3]), 0.0)
+    return np.hypot(dx, dy)
+
+
+def points_segments_distance(points: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Row-wise Euclidean distance from ``points[i]`` to ``segments[i]``.
+
+    The pairwise form of :func:`point_segment_distance` used by the
+    batched nearest-line frontier, where every (query, candidate) pair
+    carries its own point.
+    """
+    p = np.asarray(points, dtype=float).reshape(-1, 2)
+    s = validate_segments(segments)
+    if p.shape != (s.shape[0], 2):
+        raise ValueError("points must have shape (n, 2) matching segments")
+    x1, y1, x2, y2 = s[:, 0], s[:, 1], s[:, 2], s[:, 3]
+    dx = x2 - x1
+    dy = y2 - y1
+    len2 = dx * dx + dy * dy
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(len2 > 0,
+                     ((p[:, 0] - x1) * dx + (p[:, 1] - y1) * dy) / len2, 0.0)
+    t = np.clip(t, 0.0, 1.0)
+    return np.hypot(p[:, 0] - (x1 + t * dx), p[:, 1] - (y1 + t * dy))
+
+
+def points_rects_distance(points: np.ndarray, rects: np.ndarray) -> np.ndarray:
+    """Row-wise Euclidean distance from ``points[i]`` to ``rects[i]``.
+
+    The pairwise form of :func:`point_rect_distance`: the lower bound a
+    batched branch-and-bound frontier prunes on, one (query, node) pair
+    per row.
+    """
+    p = np.asarray(points, dtype=float).reshape(-1, 2)
+    r = validate_rects(rects)
+    if p.shape != (r.shape[0], 2):
+        raise ValueError("points must have shape (n, 2) matching rects")
+    dx = np.maximum(np.maximum(r[:, 0] - p[:, 0], p[:, 0] - r[:, 2]), 0.0)
+    dy = np.maximum(np.maximum(r[:, 1] - p[:, 1], p[:, 1] - r[:, 3]), 0.0)
+    return np.hypot(dx, dy)
+
+
+def points_rects_max_distance(points: np.ndarray, rects: np.ndarray) -> np.ndarray:
+    """Row-wise distance from ``points[i]`` to the farthest corner of ``rects[i]``.
+
+    For a node known to hold at least one line, this bounds the distance
+    to *some* line in its subtree from above, so it is a valid upper
+    bound for batched branch-and-bound pruning (the min-max distance of
+    classic nearest-neighbour search, specialised to rectangles).
+    """
+    p = np.asarray(points, dtype=float).reshape(-1, 2)
+    r = validate_rects(rects)
+    if p.shape != (r.shape[0], 2):
+        raise ValueError("points must have shape (n, 2) matching rects")
+    dx = np.maximum(np.abs(p[:, 0] - r[:, 0]), np.abs(p[:, 0] - r[:, 2]))
+    dy = np.maximum(np.abs(p[:, 1] - r[:, 1]), np.abs(p[:, 1] - r[:, 3]))
     return np.hypot(dx, dy)
 
 

@@ -33,16 +33,24 @@ discussion:
     shared-memory access (Alt et al. [Alt87] in the paper); we charge
     ``log2 p`` per elementwise step as a deterministic-simulation proxy.
 
-The default machine is module-global and can be swapped with
+The default machine is *context-scoped* (a :mod:`contextvars` variable,
+falling back to one process-wide instance) and can be swapped with
 :func:`use_machine` for scoped accounting::
 
     with use_machine(Machine(cost_model="hypercube", processors=32)) as m:
         tree = build_pm1(segments)
     print(m.steps, m.counts["scan"])
+
+Because each thread (and each asyncio task) carries its own context,
+concurrent workers that install their own machine via
+:func:`use_machine` account in complete isolation -- the property the
+:mod:`repro.engine` executor relies on to attribute scan-model steps
+per batch without cross-talk.
 """
 
 from __future__ import annotations
 
+import contextvars
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -226,26 +234,34 @@ class Machine:
         )
 
 
-_DEFAULT = Machine()
+# Fallback accountant shared by every context that never installed its
+# own machine.  Overrides travel through a ContextVar so threads and
+# asyncio tasks that call use_machine() are isolated from one another.
+_FALLBACK = Machine()
+_CURRENT: contextvars.ContextVar[Optional[Machine]] = contextvars.ContextVar(
+    "repro_machine", default=None)
 
 
 def get_machine() -> Machine:
     """Return the machine primitives report to when none is passed."""
-    return _DEFAULT
+    machine = _CURRENT.get()
+    return machine if machine is not None else _FALLBACK
 
 
 def reset_machine() -> None:
-    """Zero the default machine's counters (convenience for tests)."""
-    _DEFAULT.reset()
+    """Zero the current default machine's counters (convenience for tests)."""
+    get_machine().reset()
 
 
 @contextmanager
 def use_machine(machine: Machine) -> Iterator[Machine]:
-    """Temporarily install ``machine`` as the default accountant."""
-    global _DEFAULT
-    prev = _DEFAULT
-    _DEFAULT = machine
+    """Install ``machine`` as the default accountant for this context.
+
+    The override is scoped to the current thread / task: concurrent
+    workers each see only the machine they installed themselves.
+    """
+    token = _CURRENT.set(machine)
     try:
         yield machine
     finally:
-        _DEFAULT = prev
+        _CURRENT.reset(token)

@@ -1,6 +1,13 @@
 """Spatial data structures built with the data-parallel primitives (Section 5)."""
 
-from .batch import batch_window_query_quadtree, batch_window_query_rtree
+from .batch import (
+    batch_nearest_quadtree,
+    batch_nearest_rtree,
+    batch_point_query_quadtree,
+    batch_point_query_rtree,
+    batch_window_query_quadtree,
+    batch_window_query_rtree,
+)
 from .bucket_pmr import BucketPMRQuadtree, build_bucket_pmr, occupancy_bound_ok
 from .build import BuildTrace, RoundStats, build_quadtree
 from .components import MapTopology, connected_components, polygonize
@@ -56,6 +63,10 @@ __all__ = [
     "RegionQuadtree",
     "batch_window_query_quadtree",
     "batch_window_query_rtree",
+    "batch_point_query_quadtree",
+    "batch_point_query_rtree",
+    "batch_nearest_quadtree",
+    "batch_nearest_rtree",
     "save_structure",
     "load_structure",
 ]

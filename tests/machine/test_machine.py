@@ -103,6 +103,49 @@ class TestAccounting:
 
 
 class TestDefaultMachine:
+    def test_two_threads_account_in_isolation(self):
+        """Concurrent use_machine scopes must not corrupt each other."""
+        import threading
+
+        barrier = threading.Barrier(2)
+        results = {}
+        errors = []
+
+        def worker(name, primitive, reps):
+            try:
+                with use_machine(Machine()) as m:
+                    barrier.wait(timeout=10)
+                    for _ in range(reps):
+                        assert get_machine() is m
+                        get_machine().record(primitive, 8)
+                    results[name] = (m.counts.copy(), m.steps)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t1 = threading.Thread(target=worker, args=("a", "scan", 500))
+        t2 = threading.Thread(target=worker, args=("b", "permute", 300))
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        assert not errors
+        assert results["a"] == ({"scan": 500}, 500.0)
+        assert results["b"] == ({"permute": 300}, 300.0)
+
+    def test_thread_without_override_sees_fallback(self):
+        import threading
+
+        seen = {}
+        inner = Machine()
+        with use_machine(inner):
+            t = threading.Thread(
+                target=lambda: seen.setdefault("m", get_machine()))
+            t.start()
+            t.join()
+        # a fresh thread never installed a machine: it reports to the
+        # process-wide fallback, not this thread's override
+        assert seen["m"] is not inner
+
     def test_use_machine_swaps_and_restores(self):
         outer = get_machine()
         inner = Machine()

@@ -1,4 +1,4 @@
-"""Batch (data-parallel) window-query tests."""
+"""Batch (data-parallel) query tests: window, point, and nearest probes."""
 
 import numpy as np
 import pytest
@@ -7,11 +7,18 @@ from hypothesis import given, settings, strategies as st
 from repro.geometry import clustered_map, random_segments
 from repro.machine import Machine
 from repro.structures import (
+    batch_nearest_quadtree,
+    batch_nearest_rtree,
+    batch_point_query_quadtree,
+    batch_point_query_rtree,
     batch_window_query_quadtree,
     batch_window_query_rtree,
+    brute_nearest,
     build_bucket_pmr,
     build_pm1,
     build_rtree,
+    quadtree_nearest,
+    rtree_nearest,
 )
 
 DOMAIN = 512
@@ -93,6 +100,150 @@ class TestRtreeBatch:
         rects = np.array([[600, 600, 700, 700]], float)
         got = batch_window_query_rtree(self.tree, rects)
         assert got[0].size == 0
+
+
+def points(k, seed, lo=0, hi=500):
+    rng = np.random.default_rng(seed)
+    return np.column_stack([rng.uniform(lo, hi, k), rng.uniform(lo, hi, k)])
+
+
+class TestEdgeCases:
+    """Empty query lists and zero-segment trees must not raise."""
+
+    def setup_method(self):
+        self.segs = random_segments(40, DOMAIN, 48, seed=11)
+
+    def test_empty_query_list_quadtree(self):
+        tree, _ = build_bucket_pmr(self.segs, DOMAIN, 4)
+        assert batch_window_query_quadtree(tree, []) == []
+        assert batch_window_query_quadtree(tree, np.zeros((0, 4))) == []
+        assert batch_point_query_quadtree(tree, []) == []
+        assert batch_nearest_quadtree(tree, np.zeros((0, 2))) == []
+
+    def test_empty_query_list_rtree(self):
+        tree, _ = build_rtree(self.segs, 2, 6)
+        assert batch_window_query_rtree(tree, []) == []
+        assert batch_window_query_rtree(tree, np.zeros((0, 4))) == []
+        assert batch_point_query_rtree(tree, []) == []
+        assert batch_nearest_rtree(tree, np.zeros((0, 2))) == []
+
+    def test_zero_segment_quadtree(self):
+        tree, _ = build_bucket_pmr(np.zeros((0, 4)), DOMAIN, 4)
+        got = batch_window_query_quadtree(tree, [[0, 0, 100, 100]])
+        assert len(got) == 1 and got[0].size == 0
+        got = batch_point_query_quadtree(tree, [[5.0, 5.0]])
+        assert len(got) == 1 and got[0].size == 0
+
+    def test_zero_segment_rtree(self):
+        tree, _ = build_rtree(np.zeros((0, 4)), 1, 4)
+        got = batch_window_query_rtree(tree, [[0, 0, 100, 100]])
+        assert len(got) == 1 and got[0].size == 0
+
+    def test_zero_segment_nearest_raises_like_scalar(self):
+        qt, _ = build_bucket_pmr(np.zeros((0, 4)), DOMAIN, 4)
+        rt, _ = build_rtree(np.zeros((0, 4)), 1, 4)
+        with pytest.raises(ValueError):
+            batch_nearest_quadtree(qt, [[1.0, 1.0]])
+        with pytest.raises(ValueError):
+            batch_nearest_rtree(rt, [[1.0, 1.0]])
+
+
+class TestPointProbes:
+    def setup_method(self):
+        self.segs = random_segments(250, DOMAIN, 48, seed=13)
+        self.pmr, _ = build_bucket_pmr(self.segs, DOMAIN, 6)
+        self.rt, _ = build_rtree(self.segs, 2, 8)
+
+    def test_quadtree_matches_scalar(self):
+        pts = points(40, 14)
+        got = batch_point_query_quadtree(self.pmr, pts)
+        for i, (x, y) in enumerate(pts):
+            assert np.array_equal(got[i], self.pmr.point_query(x, y))
+
+    def test_pm1_matches_scalar(self):
+        tree, _ = build_pm1(np.unique(self.segs, axis=0), DOMAIN)
+        pts = points(20, 15)
+        got = batch_point_query_quadtree(tree, pts)
+        for i, (x, y) in enumerate(pts):
+            assert np.array_equal(got[i], tree.point_query(x, y))
+
+    def test_rtree_matches_scalar(self):
+        pts = points(40, 16)
+        got = batch_point_query_rtree(self.rt, pts)
+        for i, (x, y) in enumerate(pts):
+            assert np.array_equal(got[i], np.unique(self.rt.point_query(x, y)))
+
+    def test_outside_domain_strict_raises(self):
+        with pytest.raises(ValueError, match="outside the domain"):
+            batch_point_query_quadtree(self.pmr, [[DOMAIN + 50.0, 5.0]])
+
+    def test_outside_domain_lenient_is_empty(self):
+        got = batch_point_query_quadtree(
+            self.pmr, [[DOMAIN + 50.0, 5.0], [5.0, 5.0]], strict=False)
+        assert got[0].size == 0
+        assert np.array_equal(got[1], self.pmr.point_query(5.0, 5.0))
+
+    def test_rounds_bounded_by_height(self):
+        m = Machine()
+        batch_point_query_quadtree(self.pmr, points(64, 17), machine=m)
+        assert m.counts["elementwise"] <= self.pmr.height + 2
+
+
+class TestNearestProbes:
+    def setup_method(self):
+        self.segs = clustered_map(250, clusters=6, spread=40, domain=DOMAIN,
+                                  seed=19)
+        self.pmr, _ = build_bucket_pmr(self.segs, DOMAIN, 6)
+        self.rt, _ = build_rtree(self.segs, 2, 8)
+
+    def test_quadtree_matches_scalar_and_brute(self):
+        pts = points(40, 20)
+        got = batch_nearest_quadtree(self.pmr, pts)
+        for i, (x, y) in enumerate(pts):
+            assert got[i] == quadtree_nearest(self.pmr, x, y)
+            assert got[i] == brute_nearest(self.segs, x, y)
+
+    def test_rtree_matches_scalar_and_brute(self):
+        pts = points(40, 21)
+        got = batch_nearest_rtree(self.rt, pts)
+        for i, (x, y) in enumerate(pts):
+            assert got[i] == rtree_nearest(self.rt, x, y)
+            assert got[i] == brute_nearest(self.segs, x, y)
+
+    def test_single_line_tree(self):
+        one = self.segs[:1]
+        qt, _ = build_bucket_pmr(one, DOMAIN, 4)
+        rt, _ = build_rtree(one, 1, 4)
+        pts = points(8, 22)
+        for res in (batch_nearest_quadtree(qt, pts), batch_nearest_rtree(rt, pts)):
+            for i, (x, y) in enumerate(pts):
+                assert res[i] == brute_nearest(one, x, y)
+
+    def test_tie_breaks_to_lowest_id(self):
+        # two identical-distance lines straddling the probe point
+        segs = np.array([[10, 20, 30, 20], [10, 40, 30, 40.]])
+        qt, _ = build_bucket_pmr(segs, 64, 2)
+        rt, _ = build_rtree(segs, 1, 4)
+        got_q = batch_nearest_quadtree(qt, [[20.0, 30.0]])[0]
+        got_r = batch_nearest_rtree(rt, [[20.0, 30.0]])[0]
+        assert got_q == got_r == brute_nearest(segs, 20.0, 30.0)
+        assert got_q[0] == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_fuzz_nearest_consensus(seed):
+    rng = np.random.default_rng(seed)
+    segs = random_segments(int(rng.integers(3, 80)), DOMAIN, 48, seed=seed)
+    pmr, _ = build_bucket_pmr(segs, DOMAIN, 4)
+    rt, _ = build_rtree(segs, 1, 4)
+    pts = points(10, seed)
+    got_q = batch_nearest_quadtree(pmr, pts)
+    got_r = batch_nearest_rtree(rt, pts)
+    for i, (x, y) in enumerate(pts):
+        want = brute_nearest(segs, x, y)
+        assert got_q[i] == want
+        assert got_r[i] == want
 
 
 @settings(max_examples=10, deadline=None)

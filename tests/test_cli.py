@@ -85,6 +85,25 @@ class TestJoin:
         assert "rtree" in out
 
 
+class TestServe:
+    def test_serve_reports_stats(self, capsys):
+        code, out = run(capsys, "serve", "--n", "200", "--domain", "256",
+                        "--probes", "120", "--clients", "2", "--workers", "2")
+        assert code == 0
+        assert "repro.engine serving stats" in out
+        assert "throughput (q/s)" in out
+        assert "errors" in out
+        # every probe must be answered
+        lines = [ln for ln in out.splitlines() if "errors" in ln]
+        assert lines and lines[0].strip().endswith("0")
+
+    def test_serve_rtree(self, capsys):
+        code, out = run(capsys, "serve", "--structure", "rtree", "--n", "150",
+                        "--domain", "256", "--probes", "60", "--clients", "1")
+        assert code == 0
+        assert "rtree" in out
+
+
 class TestArgErrors:
     def test_unknown_structure_rejected(self, capsys):
         with pytest.raises(SystemExit):
