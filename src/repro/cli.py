@@ -67,6 +67,32 @@ def _cmd_build(args: argparse.Namespace) -> int:
     lines = _make_map(args.map, args.n, domain, args.seed)
     m = Machine(cost_model=args.cost_model, processors=args.processors)
     with use_machine(m):
+        if args.shards > 1:
+            if args.structure == "kdtree":
+                raise SystemExit("--shards supports pmr, pm1, and rtree only")
+            from .structures import build_sharded
+            seg_in = (np.unique(lines, axis=0) if args.structure == "pm1"
+                      else lines)
+            sharded = build_sharded(seg_in, domain, structure=args.structure,
+                                    shards=args.shards, ordering=args.ordering,
+                                    capacity=args.capacity,
+                                    min_fill=args.min_fill)
+            sizes = sharded.shard_sizes()
+            rows = [["shards", sharded.num_shards],
+                    ["ordering", sharded.ordering],
+                    ["min shard", int(sizes.min())],
+                    ["max shard", int(sizes.max())]]
+            print(format_table(["metric", "value"],
+                               [["map", args.map],
+                                ["segments", seg_in.shape[0]],
+                                ["structure", args.structure]] + rows,
+                               title="sharded build"))
+            print()
+            print(format_table(["primitive", "count"],
+                               sorted(m.counts.items()),
+                               title=f"machine ({m.cost_model.name}, "
+                                     f"p={m.processors}): {m.steps:g} steps"))
+            return 0
         if args.structure == "pmr":
             tree, trace = build_bucket_pmr(lines, domain, args.capacity)
             stats = quadtree_stats(tree)
@@ -174,7 +200,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 max_batch=args.max_batch,
                                 max_wait=args.max_wait,
                                 workers=args.workers,
-                                queue_depth=args.queue_depth)
+                                queue_depth=args.queue_depth,
+                                shards=args.shards,
+                                ordering=args.ordering)
     with engine:
         fp = engine.register(lines, domain=args.domain)
         engine.warm(fp)
@@ -237,7 +265,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
              ["p50 latency (ms)", f"{snap['latency_p50_ms']:.2f}"],
              ["p95 latency (ms)", f"{snap['latency_p95_ms']:.2f}"],
              ["cache hit rate", f"{cache['hit_rate']:.2f}"],
-             ["scan-model steps", f"{snap['steps']:g}"]],
+             ["scan-model steps", f"{snap['steps']:g}"]]
+            + ([["shards", args.shards],
+                ["ordering", args.ordering],
+                ["mean shards probed", f"{snap['mean_shards_probed']:.2f}"],
+                ["shard skip rate", f"{snap['shard_skip_rate']:.2f}"]]
+               if args.shards > 1 else []),
             title="repro.engine serving stats"))
         per = snap["per_index"]
         if per:
@@ -264,6 +297,10 @@ def _parser() -> argparse.ArgumentParser:
     b.add_argument("--capacity", type=int, default=8,
                    help="bucket capacity / R-tree M / k-d leaf size")
     b.add_argument("--min-fill", type=int, default=2, help="R-tree m")
+    b.add_argument("--shards", type=int, default=1,
+                   help="space-sorted shards (>1 builds a sharded index)")
+    b.add_argument("--ordering", choices=("morton", "hilbert"),
+                   default="morton", help="shard cut order")
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--cost-model", default="scan_model",
                    choices=("scan_model", "hypercube", "pram_emulation"))
@@ -306,6 +343,10 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--max-wait", type=float, default=0.002,
                    help="coalescing deadline trigger (seconds)")
     s.add_argument("--queue-depth", type=int, default=64)
+    s.add_argument("--shards", type=int, default=1,
+                   help="space-sorted shards per index (>1 fans batches out)")
+    s.add_argument("--ordering", choices=("morton", "hilbert"),
+                   default="morton", help="shard cut order")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_serve)
     return p

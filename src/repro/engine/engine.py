@@ -30,8 +30,10 @@ Example::
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from concurrent.futures import (Future, InvalidStateError,
+                                TimeoutError as FutureTimeoutError)
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -46,6 +48,7 @@ from ..structures.batch import (
     batch_window_query_rtree,
 )
 from ..structures.join import quadtree_join, rtree_join
+from ..structures.sharded import ORDERINGS, ShardedIndex, sharded_join
 from .coalescer import Coalescer, Probe
 from .executor import BoundedExecutor, RejectedError
 from .registry import IndexKey, IndexRegistry
@@ -72,10 +75,17 @@ class EngineConfig:
     queue_depth: int = 64         # bounded executor queue
     cache_capacity: int = 8       # LRU-cached built indexes
     default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
+    shards: int = 1               # >1: space-sorted sharded indexes
+    ordering: str = "morton"      # shard cut order: morton | hilbert
 
     def __post_init__(self) -> None:
         if self.structure not in _FAMILY:
             raise ValueError(f"unknown structure {self.structure!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.ordering not in ORDERINGS:
+            raise ValueError(f"unknown ordering {self.ordering!r}; "
+                             f"choose from {ORDERINGS}")
 
 
 class SpatialQueryEngine:
@@ -159,8 +169,12 @@ class SpatialQueryEngine:
                                    **dict(key_a.params)).tree
             tb = self.registry.get(key_b.fingerprint, key_b.structure,
                                    **dict(key_b.params)).tree
-            join = rtree_join if _FAMILY[structure] == "rtree" else quadtree_join
-            pairs = join(ta, tb)
+            if isinstance(ta, ShardedIndex) or isinstance(tb, ShardedIndex):
+                pairs = sharded_join(ta, tb)
+            else:
+                join = (rtree_join if _FAMILY[structure] == "rtree"
+                        else quadtree_join)
+                pairs = join(ta, tb)
             self.stats.record_batch(f"{structure}:join", 1, machine.steps,
                                     machine.total_primitives,
                                     time.monotonic() - start)
@@ -242,6 +256,9 @@ class SpatialQueryEngine:
             params = {"capacity": self.config.capacity}
         else:
             params = {}
+        if self.config.shards > 1:
+            params["shards"] = self.config.shards
+            params["ordering"] = self.config.ordering
         return IndexKey.make(fingerprint, structure, **params)
 
     def _submit(self, kind: str, fingerprint: str, payload: np.ndarray,
@@ -288,6 +305,9 @@ class SpatialQueryEngine:
     def _dispatch(self, group_key, probes: List[Probe]) -> None:
         """Flush callback: run one group as a single vectorized pass."""
         index_key, kind, exact = group_key
+        if int(dict(index_key.params).get("shards", 1)) > 1:
+            self._dispatch_sharded(index_key, kind, exact, probes)
+            return
         batch_fn = self._batch_fn(index_key.structure, kind, exact)
         started = min(p.submitted_at for p in probes)
 
@@ -322,3 +342,253 @@ class SpatialQueryEngine:
                 p.future.set_result(res)
 
         fut.add_done_callback(deliver)
+
+    def _dispatch_sharded(self, index_key: IndexKey, kind: str, exact: bool,
+                          probes: List[Probe]) -> None:
+        """Fan one group out as per-shard sub-batches and merge per probe.
+
+        The shard plan (which probes touch which shards, by MBR
+        culling) is computed on the dispatching thread; each probed
+        shard becomes one executor job so shards run concurrently, and
+        a shared merge state resolves every probe future once its last
+        shard reports.  Nearest probes run in two rounds: round one
+        queries only each probe's closest shard (by MBR lower bound),
+        round two fans out to just the shards whose lower bound beats
+        the round-one distance -- the batched analogue of the scalar
+        best-so-far pruning.  ``warm()`` prebuilds the sharded index so
+        the first dispatch does not pay the build on this thread.
+        """
+        started = min(p.submitted_at for p in probes)
+        name = f"{index_key.structure}:{kind}"
+        try:
+            entry = self.registry.get(index_key.fingerprint,
+                                      index_key.structure,
+                                      **dict(index_key.params))
+        except Exception as exc:  # unknown structure, build failure, ...
+            self.stats.record_failed(len(probes))
+            for p in probes:
+                p.future.set_exception(exc)
+            return
+        sharded: ShardedIndex = entry.tree
+        payloads = np.stack([p.payload for p in probes])
+
+        if sharded.num_shards == 0:
+            # empty dataset: empty id sets, or the scalar nearest error
+            if kind == "nearest":
+                self.stats.record_failed(len(probes))
+                for p in probes:
+                    p.future.set_exception(
+                        ValueError("empty tree has no nearest line"))
+            else:
+                self.stats.record_shard_batch(0, 0)
+                for p in probes:
+                    p.future.set_result(np.zeros(0, dtype=np.int64))
+                self.stats.record_batch(name, len(probes), 0.0, 0,
+                                        time.monotonic() - started)
+            return
+
+        merge = _ShardedMerge(self, sharded, kind, exact, probes, payloads,
+                              started, name)
+        if kind == "nearest":
+            merge.start_nearest()
+        else:
+            mask = (sharded.plan_windows(payloads) if kind == "window"
+                    else sharded.plan_points(payloads))
+            merge.start_ids(mask)
+
+
+class _ShardedMerge:
+    """Merge state for one sharded fan-out batch.
+
+    Per-shard sub-batches run as independent executor jobs; the last
+    job of a round (tracked by a ``remaining`` counter under ``lock``)
+    triggers the round-end hook from its completion callback, so no
+    thread ever blocks waiting on shard results.  Every probe future is
+    resolved exactly once -- by ``_finalize`` on success or by the
+    first ``_fail`` on any shard error or executor rejection.
+    """
+
+    def __init__(self, engine: SpatialQueryEngine, sharded: ShardedIndex,
+                 kind: str, exact: bool, probes: List[Probe],
+                 payloads: np.ndarray, started: float, name: str) -> None:
+        self.engine = engine
+        self.sharded = sharded
+        self.kind = kind
+        self.exact = exact
+        self.probes = probes
+        self.payloads = payloads
+        self.started = started
+        self.name = name
+        self.lock = threading.Lock()
+        self.failed = False
+        self.remaining = 0
+        self.steps = 0.0
+        self.primitives = 0
+        # per-shard (probe selection, global ids, per-probe counts)
+        self.chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.probed: set = set()        # distinct shards touched, all rounds
+        self.on_round_end = self._finalize
+
+    # -- rounds ----------------------------------------------------------
+
+    def start_ids(self, mask: np.ndarray) -> None:
+        """Window/point: one round over the MBR-culled shard mask."""
+        jobs = [(k, np.flatnonzero(mask[k]))
+                for k in range(self.sharded.num_shards) if mask[k].any()]
+        self.probed.update(k for k, _ in jobs)
+        self.engine.stats.record_shard_batch(self.sharded.num_shards,
+                                             len(jobs))
+        if not jobs:
+            self._finalize()
+            return
+        self._submit(jobs)
+
+    def start_nearest(self) -> None:
+        """Nearest round one: every zero-lower-bound shard per probe.
+
+        A probe goes to each shard whose MBR contains it (lower bound
+        zero -- those shards can never be pruned) plus its argmin-bound
+        shard as a fallback when no MBR contains the point.  Folding
+        the contained shards into round one keeps the second round down
+        to the rare probes whose best hit lies across a shard boundary.
+        """
+        self.lb = self.sharded.nearest_bounds(self.payloads)   # (K, B)
+        B = len(self.probes)
+        self.best_d = np.full(B, np.inf)
+        self.best_g = np.full(B, -1, dtype=np.int64)
+        self.round1 = self.lb == 0.0
+        self.round1[np.argmin(self.lb, axis=0), np.arange(B)] = True
+        jobs = [(k, np.flatnonzero(self.round1[k]))
+                for k in range(self.sharded.num_shards)
+                if self.round1[k].any()]
+        self.probed.update(k for k, _ in jobs)
+        self.on_round_end = self._start_phase2
+        self._submit(jobs)
+
+    def _start_phase2(self) -> None:
+        """Nearest round two: shards whose bound beats the round-one hit.
+
+        Runs in the completion callback of the last round-one job.  The
+        comparison is inclusive (``lb <= best``) because an equidistant
+        segment with a lower global id may live in another shard and
+        must win the tie.
+        """
+        mask = (self.lb <= self.best_d[None, :]) & ~self.round1
+        jobs = [(k, np.flatnonzero(mask[k]))
+                for k in range(self.sharded.num_shards) if mask[k].any()]
+        self.probed.update(k for k, _ in jobs)
+        self.engine.stats.record_shard_batch(self.sharded.num_shards,
+                                             len(self.probed))
+        if not jobs:
+            self._finalize()
+            return
+        self.on_round_end = self._finalize
+        self._submit(jobs)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _submit(self, jobs: List[Tuple[int, np.ndarray]]) -> None:
+        with self.lock:
+            self.remaining += len(jobs)   # count before any job can finish
+        for k, sel in jobs:
+            try:
+                fut = self.engine._executor.submit(self._make_job(k, sel))
+            except RejectedError as exc:
+                self.engine.stats.record_rejected(exc.reason,
+                                                  len(self.probes))
+                self._fail(RejectedError(exc.reason))
+                return
+            fut.add_done_callback(self._deliver)
+
+    def _make_job(self, k: int, sel: np.ndarray):
+        def job(machine):
+            results = self.sharded.query_shard_batch(
+                k, self.kind, self.payloads[sel], exact=self.exact,
+                machine=machine, flat=self.kind != "nearest")
+            return sel, results, machine.steps, machine.total_primitives
+        return job
+
+    def _deliver(self, done: Future) -> None:
+        exc = done.exception()
+        if exc is not None:
+            self._fail(exc)
+            return
+        sel, results, steps, primitives = done.result()
+        with self.lock:
+            if self.failed:
+                return
+            if self.kind == "nearest":
+                # fold the shard's (ids, distances) into the running
+                # best, breaking distance ties toward the lower id
+                gids, dists = results
+                cur_d = self.best_d[sel]
+                cur_g = self.best_g[sel]
+                upd = (dists < cur_d) | ((dists == cur_d) & (gids < cur_g))
+                self.best_d[sel] = np.where(upd, dists, cur_d)
+                self.best_g[sel] = np.where(upd, gids, cur_g)
+            else:
+                gids, counts = results
+                self.chunks.append((sel, gids, counts))
+            self.steps += steps
+            self.primitives += primitives
+            self.remaining -= 1
+            last = self.remaining == 0
+        if last:
+            self.on_round_end()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self.lock:
+            if self.failed:
+                return
+            self.failed = True
+        self.engine.stats.record_failed(len(self.probes))
+        for p in self.probes:
+            if not p.future.done():
+                try:
+                    p.future.set_exception(exc)
+                except InvalidStateError:  # lost a benign race to resolve
+                    pass
+
+    def _finalize(self) -> None:
+        if self.kind == "nearest":
+            for p, g, d in zip(self.probes, self.best_g, self.best_d):
+                p.future.set_result((int(g), float(d)))
+            self.engine.stats.record_batch(self.name, len(self.probes),
+                                           self.steps, self.primitives,
+                                           time.monotonic() - self.started)
+            return
+        if self.chunks:
+            # merge without sorting the hit stream: each chunk lists
+            # its probes in ascending order with per-probe hit runs
+            # already sorted, so every run can be scattered straight to
+            # its probe's write cursor.  Only probes fed by two or more
+            # shards need a final per-probe sort to interleave the runs
+            # -- shards partition the segments, so it is never a dedup.
+            B = len(self.probes)
+            counts_pp = np.zeros(B, dtype=np.int64)
+            nshards = np.zeros(B, dtype=np.int64)
+            for sel, _, counts in self.chunks:
+                counts_pp[sel] += counts
+                nshards[sel] += counts > 0
+            offsets = np.zeros(B + 1, dtype=np.int64)
+            np.cumsum(counts_pp, out=offsets[1:])
+            out = np.empty(offsets[-1], dtype=np.int64)
+            cursor = offsets[:-1].copy()
+            for sel, vals, counts in self.chunks:
+                run0 = np.concatenate(([0], np.cumsum(counts[:-1])))
+                pos = (np.repeat(cursor[sel] - run0, counts)
+                       + np.arange(vals.size))
+                out[pos] = vals
+                cursor[sel] += counts
+            pieces = np.split(out, offsets[1:-1])
+            for i in np.flatnonzero(nshards > 1).tolist():
+                pieces[i].sort()   # views into ``out``: sorts in place
+            for p, res in zip(self.probes, pieces):
+                p.future.set_result(res)
+        else:
+            empty = np.zeros(0, dtype=np.int64)
+            for p in self.probes:
+                p.future.set_result(empty)
+        self.engine.stats.record_batch(self.name, len(self.probes),
+                                       self.steps, self.primitives,
+                                       time.monotonic() - self.started)

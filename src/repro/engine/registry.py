@@ -33,7 +33,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..machine import Machine, use_machine
-from ..structures import build_bucket_pmr, build_pm1, build_rtree
+from ..structures import build_bucket_pmr, build_pm1, build_rtree, build_sharded
 
 __all__ = ["dataset_fingerprint", "IndexKey", "BuiltIndex", "IndexRegistry"]
 
@@ -248,18 +248,32 @@ class IndexRegistry:
             return list(self._cache)
 
 
-def _build_pmr(lines, domain, capacity: int = 8, max_depth=None):
+def _build_pmr(lines, domain, capacity: int = 8, max_depth=None,
+               shards: int = 1, ordering: str = "morton"):
+    if int(shards) > 1:
+        return build_sharded(lines, domain, structure="pmr", shards=shards,
+                             ordering=ordering, capacity=capacity,
+                             max_depth=max_depth)
     tree, _ = build_bucket_pmr(lines, domain, capacity, max_depth=max_depth)
     return tree
 
 
-def _build_pm1(lines, domain, max_depth=None):
+def _build_pm1(lines, domain, max_depth=None,
+               shards: int = 1, ordering: str = "morton"):
+    if int(shards) > 1:
+        return build_sharded(lines, domain, structure="pm1", shards=shards,
+                             ordering=ordering, max_depth=max_depth)
     tree, _ = build_pm1(lines, domain, max_depth=max_depth)
     return tree
 
 
-def _build_rtree(lines, domain, min_fill: int = 2, capacity: int = 8):
-    # domain is irrelevant to the R-tree but kept for a uniform signature
+def _build_rtree(lines, domain, min_fill: int = 2, capacity: int = 8,
+                 shards: int = 1, ordering: str = "morton"):
+    # domain is irrelevant to the R-tree itself but keys the shard cut
+    if int(shards) > 1:
+        return build_sharded(lines, domain, structure="rtree", shards=shards,
+                             ordering=ordering, capacity=capacity,
+                             min_fill=min_fill)
     tree, _ = build_rtree(lines, min_fill, capacity)
     return tree
 

@@ -60,6 +60,9 @@ class EngineStats:
         self.primitives = 0
         self.per_kind: Dict[str, int] = {}
         self.per_index: Dict[str, Dict[str, float]] = {}
+        self.shard_batches = 0
+        self.shards_probed = 0
+        self.shards_skipped = 0
         self.latency = LatencyReservoir(reservoir_size)
 
     # -- recording -------------------------------------------------------
@@ -100,6 +103,13 @@ class EngineStats:
         if latency_s is not None:
             self.latency.add(latency_s)
 
+    def record_shard_batch(self, total_shards: int, probed: int) -> None:
+        """One sharded batch's fan-out: shards probed vs. MBR-culled."""
+        with self._lock:
+            self.shard_batches += 1
+            self.shards_probed += probed
+            self.shards_skipped += total_shards - probed
+
     # -- readout ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -119,6 +129,16 @@ class EngineStats:
                 "primitives": self.primitives,
                 "per_kind": dict(self.per_kind),
                 "per_index": {k: dict(v) for k, v in self.per_index.items()},
+                "shard_batches": self.shard_batches,
+                "shards_probed": self.shards_probed,
+                "shards_skipped": self.shards_skipped,
+                "mean_shards_probed": (
+                    self.shards_probed / self.shard_batches
+                    if self.shard_batches else 0.0),
+                "shard_skip_rate": (
+                    self.shards_skipped
+                    / (self.shards_probed + self.shards_skipped)
+                    if (self.shards_probed + self.shards_skipped) else 0.0),
                 "latency_p50_ms": self.latency.percentile(50) * 1e3,
                 "latency_p95_ms": self.latency.percentile(95) * 1e3,
             }

@@ -22,6 +22,7 @@ from .pr_quadtree import PRQuadtree, build_pr_quadtree
 from .quadblock import CHILD_NAMES, NodeTable, Quadtree, child_box
 from .region import RegionQuadtree, build_region_quadtree
 from .rtree import RTree, build_rtree
+from .sharded import Shard, ShardedIndex, build_sharded, shard_keys, sharded_join
 from .str_pack import build_rtree_str
 
 __all__ = [
@@ -69,4 +70,9 @@ __all__ = [
     "batch_nearest_rtree",
     "save_structure",
     "load_structure",
+    "Shard",
+    "ShardedIndex",
+    "build_sharded",
+    "shard_keys",
+    "sharded_join",
 ]

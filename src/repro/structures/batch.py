@@ -170,6 +170,8 @@ def batch_window_query_rtree(tree: RTree, rects, exact: bool = True,
     alive = overlaps(tree.level_mbr[0][n_frontier], rects[q_frontier])
     q_frontier = q_frontier[alive]
     n_frontier = n_frontier[alive]
+    if not q_frontier.size:
+        return [np.zeros(0, dtype=np.int64) for _ in range(nq)]
 
     leaf_order = np.argsort(tree.line_leaf, kind="stable")
     sorted_leaf = tree.line_leaf[leaf_order]

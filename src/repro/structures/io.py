@@ -4,59 +4,111 @@ Builds are deterministic but not free; a downstream user indexing a
 large map wants to build once and reload.  Every structure serialises
 to a single compressed NumPy archive with a format tag and version, and
 loads back bit-identically (round-trip equality is a test invariant).
+Sharded indexes (:class:`~repro.structures.sharded.ShardedIndex`)
+flatten into the same archive: each shard's tree arrays are stored
+under an ``s{i}_`` key prefix next to the shard's global id range, so
+shard boundaries survive the round trip exactly.
 """
 
 from __future__ import annotations
 
 import io as _io
 import os
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 from .quadblock import Quadtree
 from .rtree import RTree
+from .sharded import Shard, ShardedIndex
 
 __all__ = ["save_structure", "load_structure"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 PathLike = Union[str, os.PathLike, _io.IOBase]
 
 
+def _tree_payload(tree, prefix: str = "") -> Dict[str, np.ndarray]:
+    """Flatten one tree into archive entries under ``prefix``."""
+    if isinstance(tree, Quadtree):
+        return {
+            f"{prefix}kind": np.array("quadtree"),
+            f"{prefix}lines": tree.lines, f"{prefix}boxes": tree.boxes,
+            f"{prefix}level": tree.level, f"{prefix}parent": tree.parent,
+            f"{prefix}children": tree.children,
+            f"{prefix}node_ptr": tree.node_ptr,
+            f"{prefix}node_lines": tree.node_lines,
+            f"{prefix}meta": np.array([tree.domain, float(tree.max_depth)]),
+        }
+    if isinstance(tree, RTree):
+        payload = {
+            f"{prefix}kind": np.array("rtree"),
+            f"{prefix}lines": tree.lines,
+            f"{prefix}entry_bbox": tree.entry_bbox,
+            f"{prefix}line_leaf": tree.line_leaf,
+            f"{prefix}meta": np.array([float(tree.m), float(tree.M),
+                                       float(tree.height)]),
+        }
+        for i, mbr in enumerate(tree.level_mbr):
+            payload[f"{prefix}mbr_{i}"] = mbr
+        for i, par in enumerate(tree.level_parent):
+            payload[f"{prefix}parent_{i}"] = par
+        return payload
+    raise TypeError(f"cannot serialise {type(tree).__name__}")
+
+
+def _load_tree(data, prefix: str = ""):
+    """Rebuild one tree from archive entries under ``prefix``."""
+    kind = str(data[f"{prefix}kind"])
+    if kind == "quadtree":
+        domain, max_depth = data[f"{prefix}meta"]
+        return Quadtree(
+            lines=data[f"{prefix}lines"], boxes=data[f"{prefix}boxes"],
+            level=data[f"{prefix}level"], parent=data[f"{prefix}parent"],
+            children=data[f"{prefix}children"],
+            node_ptr=data[f"{prefix}node_ptr"],
+            node_lines=data[f"{prefix}node_lines"],
+            domain=float(domain), max_depth=int(max_depth),
+        )
+    if kind == "rtree":
+        m, M, height = (int(v) for v in data[f"{prefix}meta"])
+        level_mbr = [data[f"{prefix}mbr_{i}"] for i in range(height)]
+        level_parent = [data[f"{prefix}parent_{i}"] for i in range(height - 1)]
+        return RTree(
+            lines=data[f"{prefix}lines"],
+            entry_bbox=data[f"{prefix}entry_bbox"],
+            line_leaf=data[f"{prefix}line_leaf"], level_mbr=level_mbr,
+            level_parent=level_parent, m=m, M=M,
+        )
+    raise ValueError(f"unknown structure kind {kind!r}")
+
+
 def save_structure(tree, path: PathLike) -> None:
-    """Serialise a :class:`Quadtree` or :class:`RTree` to ``path``.
+    """Serialise a :class:`Quadtree`, :class:`RTree`, or
+    :class:`ShardedIndex` to ``path``.
 
     The file is a compressed ``.npz`` with a ``kind`` tag; scalar
     parameters travel in a small metadata vector.
     """
-    if isinstance(tree, Quadtree):
-        np.savez_compressed(
-            path,
-            kind=np.array("quadtree"),
-            version=np.array([_FORMAT_VERSION]),
-            lines=tree.lines, boxes=tree.boxes, level=tree.level,
-            parent=tree.parent, children=tree.children,
-            node_ptr=tree.node_ptr, node_lines=tree.node_lines,
-            meta=np.array([tree.domain, float(tree.max_depth)]),
-        )
-    elif isinstance(tree, RTree):
+    if isinstance(tree, ShardedIndex):
         payload = {
-            "kind": np.array("rtree"),
+            "kind": np.array("sharded"),
             "version": np.array([_FORMAT_VERSION]),
             "lines": tree.lines,
-            "entry_bbox": tree.entry_bbox,
-            "line_leaf": tree.line_leaf,
-            "meta": np.array([float(tree.m), float(tree.M),
-                              float(tree.height)]),
+            "structure": np.array(tree.structure),
+            "ordering": np.array(tree.ordering),
+            "meta": np.array([tree.domain, float(tree.num_shards)]),
+            "shard_mbrs": tree.shard_mbrs(),
         }
-        for i, mbr in enumerate(tree.level_mbr):
-            payload[f"mbr_{i}"] = mbr
-        for i, par in enumerate(tree.level_parent):
-            payload[f"parent_{i}"] = par
+        for i, shard in enumerate(tree.shards):
+            payload[f"s{i}_ids"] = shard.ids
+            payload.update(_tree_payload(shard.tree, prefix=f"s{i}_"))
         np.savez_compressed(path, **payload)
-    else:
-        raise TypeError(f"cannot serialise {type(tree).__name__}")
+        return
+    payload = _tree_payload(tree)
+    payload["version"] = np.array([_FORMAT_VERSION])
+    np.savez_compressed(path, **payload)
 
 
 def load_structure(path: PathLike):
@@ -66,21 +118,17 @@ def load_structure(path: PathLike):
         if version > _FORMAT_VERSION:
             raise ValueError(f"file format v{version} is newer than this library")
         kind = str(data["kind"])
-        if kind == "quadtree":
-            domain, max_depth = data["meta"]
-            return Quadtree(
-                lines=data["lines"], boxes=data["boxes"], level=data["level"],
-                parent=data["parent"], children=data["children"],
-                node_ptr=data["node_ptr"], node_lines=data["node_lines"],
-                domain=float(domain), max_depth=int(max_depth),
+        if kind == "sharded":
+            domain, num_shards = data["meta"]
+            mbrs = data["shard_mbrs"]
+            shards = [
+                Shard(ids=data[f"s{i}_ids"], mbr=mbrs[i],
+                      tree=_load_tree(data, prefix=f"s{i}_"))
+                for i in range(int(num_shards))
+            ]
+            return ShardedIndex(
+                lines=data["lines"], domain=float(domain),
+                structure=str(data["structure"]),
+                ordering=str(data["ordering"]), shards=shards,
             )
-        if kind == "rtree":
-            m, M, height = (int(v) for v in data["meta"])
-            level_mbr = [data[f"mbr_{i}"] for i in range(height)]
-            level_parent = [data[f"parent_{i}"] for i in range(height - 1)]
-            return RTree(
-                lines=data["lines"], entry_bbox=data["entry_bbox"],
-                line_leaf=data["line_leaf"], level_mbr=level_mbr,
-                level_parent=level_parent, m=m, M=M,
-            )
-        raise ValueError(f"unknown structure kind {kind!r}")
+        return _load_tree(data)

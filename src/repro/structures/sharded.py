@@ -1,0 +1,389 @@
+"""Sharded spatial indexes: space-sorted segment ranges, one tree each.
+
+The paper's structures decompose *space*; this module decomposes the
+*dataset*.  Segments are sorted by the Morton or Hilbert code of their
+midpoint cell (:mod:`repro.machine.ordering`), cut into ``K``
+contiguous ranges of near-equal size, and each range gets its own
+PM1 / bucket-PMR / R-tree plus the minimum bounding rectangle of its
+segments.  Because the ranges follow a space-filling curve, shards are
+spatially coherent and their MBRs overlap little, so most probes touch
+a small subset of shards.
+
+Query semantics (the invariants the differential harness checks):
+
+* every segment belongs to **exactly one** shard -- segments are
+  assigned whole by their midpoint's curve position, never clipped --
+  so fan-out/merge cannot manufacture cross-shard duplicates; merged
+  id sets are still passed through ``np.unique`` because a single
+  shard's quadtree may hold several q-edges of one segment;
+* within a shard, segments are reordered by **ascending global id**,
+  so the per-shard nearest tie-break (lowest local id) coincides with
+  the global tie-break (lowest global id) and the merged nearest
+  answer is identical to the unsharded and brute-force answers;
+* ``point_query`` is answered as the *exact* degenerate window
+  ``[px, py, px, py]``: a shard's leaf decomposition differs from the
+  unsharded tree's, so the leaf-content ("candidate") semantics of
+  :meth:`Quadtree.point_query` are not decomposition-independent --
+  the exact refinement is, and matches ``brute_point_query``;
+* ``nearest`` prunes shards whose MBR lower bound exceeds the best
+  distance found so far (scalar path) or the min-max corner bound over
+  all shards (batch planning path);
+* ``K = 1`` degenerates to the unsharded tree wrapped in one shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.distance import points_rects_distance, points_rects_max_distance
+from ..geometry.rect import overlaps, validate_rects
+from ..machine import Machine
+from ..machine.ordering import hilbert_encode, morton_encode
+from .batch import (
+    batch_nearest_quadtree,
+    batch_nearest_rtree,
+    batch_window_query_quadtree,
+    batch_window_query_rtree,
+)
+from .bucket_pmr import build_bucket_pmr
+from .join import quadtree_join, rtree_join
+from .nearest import quadtree_nearest, rtree_nearest
+from .pm1 import build_pm1
+from .quadblock import Quadtree
+from .rtree import RTree, build_rtree
+
+__all__ = ["Shard", "ShardedIndex", "build_sharded", "shard_keys",
+           "sharded_join", "ORDERINGS"]
+
+ORDERINGS = ("morton", "hilbert")
+
+#: structure name -> tree family (mirrors repro.engine's table)
+_FAMILY = {"pmr": "quadtree", "pm1": "quadtree", "rtree": "rtree"}
+
+_KEY_BITS = 16
+
+
+def shard_keys(lines: np.ndarray, domain: float, ordering: str = "morton",
+               bits: int = _KEY_BITS) -> np.ndarray:
+    """Space-filling-curve key of each segment's midpoint cell.
+
+    Midpoints are scaled onto a ``2^bits`` x ``2^bits`` cell grid over
+    ``[0, domain]^2`` and encoded with the chosen curve.  The key decides
+    shard membership only; resolution beyond the shard count is free.
+    """
+    if ordering not in ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}; choose from {ORDERINGS}")
+    lines = np.asarray(lines, dtype=float).reshape(-1, 4)
+    side = 1 << bits
+    mids = 0.5 * (lines[:, 0:2] + lines[:, 2:4])
+    cells = np.clip((mids / float(domain) * side).astype(np.int64), 0, side - 1)
+    encode = morton_encode if ordering == "morton" else hilbert_encode
+    return encode(cells[:, 0], cells[:, 1], bits)
+
+
+@dataclass
+class Shard:
+    """One contiguous curve range: its global ids, MBR, and tree."""
+
+    ids: np.ndarray    # ascending global line ids
+    mbr: np.ndarray    # (4,) bounding rectangle of the shard's segments
+    tree: object       # Quadtree | RTree over the shard's segments
+
+
+@dataclass
+class ShardedIndex:
+    """K per-range trees answering queries by fan-out and merge."""
+
+    lines: np.ndarray
+    domain: float
+    structure: str
+    ordering: str
+    shards: List[Shard]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def family(self) -> str:
+        return _FAMILY[self.structure]
+
+    @property
+    def num_lines(self) -> int:
+        return int(self.lines.shape[0])
+
+    def shard_mbrs(self) -> np.ndarray:
+        """``(K, 4)`` array of shard bounding rectangles."""
+        if not self.shards:
+            return np.zeros((0, 4))
+        return np.stack([s.mbr for s in self.shards])
+
+    def shard_sizes(self) -> np.ndarray:
+        return np.array([s.ids.size for s in self.shards], dtype=np.int64)
+
+    # -- scalar queries --------------------------------------------------
+
+    def window_query(self, rect, exact: bool = True) -> np.ndarray:
+        """Global ids of lines intersecting the closed rectangle.
+
+        Fans out to shards whose MBR overlaps the window and merges the
+        per-shard hits.  With ``exact`` the answer is set-identical to
+        the unsharded tree and to brute force; without it each shard
+        contributes its own candidate set (decomposition-dependent).
+        """
+        rect = validate_rects(np.asarray(rect, dtype=float).reshape(1, 4))[0]
+        parts: List[np.ndarray] = []
+        for s in self.shards:
+            if not overlaps(s.mbr[None, :], rect[None, :])[0]:
+                continue
+            local = s.tree.window_query(rect, exact=exact)
+            if local.size:
+                parts.append(s.ids[local])
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def point_query(self, px: float, py: float) -> np.ndarray:
+        """Global ids of lines passing through the point (always exact)."""
+        return self.window_query([px, py, px, py], exact=True)
+
+    def nearest(self, px: float, py: float) -> Tuple[int, float]:
+        """Closest line to the point; ties broken by lowest global id.
+
+        Shards are visited in order of increasing MBR lower bound and a
+        shard is skipped once its lower bound exceeds the best distance
+        found so far -- the cross-shard analogue of the branch-and-bound
+        pruning inside each tree.
+        """
+        if not self.shards:
+            raise ValueError("empty index has no nearest line")
+        mbrs = self.shard_mbrs()
+        pts = np.tile(np.array([[px, py]], dtype=float), (self.num_shards, 1))
+        lb = points_rects_distance(pts, mbrs)
+        scalar_nearest = (quadtree_nearest if self.family == "quadtree"
+                          else rtree_nearest)
+        best_d = np.inf
+        best_id = -1
+        for k in np.argsort(lb, kind="stable"):
+            if lb[k] > best_d:
+                break
+            s = self.shards[int(k)]
+            local, d = scalar_nearest(s.tree, px, py)
+            gid = int(s.ids[local])
+            if d < best_d or (d == best_d and gid < best_id):
+                best_d = float(d)
+                best_id = gid
+        return best_id, best_d
+
+    def join(self, other) -> np.ndarray:
+        """Spatial join against another (sharded or plain) index."""
+        return sharded_join(self, other)
+
+    # -- batch planning (the engine's fan-out step) ----------------------
+
+    def plan_windows(self, rects: np.ndarray) -> np.ndarray:
+        """``(K, B)`` mask: shard k can hold hits of window b (MBR cull)."""
+        rects = np.asarray(rects, dtype=float).reshape(-1, 4)
+        mbrs = self.shard_mbrs()
+        return ((mbrs[:, None, 0] <= rects[None, :, 2])
+                & (rects[None, :, 0] <= mbrs[:, None, 2])
+                & (mbrs[:, None, 1] <= rects[None, :, 3])
+                & (rects[None, :, 1] <= mbrs[:, None, 3]))
+
+    def plan_points(self, points: np.ndarray) -> np.ndarray:
+        """``(K, B)`` mask: shard k's MBR contains point b (closed)."""
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        rects = np.column_stack([pts[:, 0], pts[:, 1], pts[:, 0], pts[:, 1]])
+        return self.plan_windows(rects)
+
+    def nearest_bounds(self, points: np.ndarray) -> np.ndarray:
+        """``(K, B)`` point-to-shard-MBR lower bounds (0 when inside)."""
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        K, B = self.num_shards, pts.shape[0]
+        if K == 0 or B == 0:
+            return np.zeros((K, B))
+        mbrs = self.shard_mbrs()
+        flat_p = np.repeat(pts, K, axis=0)
+        flat_r = np.tile(mbrs, (B, 1))
+        return points_rects_distance(flat_p, flat_r).reshape(B, K).T
+
+    def plan_nearest(self, points: np.ndarray) -> np.ndarray:
+        """``(K, B)`` mask keeping shards that can beat the min-max bound.
+
+        Every shard is non-empty, so the max corner distance of each
+        shard MBR upper-bounds that shard's nearest answer; a shard
+        whose lower bound exceeds the minimum upper bound over all
+        shards cannot win for that query.
+        """
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        K, B = self.num_shards, pts.shape[0]
+        if K == 0 or B == 0:
+            return np.zeros((K, B), dtype=bool)
+        mbrs = self.shard_mbrs()
+        flat_p = np.repeat(pts, K, axis=0)
+        flat_r = np.tile(mbrs, (B, 1))
+        lb = points_rects_distance(flat_p, flat_r).reshape(B, K).T
+        ub = points_rects_max_distance(flat_p, flat_r).reshape(B, K).T
+        return lb <= ub.min(axis=0)[None, :]
+
+    def query_shard_batch(self, k: int, kind: str, payloads: np.ndarray,
+                          exact: bool = True,
+                          machine: Optional[Machine] = None,
+                          flat: bool = False):
+        """One shard's answers (in global ids) for a probe sub-batch.
+
+        ``kind`` is ``"window"`` / ``"point"`` / ``"nearest"``; window
+        and point results are per-query global id arrays, nearest
+        results are a ``(global ids, distances)`` array pair over the
+        whole sub-batch.  With ``flat`` the window/point answers come
+        back as one ``(global ids, per-query counts)`` pair instead of
+        a list of per-query arrays -- the merge-friendly layout the
+        engine's fan-out uses.
+        """
+        s = self.shards[k]
+        if kind == "nearest":
+            batch_nearest = (batch_nearest_quadtree if self.family == "quadtree"
+                             else batch_nearest_rtree)
+            results = batch_nearest(s.tree, payloads, machine=machine)
+            n = len(results)
+            lids = np.fromiter((r[0] for r in results), dtype=np.int64,
+                               count=n)
+            dists = np.fromiter((r[1] for r in results), dtype=float, count=n)
+            return s.ids[lids], dists
+        if kind == "point":
+            pts = np.asarray(payloads, dtype=float).reshape(-1, 2)
+            payloads = np.column_stack([pts[:, 0], pts[:, 1],
+                                        pts[:, 0], pts[:, 1]])
+            exact = True  # exact degenerate windows (see module docstring)
+        elif kind != "window":
+            raise ValueError(f"unknown probe kind {kind!r}")
+        batch_window = (batch_window_query_quadtree if self.family == "quadtree"
+                        else batch_window_query_rtree)
+        results = batch_window(s.tree, payloads, exact=exact, machine=machine)
+        # one global-id gather over the concatenation beats a fancy
+        # index per (typically tiny) per-query result array
+        counts = np.fromiter((r.size for r in results), dtype=np.int64,
+                             count=len(results))
+        merged = (s.ids[np.concatenate(results)] if results
+                  else np.zeros(0, dtype=np.int64))
+        if flat:
+            return merged, counts
+        if not results:
+            return []
+        return np.split(merged, np.cumsum(counts)[:-1])
+
+    # -- validation ------------------------------------------------------
+
+    def check(self) -> None:
+        """Raise AssertionError on any sharding invariant violation."""
+        seen = (np.concatenate([s.ids for s in self.shards])
+                if self.shards else np.zeros(0, dtype=np.int64))
+        assert np.array_equal(np.sort(seen), np.arange(self.num_lines)), \
+            "shard ids must partition the global id space"
+        for s in self.shards:
+            assert s.ids.size > 0, "empty shards must not be materialised"
+            assert np.all(np.diff(s.ids) > 0), "shard ids must be ascending"
+            segs = self.lines[s.ids]
+            lo = np.minimum(segs[:, 0:2], segs[:, 2:4]).min(axis=0)
+            hi = np.maximum(segs[:, 0:2], segs[:, 2:4]).max(axis=0)
+            assert (s.mbr[0] <= lo[0] and s.mbr[1] <= lo[1]
+                    and s.mbr[2] >= hi[0] and s.mbr[3] >= hi[1]), \
+                "shard MBR must cover its segments"
+            assert np.array_equal(s.tree.lines, segs), \
+                "shard tree must index exactly the shard's segments"
+
+
+def _segment_mbr(segs: np.ndarray) -> np.ndarray:
+    lo = np.minimum(segs[:, 0:2], segs[:, 2:4]).min(axis=0)
+    hi = np.maximum(segs[:, 0:2], segs[:, 2:4]).max(axis=0)
+    return np.array([lo[0], lo[1], hi[0], hi[1]], dtype=float)
+
+
+def build_sharded(lines: np.ndarray, domain: float, structure: str = "pmr",
+                  shards: int = 4, ordering: str = "morton",
+                  capacity: int = 8, min_fill: int = 2,
+                  max_depth=None) -> ShardedIndex:
+    """Space-sort, cut into ``shards`` ranges, and build one tree per range.
+
+    Ranges are near-equal-count cuts of the curve-sorted segment order;
+    a request for more shards than segments yields one shard per
+    segment (empty ranges are never materialised).
+    """
+    if structure not in _FAMILY:
+        raise ValueError(f"unknown structure {structure!r}; "
+                         f"available: {sorted(_FAMILY)}")
+    if ordering not in ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}; choose from {ORDERINGS}")
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    lines = np.asarray(lines, dtype=np.float64).reshape(-1, 4)
+    n = lines.shape[0]
+    built: List[Shard] = []
+    if n:
+        keys = shard_keys(lines, domain, ordering)
+        order = np.lexsort((np.arange(n), keys))
+        cuts = [(i * n) // shards for i in range(shards + 1)]
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            if hi <= lo:
+                continue
+            ids = np.sort(order[lo:hi])  # ascending global ids (tie-break!)
+            segs = lines[ids]
+            if structure == "pmr":
+                tree, _ = build_bucket_pmr(segs, domain, capacity,
+                                           max_depth=max_depth)
+            elif structure == "pm1":
+                tree, _ = build_pm1(segs, domain, max_depth=max_depth)
+            else:
+                tree, _ = build_rtree(segs, min_fill, capacity)
+            built.append(Shard(ids=ids, mbr=_segment_mbr(segs), tree=tree))
+    return ShardedIndex(lines=lines, domain=float(domain), structure=structure,
+                        ordering=ordering, shards=built)
+
+
+# -- join -----------------------------------------------------------------
+
+
+def _as_shard_list(index) -> List[Tuple[np.ndarray, np.ndarray, object]]:
+    """Normalise a sharded or plain index into ``(ids, mbr, tree)`` rows."""
+    if isinstance(index, ShardedIndex):
+        return [(s.ids, s.mbr, s.tree) for s in index.shards]
+    if isinstance(index, (Quadtree, RTree)):
+        n = index.lines.shape[0]
+        if n == 0:
+            return []
+        return [(np.arange(n, dtype=np.int64), _segment_mbr(index.lines),
+                 index)]
+    raise TypeError(f"cannot join {type(index).__name__}")
+
+
+def sharded_join(a, b) -> np.ndarray:
+    """All intersecting pairs between two (possibly sharded) indexes.
+
+    Every shard pair with overlapping MBRs is joined with the matching
+    tree join; local pairs are lifted to global ids and merged.  Each
+    segment lives in exactly one shard per side, so a global pair can
+    arise from exactly one shard pair -- the final ``np.unique`` only
+    canonicalises the ordering.  Returns the same sorted, unique
+    ``(k, 2)`` array as :func:`repro.structures.join.brute_join`.
+    """
+    rows: List[np.ndarray] = []
+    for ids_a, mbr_a, tree_a in _as_shard_list(a):
+        for ids_b, mbr_b, tree_b in _as_shard_list(b):
+            if not overlaps(mbr_a[None, :], mbr_b[None, :])[0]:
+                continue
+            if isinstance(tree_a, Quadtree) and isinstance(tree_b, Quadtree):
+                pairs = quadtree_join(tree_a, tree_b)
+            elif isinstance(tree_a, RTree) and isinstance(tree_b, RTree):
+                pairs = rtree_join(tree_a, tree_b)
+            else:
+                raise TypeError("joined indexes must share a tree family")
+            if pairs.size:
+                rows.append(np.column_stack([ids_a[pairs[:, 0]],
+                                             ids_b[pairs[:, 1]]]))
+    if not rows:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.unique(np.concatenate(rows), axis=0)

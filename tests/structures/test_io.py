@@ -10,6 +10,7 @@ from repro.structures import (
     build_bucket_pmr,
     build_pm1,
     build_rtree,
+    build_sharded,
     load_structure,
     save_structure,
 )
@@ -69,6 +70,45 @@ class TestRtreeRoundtrip:
         rect = np.array([30, 30, 180, 200], float)
         assert np.array_equal(np.sort(back.window_query(rect)),
                               np.sort(tree.window_query(rect)))
+
+
+class TestShardedRoundtrip:
+    @pytest.mark.parametrize("structure", ["pmr", "rtree"])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sharded(self, tmp_path, structure, shards):
+        segs = random_segments(90, 128, 24, seed=8)
+        idx = build_sharded(segs, 128, structure, shards=shards,
+                            ordering="hilbert")
+        back = roundtrip(idx, tmp_path, f"sh_{structure}_{shards}.npz")
+        back.check()
+        assert back.structure == structure
+        assert back.ordering == "hilbert"
+        assert back.num_shards == idx.num_shards
+        assert np.array_equal(back.lines, idx.lines)
+        assert np.array_equal(back.shard_mbrs(), idx.shard_mbrs())
+        for a, b in zip(back.shards, idx.shards):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.tree.lines, b.tree.lines)
+
+    def test_sharded_queries_survive(self, tmp_path):
+        segs = random_segments(80, 128, 24, seed=9)
+        idx = build_sharded(segs, 128, "pmr", shards=4)
+        back = roundtrip(idx, tmp_path, "shq.npz")
+        rect = np.array([10, 10, 100, 90], float)
+        assert np.array_equal(back.window_query(rect),
+                              idx.window_query(rect))
+        gid, d = back.nearest(64.0, 64.0)
+        assert (gid, d) == idx.nearest(64.0, 64.0)
+
+    def test_sharded_in_memory_buffer(self):
+        segs = random_segments(30, 64, 16, seed=10)
+        idx = build_sharded(segs, 64, "rtree", shards=2)
+        buf = io.BytesIO()
+        save_structure(idx, buf)
+        buf.seek(0)
+        back = load_structure(buf)
+        back.check()
+        assert back.num_shards == 2
 
 
 class TestErrors:

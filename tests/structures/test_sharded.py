@@ -1,0 +1,245 @@
+"""ShardedIndex unit tests: build invariants, plans, per-shard batches.
+
+The cross-cutting set-identity properties (sharded == unsharded ==
+brute over map families x shard counts x orderings) live in
+``tests/test_differential.py``; this file covers the mechanics of the
+structure itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute import brute_point_query, brute_window_query
+from repro.geometry import random_segments
+from repro.structures import (
+    ShardedIndex,
+    brute_join,
+    brute_nearest,
+    build_bucket_pmr,
+    build_rtree,
+    build_sharded,
+    shard_keys,
+    sharded_join,
+)
+
+DOMAIN = 512
+
+
+def lines_of(seed, n=150):
+    return random_segments(n, DOMAIN, 64, seed=seed)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("ordering", ["morton", "hilbert"])
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_invariants(self, shards, ordering):
+        idx = build_sharded(lines_of(3), DOMAIN, "pmr", shards=shards,
+                            ordering=ordering)
+        idx.check()
+        assert idx.num_shards == shards
+        assert idx.shard_sizes().sum() == idx.num_lines
+
+    def test_near_equal_cuts(self):
+        idx = build_sharded(lines_of(4, n=100), DOMAIN, "rtree", shards=7)
+        sizes = idx.shard_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_more_shards_than_segments(self):
+        idx = build_sharded(lines_of(5, n=3), DOMAIN, "pmr", shards=10)
+        idx.check()
+        assert idx.num_shards == 3  # empty ranges are never materialised
+        assert all(s.ids.size == 1 for s in idx.shards)
+
+    def test_empty_dataset(self):
+        idx = build_sharded(np.zeros((0, 4)), DOMAIN, "pmr", shards=4)
+        assert idx.num_shards == 0
+        assert idx.window_query([0, 0, DOMAIN, DOMAIN]).size == 0
+        with pytest.raises(ValueError):
+            idx.nearest(1.0, 1.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_sharded(lines_of(0), DOMAIN, "voronoi")
+        with pytest.raises(ValueError):
+            build_sharded(lines_of(0), DOMAIN, "pmr", ordering="peano")
+        with pytest.raises(ValueError):
+            build_sharded(lines_of(0), DOMAIN, "pmr", shards=0)
+
+    @pytest.mark.parametrize("structure", ["pmr", "pm1", "rtree"])
+    def test_all_structures_build(self, structure):
+        segs = (np.unique(lines_of(6, n=40), axis=0) if structure == "pm1"
+                else lines_of(6, n=40))
+        idx = build_sharded(segs, DOMAIN, structure, shards=3)
+        idx.check()
+
+    def test_shard_ids_ascending_within_shard(self):
+        idx = build_sharded(lines_of(7), DOMAIN, "pmr", shards=5)
+        for s in idx.shards:
+            assert np.all(np.diff(s.ids) > 0)
+
+
+class TestShardKeys:
+    def test_orderings_differ_but_permute_the_same_set(self):
+        segs = lines_of(8)
+        km = shard_keys(segs, DOMAIN, "morton")
+        kh = shard_keys(segs, DOMAIN, "hilbert")
+        assert km.shape == kh.shape == (segs.shape[0],)
+        assert not np.array_equal(km, kh)
+
+    def test_spatial_locality(self):
+        # two segments sharing a midpoint cell get the same key
+        segs = np.array([[10, 10, 14, 14], [14, 14, 10, 10]], float)
+        for ordering in ("morton", "hilbert"):
+            k = shard_keys(segs, DOMAIN, ordering)
+            assert k[0] == k[1]
+
+
+class TestScalarQueries:
+    @pytest.mark.parametrize("structure", ["pmr", "rtree"])
+    def test_window_point_nearest_match_brute(self, structure):
+        segs = lines_of(9)
+        idx = build_sharded(segs, DOMAIN, structure, shards=4)
+        rng = np.random.default_rng(90)
+        for _ in range(12):
+            lo = rng.uniform(0, DOMAIN * 0.8, 2)
+            rect = np.concatenate([lo, lo + rng.uniform(8, DOMAIN * 0.3, 2)])
+            rect = np.minimum(rect, DOMAIN)
+            assert np.array_equal(idx.window_query(rect),
+                                  brute_window_query(segs, rect))
+            px, py = rng.uniform(0, DOMAIN, 2)
+            assert np.array_equal(idx.point_query(px, py),
+                                  brute_point_query(segs, px, py))
+            gid, d = idx.nearest(px, py)
+            bid, bd = brute_nearest(segs, px, py)
+            assert gid == bid and d == pytest.approx(bd)
+
+    def test_point_on_segment(self):
+        segs = np.array([[8, 8, 40, 8], [8, 8, 8, 40], [100, 100, 130, 130]],
+                        float)
+        idx = build_sharded(segs, DOMAIN, "pmr", shards=2)
+        assert np.array_equal(idx.point_query(8, 8), [0, 1])
+        assert np.array_equal(idx.point_query(20, 8), [0])
+        assert idx.point_query(300, 300).size == 0
+
+
+class TestPlans:
+    def test_window_plan_never_culls_a_hit(self):
+        segs = lines_of(10)
+        idx = build_sharded(segs, DOMAIN, "pmr", shards=6)
+        rects = np.array([[0, 0, 60, 60], [200, 200, 380, 400],
+                          [500, 500, 512, 512]], float)
+        mask = idx.plan_windows(rects)
+        assert mask.shape == (idx.num_shards, 3)
+        for b, rect in enumerate(rects):
+            hits = brute_window_query(segs, rect)
+            for k, s in enumerate(idx.shards):
+                if np.intersect1d(hits, s.ids).size:
+                    assert mask[k, b]
+
+    def test_nearest_bounds_are_lower_bounds(self):
+        segs = lines_of(11)
+        idx = build_sharded(segs, DOMAIN, "rtree", shards=5)
+        pts = np.random.default_rng(12).uniform(0, DOMAIN, (8, 2))
+        lb = idx.nearest_bounds(pts)
+        assert lb.shape == (idx.num_shards, 8)
+        for b, (px, py) in enumerate(pts):
+            for k, s in enumerate(idx.shards):
+                _, d = brute_nearest(segs[s.ids], px, py)
+                assert lb[k, b] <= d + 1e-9
+
+
+class TestShardBatch:
+    """query_shard_batch is the engine's fan-out unit: global ids out."""
+
+    @pytest.mark.parametrize("structure", ["pmr", "rtree"])
+    def test_window_batch_matches_scalar(self, structure):
+        segs = lines_of(13)
+        idx = build_sharded(segs, DOMAIN, structure, shards=3)
+        rects = np.array([[0, 0, 256, 256], [100, 50, 400, 460],
+                          [480, 480, 500, 500]], float)
+        for k, s in enumerate(idx.shards):
+            per_query = idx.query_shard_batch(k, "window", rects)
+            for rect, got in zip(rects, per_query):
+                want = np.intersect1d(brute_window_query(segs, rect), s.ids)
+                assert np.array_equal(got, want)
+
+    def test_flat_layout_round_trips(self):
+        segs = lines_of(14)
+        idx = build_sharded(segs, DOMAIN, "pmr", shards=3)
+        rects = np.array([[0, 0, 200, 200], [300, 300, 512, 512]], float)
+        for k in range(idx.num_shards):
+            per_query = idx.query_shard_batch(k, "window", rects)
+            merged, counts = idx.query_shard_batch(k, "window", rects,
+                                                   flat=True)
+            assert counts.sum() == merged.size
+            rebuilt = np.split(merged, np.cumsum(counts)[:-1])
+            for a, b in zip(per_query, rebuilt):
+                assert np.array_equal(a, b)
+
+    def test_nearest_batch_is_an_array_pair(self):
+        segs = lines_of(15)
+        idx = build_sharded(segs, DOMAIN, "rtree", shards=3)
+        pts = np.random.default_rng(16).uniform(0, DOMAIN, (5, 2))
+        for k, s in enumerate(idx.shards):
+            gids, dists = idx.query_shard_batch(k, "nearest", pts)
+            assert gids.shape == dists.shape == (5,)
+            for (px, py), g, d in zip(pts, gids, dists):
+                lid, want = brute_nearest(segs[s.ids], px, py)
+                assert g == s.ids[lid]
+                assert d == pytest.approx(want)
+
+    def test_point_batch_is_exact(self):
+        # a point on a segment interior must hit regardless of which
+        # shard leaf the segment's q-edges landed in
+        segs = np.array([[8, 8, 100, 8], [8, 50, 100, 50],
+                         [200, 200, 260, 260], [300, 8, 300, 90]], float)
+        idx = build_sharded(segs, DOMAIN, "pmr", shards=2)
+        pts = np.array([[50, 8], [50, 50], [230, 230], [300, 40], [7, 7]],
+                       float)
+        got = [np.zeros(0, np.int64)] * len(pts)
+        for k in range(idx.num_shards):
+            for i, res in enumerate(idx.query_shard_batch(k, "point", pts)):
+                got[i] = np.union1d(got[i], res)
+        for i, (px, py) in enumerate(pts):
+            assert np.array_equal(got[i], brute_point_query(segs, px, py))
+
+    def test_unknown_kind(self):
+        idx = build_sharded(lines_of(17, n=10), DOMAIN, "pmr", shards=2)
+        with pytest.raises(ValueError):
+            idx.query_shard_batch(0, "range", np.zeros((1, 4)))
+
+
+class TestJoin:
+    @pytest.mark.parametrize("structure", ["pmr", "rtree"])
+    def test_sharded_join_matches_brute(self, structure):
+        a = lines_of(18, n=60)
+        b = lines_of(19, n=50)
+        ia = build_sharded(a, DOMAIN, structure, shards=3)
+        ib = build_sharded(b, DOMAIN, structure, shards=2)
+        assert np.array_equal(sharded_join(ia, ib), brute_join(a, b))
+        assert np.array_equal(ia.join(ib), brute_join(a, b))
+
+    def test_join_against_plain_tree(self):
+        a = lines_of(20, n=40)
+        b = lines_of(21, n=30)
+        ia = build_sharded(a, DOMAIN, "pmr", shards=3)
+        tb, _ = build_bucket_pmr(b, DOMAIN, 8)
+        assert np.array_equal(sharded_join(ia, tb), brute_join(a, b))
+
+    def test_mixed_families_rejected(self):
+        ia = build_sharded(lines_of(22, n=20), DOMAIN, "pmr", shards=2)
+        ib = build_sharded(lines_of(23, n=20), DOMAIN, "rtree", shards=2)
+        with pytest.raises(TypeError):
+            sharded_join(ia, ib)
+
+
+class TestK1Degenerate:
+    def test_single_shard_wraps_the_whole_tree(self):
+        segs = lines_of(24)
+        idx = build_sharded(segs, DOMAIN, "rtree", shards=1)
+        assert idx.num_shards == 1
+        assert np.array_equal(idx.shards[0].ids, np.arange(segs.shape[0]))
+        full, _ = build_rtree(segs, 2, 8)
+        rect = np.array([40, 40, 300, 300], float)
+        assert np.array_equal(idx.window_query(rect),
+                              np.sort(full.window_query(rect)))
