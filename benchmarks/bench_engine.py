@@ -23,19 +23,31 @@ map (``--sharded-n``, default 10k segments): the same window and
 nearest workloads through ``EngineConfig(shards=K)`` -- per-shard
 sub-batches fanned across the worker pool -- against the single-tree
 engine, reported as a throughput ratio per probe kind.
+
+A third section measures the persistent index store
+(:mod:`repro.store`): cold build vs. warm load-from-store per
+structure (best-of-N each), reporting build seconds, verified-load
+seconds, and the warm-start speedup; the rows also land in
+``BENCH_store.json`` (``--store-json``) so the warm-start win is
+tracked across runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.engine import SpatialQueryEngine
+from repro.engine.registry import IndexKey, IndexRegistry
 from repro.geometry import random_segments
+from repro.machine import Machine, use_machine
+from repro.store import IndexStore
 from repro.structures import (
     batch_window_query_quadtree,
     batch_window_query_rtree,
@@ -181,6 +193,53 @@ def bench_sharded(structure: str, lines: np.ndarray, domain: int,
     return row
 
 
+def best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_store(structure: str, lines: np.ndarray, domain: int,
+                repeats: int, cache_dir: str, shards: int = 1,
+                ordering: str = "hilbert") -> dict:
+    """Cold build vs. warm load-from-store for one structure.
+
+    Cold is the registry builder under a fresh Machine (what a cache
+    miss pays); warm is ``IndexStore.get`` with checksum verification
+    on (what a disk hit pays).  Both are best-of-N.
+    """
+    params = {"pmr": {"capacity": 8}, "pm1": {},
+              "rtree": {"min_fill": 2, "capacity": 8}}[structure]
+    if shards > 1:
+        params = dict(params, shards=shards, ordering=ordering)
+    builder = IndexRegistry.BUILDERS[structure]
+
+    def build():
+        with use_machine(Machine()):
+            return builder(lines, domain, **params)
+
+    build_s = best_seconds(build, repeats)
+
+    store = IndexStore(cache_dir)
+    key = IndexKey.make("bench" + "0" * 11, structure, **params)
+    path = store.put(key, build())
+    load_s = best_seconds(lambda: store.get(key), repeats)
+    assert store.corrupt_evictions == 0
+
+    return {
+        "structure": structure,
+        "segments": int(lines.shape[0]),
+        "shards": shards,
+        "file_bytes": os.path.getsize(path),
+        "cold_build_s": round(build_s, 4),
+        "warm_load_s": round(load_s, 4),
+        "warm_speedup": round(build_s / load_s, 2),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--n", type=int, default=2000, help="segment count")
@@ -204,6 +263,11 @@ def main(argv=None) -> int:
                          "near-disjoint; morton ranges can straddle "
                          "quadrants)")
     ap.add_argument("--skip-sharded", action="store_true")
+    ap.add_argument("--skip-store", action="store_true")
+    ap.add_argument("--store-n", type=int, default=20000,
+                    help="segment count of the store cold/warm comparison")
+    ap.add_argument("--store-json", default="BENCH_store.json",
+                    help="where to write the store section's rows")
     ap.add_argument("--pretty", action="store_true")
     args = ap.parse_args(argv)
 
@@ -244,6 +308,32 @@ def main(argv=None) -> int:
                   f"{row['window_sharded_vs_unsharded']}x, nearest "
                   f"{row['nearest_sharded_vs_unsharded']}x vs unsharded",
                   file=sys.stderr)
+    if not args.skip_store:
+        store_lines = random_segments(args.store_n, domain=args.domain,
+                                      max_len=max(args.domain // 42, 2),
+                                      seed=args.seed + 2)
+        report["store"] = []
+        with tempfile.TemporaryDirectory(prefix="bench-store-") as cache_dir:
+            for structure in args.structures:
+                row = bench_store(structure, store_lines, args.domain,
+                                  args.repeats, cache_dir)
+                report["store"].append(row)
+                print(f"# {structure} store: cold {row['cold_build_s']}s, "
+                      f"warm {row['warm_load_s']}s "
+                      f"({row['warm_speedup']}x)", file=sys.stderr)
+            row = bench_store(args.structures[0], store_lines, args.domain,
+                              args.repeats, cache_dir, shards=4)
+            report["store"].append(row)
+            print(f"# {row['structure']} shards=4 store: cold "
+                  f"{row['cold_build_s']}s, warm {row['warm_load_s']}s "
+                  f"({row['warm_speedup']}x)", file=sys.stderr)
+        with open(args.store_json, "w") as fh:
+            json.dump({"benchmark": "store_cold_build_vs_warm_load",
+                       "map": dict(report["map"], segments=args.store_n),
+                       "repeats": args.repeats,
+                       "results": report["store"]}, fh, indent=2)
+            fh.write("\n")
+        print(f"# store rows -> {args.store_json}", file=sys.stderr)
     json.dump(report, sys.stdout, indent=2 if args.pretty else None)
     print()
     return 0

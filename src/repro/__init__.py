@@ -39,6 +39,7 @@ from .baselines import (
     seq_pm1_decomposition,
 )
 from .engine import EngineConfig, SpatialQueryEngine
+from .store import IndexStore
 from .geometry import (
     clustered_map,
     paper_dataset,
@@ -110,7 +111,7 @@ from .structures import (
     to_linear,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # machine
@@ -133,8 +134,8 @@ __all__ = [
     "batch_window_query_quadtree", "batch_window_query_rtree",
     "batch_point_query_quadtree", "batch_point_query_rtree",
     "batch_nearest_quadtree", "batch_nearest_rtree",
-    # engine
-    "SpatialQueryEngine", "EngineConfig",
+    # engine / store
+    "SpatialQueryEngine", "EngineConfig", "IndexStore",
     # baselines
     "seq_pm1_decomposition", "pm1_node_must_split", "PMRQuadtree",
     "seq_bucket_pmr_decomposition", "SeqRTree",

@@ -15,6 +15,13 @@ Four subcommands cover the everyday entry points:
     Drive the concurrent batched query engine (:mod:`repro.engine`)
     with a mixed probe workload from several client threads and print
     the serving statistics (throughput, batching, cache, latency).
+    ``--cache-dir`` attaches the persistent index store so evicted
+    indexes spill to disk and later runs warm-start from it.
+``store``
+    Inspect and manage a persistent index store directory
+    (:mod:`repro.store`): ``ls`` the entries, ``gc`` down to a byte
+    budget, ``clear`` everything, or ``prefetch`` -- build an index
+    for a generated map and seed the cache with it ahead of serving.
 
 Everything is seeded and offline; see ``--help`` on each subcommand.
 """
@@ -202,7 +209,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 workers=args.workers,
                                 queue_depth=args.queue_depth,
                                 shards=args.shards,
-                                ordering=args.ordering)
+                                ordering=args.ordering,
+                                cache_dir=args.cache_dir,
+                                disk_budget_bytes=args.disk_budget_bytes)
     with engine:
         fp = engine.register(lines, domain=args.domain)
         engine.warm(fp)
@@ -270,7 +279,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ["ordering", args.ordering],
                 ["mean shards probed", f"{snap['mean_shards_probed']:.2f}"],
                 ["shard skip rate", f"{snap['shard_skip_rate']:.2f}"]]
-               if args.shards > 1 else []),
+               if args.shards > 1 else [])
+            + ([["cache dir", args.cache_dir],
+                ["disk hits", snap["disk_hits"]],
+                ["disk spills", snap["spills"]]]
+               if args.cache_dir else []),
             title="repro.engine serving stats"))
         per = snap["per_index"]
         if per:
@@ -280,6 +293,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 [[k, int(v["batches"]), int(v["queries"]), f"{v['steps']:g}"]
                  for k, v in sorted(per.items())],
                 title="per-index batches"))
+    return 0
+
+
+#: engine-compatible build params per structure (mirrors
+#: SpatialQueryEngine._index_key so `store prefetch` seeds the exact
+#: keys a later engine run will probe)
+def _store_params(structure: str, capacity: int, min_fill: int,
+                  shards: int, ordering: str) -> dict:
+    if structure == "rtree":
+        params = {"min_fill": min_fill, "capacity": capacity}
+    elif structure == "pmr":
+        params = {"capacity": capacity}
+    else:
+        params = {}
+    if shards > 1:
+        params["shards"] = shards
+        params["ordering"] = ordering
+    return params
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .store import IndexStore
+
+    store = IndexStore(args.cache_dir)
+
+    if args.store_cmd == "ls":
+        entries = store.entries()
+        now = _time.time()
+        rows = [[e.key_id, e.structure, e.num_lines or "?",
+                 _fmt_bytes(e.size_bytes), f"{max(now - e.mtime, 0):.0f}s",
+                 (e.checksum or "")[:12]]
+                for e in entries]
+        print(format_table(
+            ["entry", "structure", "lines", "size", "idle", "checksum"],
+            rows, title=f"index store {args.cache_dir}"))
+        print(f"{len(entries)} entries, {_fmt_bytes(store.total_bytes())} "
+              f"total, {len(store.quarantined())} quarantined")
+        return 0
+
+    if args.store_cmd == "gc":
+        before = store.total_bytes()
+        removed, freed = store.gc(args.budget_bytes)
+        print(format_table(
+            ["metric", "value"],
+            [["budget", _fmt_bytes(args.budget_bytes)],
+             ["before", _fmt_bytes(before)],
+             ["removed entries", removed],
+             ["freed", _fmt_bytes(freed)],
+             ["after", _fmt_bytes(store.total_bytes())]],
+            title="store gc"))
+        return 0
+
+    if args.store_cmd == "clear":
+        n = store.clear()
+        print(f"cleared {n} entries from {args.cache_dir}")
+        return 0
+
+    # prefetch: build the index and seed the store with it
+    from .engine import IndexRegistry
+
+    lines = _make_map(args.map, args.n, args.domain, args.seed)
+    reg = IndexRegistry(capacity=1, store=store)
+    fp = reg.register(lines, domain=args.domain)
+    params = _store_params(args.structure, args.capacity, args.min_fill,
+                           args.shards, args.ordering)
+    t0 = _time.perf_counter()
+    path = reg.persist(fp, args.structure, **params)
+    dt = _time.perf_counter() - t0
+    import os as _os
+    print(format_table(
+        ["metric", "value"],
+        [["map", args.map], ["segments", lines.shape[0]],
+         ["structure", args.structure], ["fingerprint", fp],
+         ["entry", _os.path.basename(path)],
+         ["size", _fmt_bytes(_os.path.getsize(path))],
+         ["build+persist (s)", f"{dt:.3f}"],
+         ["warm", "yes" if reg.disk_hits else "no"]],
+        title="store prefetch"))
     return 0
 
 
@@ -347,8 +448,45 @@ def _parser() -> argparse.ArgumentParser:
                    help="space-sorted shards per index (>1 fans batches out)")
     s.add_argument("--ordering", choices=("morton", "hilbert"),
                    default="morton", help="shard cut order")
+    s.add_argument("--cache-dir", default=None,
+                   help="persistent index store directory (spill + warm start)")
+    s.add_argument("--disk-budget-bytes", type=int, default=None,
+                   help="store byte budget (requires --cache-dir)")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_serve)
+
+    st = sub.add_parser("store",
+                        help="inspect/manage a persistent index store")
+    st_sub = st.add_subparsers(dest="store_cmd", required=True)
+
+    def _with_cache_dir(sp):
+        sp.add_argument("--cache-dir", required=True,
+                        help="index store directory")
+        sp.set_defaults(fn=_cmd_store)
+        return sp
+
+    _with_cache_dir(st_sub.add_parser(
+        "ls", help="list store entries (LRU order, oldest first)"))
+    gc = _with_cache_dir(st_sub.add_parser(
+        "gc", help="evict least-recently-used entries to a byte budget"))
+    gc.add_argument("--budget-bytes", type=int, default=256 * 1024 * 1024,
+                    help="target directory size (default 256 MiB)")
+    _with_cache_dir(st_sub.add_parser(
+        "clear", help="remove every entry (and the quarantine)"))
+    pf = _with_cache_dir(st_sub.add_parser(
+        "prefetch", help="build an index for a generated map and seed "
+                         "the store (same keys the engine probes)"))
+    pf.add_argument("--structure", choices=("pmr", "pm1", "rtree"),
+                    default="pmr")
+    pf.add_argument("--map", choices=MAPS, default="uniform")
+    pf.add_argument("--n", type=int, default=2000, help="segment count")
+    pf.add_argument("--domain", type=int, default=1024)
+    pf.add_argument("--capacity", type=int, default=8)
+    pf.add_argument("--min-fill", type=int, default=2)
+    pf.add_argument("--shards", type=int, default=1)
+    pf.add_argument("--ordering", choices=("morton", "hilbert"),
+                    default="morton")
+    pf.add_argument("--seed", type=int, default=0)
     return p
 
 

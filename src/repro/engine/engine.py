@@ -4,7 +4,9 @@
 
 * an :class:`~repro.engine.registry.IndexRegistry` building PM1 /
   bucket-PMR / R-tree indexes on demand, keyed by dataset fingerprint,
-  with LRU eviction and invalidation hooks for dynamic updates;
+  with LRU eviction and invalidation hooks for dynamic updates --
+  optionally backed by a persistent :class:`~repro.store.IndexStore`
+  (``cache_dir=...``) that absorbs evictions and serves warm starts;
 * a :class:`~repro.engine.coalescer.Coalescer` that batches individual
   window / point / nearest probes per (index, kind) within a count or
   deadline window;
@@ -77,6 +79,8 @@ class EngineConfig:
     default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
     shards: int = 1               # >1: space-sorted sharded indexes
     ordering: str = "morton"      # shard cut order: morton | hilbert
+    cache_dir: Optional[str] = None   # persistent index store directory
+    disk_budget_bytes: Optional[int] = None  # store byte budget (None: unbounded)
 
     def __post_init__(self) -> None:
         if self.structure not in _FAMILY:
@@ -86,6 +90,11 @@ class EngineConfig:
         if self.ordering not in ORDERINGS:
             raise ValueError(f"unknown ordering {self.ordering!r}; "
                              f"choose from {ORDERINGS}")
+        if self.disk_budget_bytes is not None:
+            if self.cache_dir is None:
+                raise ValueError("disk_budget_bytes requires cache_dir")
+            if self.disk_budget_bytes < 0:
+                raise ValueError("disk_budget_bytes must be >= 0")
 
 
 class SpatialQueryEngine:
@@ -97,8 +106,15 @@ class SpatialQueryEngine:
         elif overrides:
             raise TypeError("pass either a config or keyword overrides")
         self.config = config
-        self.registry = IndexRegistry(capacity=config.cache_capacity)
         self.stats = EngineStats()
+        self.store = None
+        if config.cache_dir is not None:
+            from ..store import IndexStore
+            self.store = IndexStore(config.cache_dir,
+                                    budget_bytes=config.disk_budget_bytes,
+                                    observer=self.stats.record_store_event)
+        self.registry = IndexRegistry(capacity=config.cache_capacity,
+                                      store=self.store)
         self._executor = BoundedExecutor(workers=config.workers,
                                          queue_depth=config.queue_depth)
         self._coalescer = Coalescer(self._dispatch,
@@ -236,6 +252,10 @@ class SpatialQueryEngine:
         self._closed = True
         self._coalescer.close()
         self._executor.shutdown(wait=True)
+        # warm shutdown: with a store attached, persist the in-memory
+        # tier so the next process starts from disk hits, not rebuilds
+        if self.store is not None:
+            self.registry.spill_all()
 
     def __enter__(self) -> "SpatialQueryEngine":
         return self

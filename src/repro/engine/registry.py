@@ -15,17 +15,26 @@ The registry therefore keeps two maps:
   index), and
 * an LRU-ordered cache of built indexes, capped at ``capacity``.
 
+With a :class:`~repro.store.IndexStore` attached the cache grows a
+second, persistent tier: an index evicted from memory *spills* to disk
+instead of being dropped, a memory miss probes the store before paying
+a rebuild (the disk hit restores the original build accounting from
+the entry's manifest), and a corrupted store file is quarantined and
+rebuilt transparently.
+
 Dynamic updates (:mod:`repro.structures.dynamic`) go through
 :meth:`IndexRegistry.apply_update`, which registers the new dataset and
 *invalidates* every cached index of the old fingerprint -- the explicit
 hook the engine uses so stale trees are never served after an insert or
-delete.
+delete.  Invalidation covers both tiers: the fingerprint's store
+entries are deleted along with its in-memory indexes.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -88,26 +97,36 @@ class IndexRegistry:
     Parameters
     ----------
     capacity:
-        Maximum number of *built indexes* kept (datasets are retained
-        until :meth:`forget`); least-recently-used entries are evicted
-        first.
+        Maximum number of *built indexes* kept in memory (datasets are
+        retained until :meth:`forget`); least-recently-used entries are
+        evicted first -- spilled to ``store`` when one is attached,
+        dropped otherwise.
+    store:
+        Optional :class:`repro.store.IndexStore` used as the persistent
+        second cache tier.
     """
 
     #: structure name -> builder(lines, domain, **params) -> tree
     BUILDERS: Dict[str, Callable] = {}
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, store=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.store = store
         self._lock = threading.RLock()
         self._datasets: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._domains: Dict[str, int] = {}
         self._cache: "OrderedDict[IndexKey, BuiltIndex]" = OrderedDict()
+        #: id(array) -> (weakref, fingerprint): skips re-hashing when the
+        #: same (now read-only) array object is registered repeatedly
+        self._fp_cache: Dict[int, Tuple[weakref.ref, str]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.spills = 0
+        self.disk_hits = 0
 
     # -- datasets --------------------------------------------------------
 
@@ -116,12 +135,35 @@ class IndexRegistry:
 
         ``domain`` (the power-of-two space side the quadtree builders
         need) defaults to the smallest power of two covering every
-        coordinate.
+        coordinate.  The fingerprint is memoised per array *object*:
+        re-registering the same array skips the full re-hash.  That is
+        safe only because registration freezes the array -- the cache
+        is populated exclusively for arrays this registry made
+        read-only, so the cached hash can never go stale under a
+        mutation.
         """
-        arr = np.ascontiguousarray(
-            np.asarray(lines, dtype=np.float64).reshape(-1, 4))
-        arr.setflags(write=False)
-        fp = dataset_fingerprint(arr)
+        with self._lock:
+            cached = self._fp_cache.get(id(lines))
+        if cached is not None and cached[0]() is lines:
+            arr, fp = lines, cached[1]
+        else:
+            arr = np.asarray(lines)
+            if not (arr.dtype == np.float64 and arr.ndim == 2
+                    and arr.shape[1:] == (4,) and arr.flags.c_contiguous):
+                arr = np.ascontiguousarray(
+                    np.asarray(lines, dtype=np.float64).reshape(-1, 4))
+            arr.setflags(write=False)
+            fp = dataset_fingerprint(arr)
+            if arr is lines:
+                # canonical input, frozen above: identity-cacheable.
+                # the weakref callback evicts the slot before the id
+                # can be reused by a new object.
+                key = id(arr)
+                cache = self._fp_cache
+                ref = weakref.ref(arr,
+                                  lambda _, k=key: cache.pop(k, None))
+                with self._lock:
+                    self._fp_cache[key] = (ref, fp)
         if domain is None:
             top = float(arr.max()) if arr.size else 1.0
             domain = _next_pow2(max(top, 1.0))
@@ -151,7 +193,13 @@ class IndexRegistry:
     # -- indexes ---------------------------------------------------------
 
     def get(self, fingerprint: str, structure: str, **params) -> BuiltIndex:
-        """Return the cached index, building (and caching) it on a miss."""
+        """Return the cached index, loading or building it on a miss.
+
+        Miss path with a store attached: probe the disk tier first --
+        a verified load is counted as a ``disk_hit`` and re-enters the
+        memory cache with its original build accounting; a missing or
+        quarantined file falls through to a fresh build.
+        """
         if structure not in self.BUILDERS:
             raise ValueError(f"unknown structure {structure!r}; "
                              f"available: {sorted(self.BUILDERS)}")
@@ -165,27 +213,102 @@ class IndexRegistry:
             self.misses += 1
             lines = self.dataset(fingerprint)
             dom = self._domains[fingerprint]
-        # build outside the lock: builds are deterministic, so a racing
-        # duplicate build wastes work but never yields a wrong entry
+        # load / build outside the lock: builds are deterministic, so a
+        # racing duplicate wastes work but never yields a wrong entry
+        if self.store is not None:
+            probe = self.store.get(key)
+            if probe is not None:
+                tree, manifest = probe
+                entry = BuiltIndex(
+                    key, tree,
+                    float(manifest.get("build_steps", 0.0)),
+                    int(manifest.get("build_primitives", 0)),
+                    int(manifest.get("num_lines", lines.shape[0])))
+                with self._lock:
+                    self.disk_hits += 1
+                self._insert(entry)
+                return entry
         machine = Machine()
         with use_machine(machine):
             tree = self.BUILDERS[structure](lines, dom, **params)
         entry = BuiltIndex(key, tree, machine.steps, machine.total_primitives,
                            int(lines.shape[0]))
-        with self._lock:
-            self._cache[key] = entry
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
-                self.evictions += 1
+        self._insert(entry)
         return entry
+
+    def _insert(self, entry: BuiltIndex) -> None:
+        """Admit one entry to the memory tier, spilling any evictees.
+
+        The spill happens under the registry lock so an eviction can
+        never interleave with :meth:`invalidate` deleting the same
+        fingerprint's store entries and resurrect a doomed index.
+        """
+        with self._lock:
+            self._cache[entry.key] = entry
+            self._cache.move_to_end(entry.key)
+            while len(self._cache) > self.capacity:
+                _, victim = self._cache.popitem(last=False)
+                self.evictions += 1
+                if self.store is not None:
+                    try:
+                        self.store.put(victim.key, victim.tree,
+                                       build_steps=victim.build_steps,
+                                       build_primitives=victim.build_primitives,
+                                       num_lines=victim.num_lines)
+                        self.spills += 1
+                    except OSError:
+                        pass   # disk full / unwritable: plain eviction
+
+    def persist(self, fingerprint: str, structure: str, **params) -> str:
+        """Build (or fetch) an index and write it to the store now.
+
+        The warm-up hook behind ``repro store prefetch``: unlike the
+        spill-on-evict path this writes unconditionally, so a cache
+        directory can be seeded ahead of serving.  Returns the archive
+        path.
+        """
+        if self.store is None:
+            raise RuntimeError("no IndexStore attached to this registry")
+        entry = self.get(fingerprint, structure, **params)
+        return self.store.put(entry.key, entry.tree,
+                              build_steps=entry.build_steps,
+                              build_primitives=entry.build_primitives,
+                              num_lines=entry.num_lines)
+
+    def spill_all(self) -> int:
+        """Spill every in-memory index not already on disk; returns count.
+
+        Called on engine shutdown so the next process warm-starts from
+        the store instead of rebuilding.
+        """
+        if self.store is None:
+            return 0
+        with self._lock:
+            entries = list(self._cache.values())
+        n = 0
+        for entry in entries:
+            if self.store.contains(entry.key):
+                continue   # deterministic content: the bytes match
+            try:
+                self.store.put(entry.key, entry.tree,
+                               build_steps=entry.build_steps,
+                               build_primitives=entry.build_primitives,
+                               num_lines=entry.num_lines)
+            except OSError:
+                continue
+            with self._lock:
+                self.spills += 1
+            n += 1
+        return n
 
     def invalidate(self, fingerprint: Optional[str] = None) -> int:
         """Drop cached indexes (all of them, or one dataset's); returns count.
 
         This is the hook :mod:`repro.structures.dynamic` updates call
         through -- after an insert/delete the old fingerprint's trees
-        must never be served again.
+        must never be served again.  Both tiers are covered: the store's
+        entries for the fingerprint are deleted too, so a disk probe can
+        never resurrect a stale tree.
         """
         with self._lock:
             if fingerprint is None:
@@ -197,6 +320,11 @@ class IndexRegistry:
                     del self._cache[k]
                 n = len(doomed)
             self.invalidations += n
+            if self.store is not None:
+                if fingerprint is None:
+                    self.store.clear()
+                else:
+                    self.store.delete_fingerprint(fingerprint)
             return n
 
     def apply_update(self, fingerprint: str,
@@ -228,10 +356,10 @@ class IndexRegistry:
 
     # -- stats -----------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             total = self.hits + self.misses
-            return {
+            out = {
                 "datasets": float(len(self._datasets)),
                 "cached_indexes": float(len(self._cache)),
                 "capacity": float(self.capacity),
@@ -240,7 +368,12 @@ class IndexRegistry:
                 "hit_rate": (self.hits / total) if total else 0.0,
                 "evictions": float(self.evictions),
                 "invalidations": float(self.invalidations),
+                "spills": float(self.spills),
+                "disk_hits": float(self.disk_hits),
             }
+        if self.store is not None:
+            out["store"] = self.store.snapshot()
+        return out
 
     def cached_keys(self):
         """LRU-ordered cache keys, oldest first (for tests/introspection)."""

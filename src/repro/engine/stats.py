@@ -63,6 +63,11 @@ class EngineStats:
         self.shard_batches = 0
         self.shards_probed = 0
         self.shards_skipped = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.spills = 0
+        self.corrupt_evictions = 0
+        self.disk_evictions = 0
         self.latency = LatencyReservoir(reservoir_size)
 
     # -- recording -------------------------------------------------------
@@ -110,6 +115,19 @@ class EngineStats:
             self.shards_probed += probed
             self.shards_skipped += total_shards - probed
 
+    #: IndexStore event name -> EngineStats counter attribute
+    _STORE_EVENTS = {"disk_hit": "disk_hits", "disk_miss": "disk_misses",
+                     "spill": "spills", "corrupt_eviction": "corrupt_evictions",
+                     "disk_eviction": "disk_evictions"}
+
+    def record_store_event(self, event: str, n: int = 1) -> None:
+        """One persistent-store event (the :class:`IndexStore` observer)."""
+        attr = self._STORE_EVENTS.get(event)
+        if attr is None:
+            return
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + n)
+
     # -- readout ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -129,6 +147,11 @@ class EngineStats:
                 "primitives": self.primitives,
                 "per_kind": dict(self.per_kind),
                 "per_index": {k: dict(v) for k, v in self.per_index.items()},
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "spills": self.spills,
+                "corrupt_evictions": self.corrupt_evictions,
+                "disk_evictions": self.disk_evictions,
                 "shard_batches": self.shard_batches,
                 "shards_probed": self.shards_probed,
                 "shards_skipped": self.shards_skipped,

@@ -1,0 +1,15 @@
+"""Persistent fingerprint-addressed index store (the disk cache tier).
+
+Built indexes are pure functions of ``(dataset fingerprint, structure,
+build params)``, so they are content-addressable: :class:`IndexStore`
+maps each :class:`~repro.engine.registry.IndexKey` to one ``.npz``
+archive plus a small JSON manifest in a cache directory.  The registry
+uses it as a second tier under the in-memory LRU -- evicted indexes
+spill to disk instead of being dropped, and a cache miss probes the
+store before paying a rebuild.  See :mod:`repro.store.store` for the
+integrity and eviction story.
+"""
+
+from .store import IndexStore, StoreEntry, store_key_id
+
+__all__ = ["IndexStore", "StoreEntry", "store_key_id"]

@@ -13,7 +13,8 @@ from .build import BuildTrace, RoundStats, build_quadtree
 from .components import MapTopology, connected_components, polygonize
 from .dynamic import delete_lines, insert_lines, pm1_delete_lines
 from .kdtree import KDTree, build_kdtree
-from .io import load_structure, save_structure
+from .io import (IntegrityError, inspect_structure, load_structure,
+                 payload_checksum, save_structure)
 from .join import brute_join, overlay_points, quadtree_join, rtree_join
 from .linear import LinearQuadtree, to_linear
 from .nearest import brute_nearest, quadtree_nearest, rtree_nearest
@@ -70,6 +71,9 @@ __all__ = [
     "batch_nearest_rtree",
     "save_structure",
     "load_structure",
+    "inspect_structure",
+    "payload_checksum",
+    "IntegrityError",
     "Shard",
     "ShardedIndex",
     "build_sharded",

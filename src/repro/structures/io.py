@@ -8,13 +8,23 @@ Sharded indexes (:class:`~repro.structures.sharded.ShardedIndex`)
 flatten into the same archive: each shard's tree arrays are stored
 under an ``s{i}_`` key prefix next to the shard's global id range, so
 shard boundaries survive the round trip exactly.
+
+Format v3 embeds integrity metadata in the archive itself: a SHA-256
+``checksum`` over every payload entry (key, dtype, shape, bytes) and a
+``params`` JSON blob carrying the build parameters.  This is the one
+integrity format shared by standalone :func:`save_structure` files and
+the :mod:`repro.store` disk cache -- a store manifest records the same
+checksum that the archive carries, so either side can detect torn or
+tampered files.  v2 archives (no checksum) still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io as _io
+import json
 import os
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -22,11 +32,39 @@ from .quadblock import Quadtree
 from .rtree import RTree
 from .sharded import Shard, ShardedIndex
 
-__all__ = ["save_structure", "load_structure"]
+__all__ = ["save_structure", "load_structure", "payload_checksum",
+           "inspect_structure", "IntegrityError"]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+
+#: archive entries excluded from the checksum (the checksum itself)
+_UNCHECKED = frozenset({"checksum"})
 
 PathLike = Union[str, os.PathLike, _io.IOBase]
+
+
+class IntegrityError(ValueError):
+    """A stored archive failed its embedded checksum."""
+
+
+def payload_checksum(payload: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the archive payload, independent of entry order.
+
+    Hashes each entry's key, dtype, shape, and raw bytes in sorted key
+    order, skipping the ``checksum`` entry itself, so the digest can be
+    recomputed from a loaded archive and compared to the stored one.
+    """
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        if key in _UNCHECKED:
+            continue
+        arr = np.asarray(payload[key])
+        h.update(key.encode())
+        h.update(b"\x00")
+        h.update(arr.dtype.str.encode())
+        h.update(str(arr.shape).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
 
 
 def _tree_payload(tree, prefix: str = "") -> Dict[str, np.ndarray]:
@@ -84,17 +122,10 @@ def _load_tree(data, prefix: str = ""):
     raise ValueError(f"unknown structure kind {kind!r}")
 
 
-def save_structure(tree, path: PathLike) -> None:
-    """Serialise a :class:`Quadtree`, :class:`RTree`, or
-    :class:`ShardedIndex` to ``path``.
-
-    The file is a compressed ``.npz`` with a ``kind`` tag; scalar
-    parameters travel in a small metadata vector.
-    """
+def _full_payload(tree, params: Optional[dict]) -> Dict[str, np.ndarray]:
     if isinstance(tree, ShardedIndex):
         payload = {
             "kind": np.array("sharded"),
-            "version": np.array([_FORMAT_VERSION]),
             "lines": tree.lines,
             "structure": np.array(tree.structure),
             "ordering": np.array(tree.ordering),
@@ -104,19 +135,53 @@ def save_structure(tree, path: PathLike) -> None:
         for i, shard in enumerate(tree.shards):
             payload[f"s{i}_ids"] = shard.ids
             payload.update(_tree_payload(shard.tree, prefix=f"s{i}_"))
-        np.savez_compressed(path, **payload)
-        return
-    payload = _tree_payload(tree)
+    else:
+        payload = _tree_payload(tree)
     payload["version"] = np.array([_FORMAT_VERSION])
+    payload["params"] = np.array(
+        json.dumps(params or {}, sort_keys=True, default=str))
+    return payload
+
+
+def save_structure(tree, path: PathLike,
+                   params: Optional[dict] = None) -> str:
+    """Serialise a :class:`Quadtree`, :class:`RTree`, or
+    :class:`ShardedIndex` to ``path``; returns the payload checksum.
+
+    The file is a compressed ``.npz`` with a ``kind`` tag; scalar
+    parameters travel in a small metadata vector.  ``params`` (e.g.
+    the build parameters that produced the tree) is embedded as a JSON
+    blob, and a SHA-256 ``checksum`` over the whole payload lets
+    :func:`load_structure` detect corruption.
+    """
+    payload = _full_payload(tree, params)
+    checksum = payload_checksum(payload)
+    payload["checksum"] = np.array(checksum)
     np.savez_compressed(path, **payload)
+    return checksum
 
 
-def load_structure(path: PathLike):
-    """Load a structure saved by :func:`save_structure`."""
+def load_structure(path: PathLike, verify: bool = True):
+    """Load a structure saved by :func:`save_structure`.
+
+    For v3+ archives the embedded checksum is recomputed and compared
+    (set ``verify=False`` to skip); a mismatch raises
+    :class:`IntegrityError`.  v2 archives carry no checksum and load
+    as before.
+    """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"][0])
         if version > _FORMAT_VERSION:
             raise ValueError(f"file format v{version} is newer than this library")
+        if version >= 3 and verify:
+            if "checksum" not in data.files:
+                raise IntegrityError("v3 archive is missing its checksum")
+            want = str(data["checksum"])
+            got = payload_checksum({k: data[k] for k in data.files})
+            if got != want:
+                raise IntegrityError(
+                    f"archive checksum mismatch: stored {want[:12]}..., "
+                    f"recomputed {got[:12]}...")
         kind = str(data["kind"])
         if kind == "sharded":
             domain, num_shards = data["meta"]
@@ -132,3 +197,22 @@ def load_structure(path: PathLike):
                 ordering=str(data["ordering"]), shards=shards,
             )
         return _load_tree(data)
+
+
+def inspect_structure(path: PathLike) -> Dict[str, object]:
+    """Cheap metadata peek: version, kind, params, stored checksum.
+
+    Reads only the small entries -- no tree arrays are materialised
+    and no checksum is verified (use :func:`load_structure` for that).
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        out: Dict[str, object] = {
+            "version": version,
+            "kind": str(data["kind"]),
+            "checksum": (str(data["checksum"])
+                         if "checksum" in data.files else None),
+            "params": (json.loads(str(data["params"]))
+                       if "params" in data.files else {}),
+        }
+        return out

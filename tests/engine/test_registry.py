@@ -5,6 +5,7 @@ import pytest
 
 from repro.engine import IndexRegistry, dataset_fingerprint
 from repro.geometry import random_segments
+from repro.store import IndexStore
 from repro.structures import build_bucket_pmr, insert_lines
 
 DOMAIN = 512
@@ -165,3 +166,53 @@ class TestInvalidation:
         fp = reg.register(segs(1), domain=DOMAIN)
         with pytest.raises(ValueError):
             reg.dataset(fp)[0, 0] = -1.0
+
+
+class TestStoreTier:
+    """The persistent second tier (full coverage in tests/store/)."""
+
+    def test_eviction_spills_and_reload_is_a_disk_hit(self, tmp_path):
+        reg = IndexRegistry(capacity=1, store=IndexStore(tmp_path))
+        fp = reg.register(segs(1), domain=DOMAIN)
+        reg.get(fp, "pmr", capacity=8)
+        reg.get(fp, "rtree", min_fill=2, capacity=8)   # evicts + spills pmr
+        assert (reg.evictions, reg.spills) == (1, 1)
+        misses = reg.misses
+        reg.get(fp, "pmr", capacity=8)
+        assert reg.misses == misses + 1     # a memory miss...
+        assert reg.disk_hits == 1           # ...served from disk, no rebuild
+
+    def test_forget_empties_both_tiers(self, tmp_path):
+        store = IndexStore(tmp_path)
+        reg = IndexRegistry(capacity=8, store=store)
+        fp = reg.register(segs(1), domain=DOMAIN)
+        reg.get(fp, "pmr", capacity=8)
+        reg.spill_all()
+        assert len(store.entries()) == 1
+        reg.forget(fp)
+        assert reg.cached_keys() == [] and store.entries() == []
+
+    def test_invalidate_scopes_to_the_fingerprint_on_disk(self, tmp_path):
+        store = IndexStore(tmp_path)
+        reg = IndexRegistry(capacity=8, store=store)
+        fp1 = reg.register(segs(1), domain=DOMAIN)
+        fp2 = reg.register(segs(2), domain=DOMAIN)
+        reg.get(fp1, "pmr", capacity=8)
+        reg.get(fp2, "pmr", capacity=8)
+        reg.spill_all()
+        reg.invalidate(fp1)
+        assert {e.fingerprint for e in store.entries()} == {fp2}
+
+    def test_snapshot_reports_the_store(self, tmp_path):
+        reg = IndexRegistry(capacity=1, store=IndexStore(tmp_path))
+        fp = reg.register(segs(1), domain=DOMAIN)
+        reg.get(fp, "pmr", capacity=8)
+        reg.get(fp, "rtree", min_fill=2, capacity=8)
+        snap = reg.snapshot()
+        assert snap["spills"] == 1.0
+        assert snap["store"]["entries"] == 1
+        assert snap["store"]["total_bytes"] > 0
+
+    def test_no_store_snapshot_has_no_store_section(self):
+        reg = IndexRegistry()
+        assert "store" not in reg.snapshot()

@@ -1,4 +1,4 @@
-"""Serialization round-trip tests."""
+"""Serialization round-trip tests (and the v3 integrity format)."""
 
 import io
 
@@ -7,11 +7,14 @@ import pytest
 
 from repro.geometry import random_segments
 from repro.structures import (
+    IntegrityError,
     build_bucket_pmr,
     build_pm1,
     build_rtree,
     build_sharded,
+    inspect_structure,
     load_structure,
+    payload_checksum,
     save_structure,
 )
 
@@ -109,6 +112,97 @@ class TestShardedRoundtrip:
         back = load_structure(buf)
         back.check()
         assert back.num_shards == 2
+
+
+def rewrite_archive(src, dst, mutate):
+    """Load an archive, apply ``mutate`` to its entry dict, re-save."""
+    with np.load(src, allow_pickle=False) as data:
+        payload = {k: data[k] for k in data.files}
+    mutate(payload)
+    np.savez_compressed(dst, **payload)
+
+
+class TestIntegrityFormat:
+    def make(self, tmp_path, params=None):
+        segs = random_segments(50, 128, 24, seed=11)
+        tree, _ = build_bucket_pmr(segs, 128, 4)
+        path = tmp_path / "t.npz"
+        checksum = save_structure(tree, path, params=params)
+        return tree, path, checksum
+
+    def test_archive_carries_version_checksum_params(self, tmp_path):
+        _, path, checksum = self.make(tmp_path, params={"capacity": 4})
+        with np.load(path, allow_pickle=False) as data:
+            assert int(data["version"][0]) == 3
+            assert str(data["checksum"]) == checksum
+        info = inspect_structure(path)
+        assert info["version"] == 3
+        assert info["checksum"] == checksum
+        assert info["params"] == {"capacity": 4}
+
+    def test_checksum_matches_recomputation(self, tmp_path):
+        _, path, checksum = self.make(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            assert payload_checksum({k: data[k] for k in data.files}) == checksum
+
+    def test_tampered_array_raises_integrity_error(self, tmp_path):
+        _, path, _ = self.make(tmp_path)
+        bad = tmp_path / "bad.npz"
+
+        def flip(payload):
+            payload["lines"] = payload["lines"] + 1.0   # keep old checksum
+
+        rewrite_archive(path, bad, flip)
+        with pytest.raises(IntegrityError, match="checksum mismatch"):
+            load_structure(bad)
+
+    def test_verify_false_skips_the_check(self, tmp_path):
+        tree, path, _ = self.make(tmp_path)
+        bad = tmp_path / "bad.npz"
+        rewrite_archive(path, bad, lambda p: p.update(
+            checksum=np.array("0" * 64)))
+        back = load_structure(bad, verify=False)
+        assert back.decomposition_key() == tree.decomposition_key()
+
+    def test_missing_checksum_in_v3_rejected(self, tmp_path):
+        _, path, _ = self.make(tmp_path)
+        bad = tmp_path / "bad.npz"
+        rewrite_archive(path, bad, lambda p: p.pop("checksum"))
+        with pytest.raises(IntegrityError, match="missing its checksum"):
+            load_structure(bad)
+
+    def test_v2_archive_without_checksum_still_loads(self, tmp_path):
+        tree, path, _ = self.make(tmp_path)
+        v2 = tmp_path / "v2.npz"
+
+        def downgrade(payload):
+            payload.pop("checksum")
+            payload.pop("params")
+            payload["version"] = np.array([2])
+
+        rewrite_archive(path, v2, downgrade)
+        back = load_structure(v2)
+        assert back.decomposition_key() == tree.decomposition_key()
+
+    def test_newer_version_rejected(self, tmp_path):
+        _, path, _ = self.make(tmp_path)
+        new = tmp_path / "new.npz"
+        rewrite_archive(path, new, lambda p: p.update(
+            version=np.array([99])))
+        with pytest.raises(ValueError, match="newer than this library"):
+            load_structure(new)
+
+    def test_sharded_archive_checksummed(self, tmp_path):
+        segs = random_segments(60, 128, 24, seed=12)
+        idx = build_sharded(segs, 128, "rtree", shards=2)
+        path = tmp_path / "sh.npz"
+        save_structure(idx, path, params={"shards": 2})
+        bad = tmp_path / "shbad.npz"
+        rewrite_archive(path, bad, lambda p: p.update(
+            s0_ids=p["s0_ids"][::-1].copy()))
+        with pytest.raises(IntegrityError):
+            load_structure(bad)
+        assert inspect_structure(path)["kind"] == "sharded"
 
 
 class TestErrors:

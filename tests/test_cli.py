@@ -104,6 +104,61 @@ class TestServe:
         assert "rtree" in out
 
 
+class TestStore:
+    def prefetch(self, capsys, cache_dir, structure="pmr", **extra):
+        argv = ["store", "prefetch", "--cache-dir", str(cache_dir),
+                "--map", "uniform", "--n", "150", "--domain", "256",
+                "--structure", structure]
+        for k, v in extra.items():
+            argv += [f"--{k}", str(v)]
+        return run(capsys, *argv)
+
+    def test_prefetch_then_ls(self, capsys, tmp_path):
+        code, out = self.prefetch(capsys, tmp_path)
+        assert code == 0
+        assert "store prefetch" in out and "fingerprint" in out
+        code, out = run(capsys, "store", "ls", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "1 entries" in out
+        assert "pmr" in out and "0 quarantined" in out
+
+    def test_prefetch_seeds_engine_warm_start(self, capsys, tmp_path):
+        self.prefetch(capsys, tmp_path)
+        code, out = run(capsys, "serve", "--n", "150", "--domain", "256",
+                        "--probes", "60", "--clients", "1",
+                        "--cache-dir", str(tmp_path))
+        assert code == 0
+        lines = [ln for ln in out.splitlines() if "disk hits" in ln]
+        assert lines and lines[0].strip().endswith("1")
+
+    def test_gc_to_tiny_budget_empties_the_store(self, capsys, tmp_path):
+        self.prefetch(capsys, tmp_path)
+        self.prefetch(capsys, tmp_path, structure="rtree")
+        code, out = run(capsys, "store", "gc", "--cache-dir", str(tmp_path),
+                        "--budget-bytes", "1")
+        assert code == 0
+        assert "removed entries" in out
+        _, out = run(capsys, "store", "ls", "--cache-dir", str(tmp_path))
+        assert "0 entries" in out
+
+    def test_clear(self, capsys, tmp_path):
+        self.prefetch(capsys, tmp_path)
+        code, out = run(capsys, "store", "clear", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "cleared 1 entries" in out
+
+    def test_sharded_prefetch(self, capsys, tmp_path):
+        code, out = self.prefetch(capsys, tmp_path, shards=2,
+                                  ordering="hilbert")
+        assert code == 0
+        _, out = run(capsys, "store", "ls", "--cache-dir", str(tmp_path))
+        assert "1 entries" in out
+
+    def test_store_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["store"])
+
+
 class TestArgErrors:
     def test_unknown_structure_rejected(self, capsys):
         with pytest.raises(SystemExit):
