@@ -30,6 +30,15 @@ structure (best-of-N each), reporting build seconds, verified-load
 seconds, and the warm-start speedup; the rows also land in
 ``BENCH_store.json`` (``--store-json``) so the warm-start win is
 tracked across runs.
+
+A fourth section measures the resilience layer
+(:mod:`repro.resilience`): the fault-free overhead of serving with an
+*armed* fault injector (specs at every site, probability 0 -- the
+worst case that never fires; target < 5% of baseline throughput) and
+a degraded-mode run -- 10% corrupted store loads on warm start plus a
+permanently stalled shard under per-probe deadlines -- reporting the
+partial-result throughput and the retry/quarantine counters.  Rows
+land in ``BENCH_resilience.json`` (``--resilience-json``).
 """
 
 from __future__ import annotations
@@ -240,6 +249,115 @@ def bench_store(structure: str, lines: np.ndarray, domain: int,
     }
 
 
+def bench_resilience_overhead(structure: str, lines: np.ndarray, domain: int,
+                              rects: np.ndarray, repeats: int,
+                              workers: int) -> dict:
+    """Fault-free serving with an armed injector vs. no injector at all.
+
+    The armed plan has one probability-0 spec at every site, so each
+    ``fire`` walks its specs, takes the lock, and rolls the RNG without
+    ever firing -- the worst case a production deployment pays for
+    leaving chaos hooks compiled in.
+    """
+    from repro.resilience import SITES, FaultPlan, FaultSpec
+
+    k = rects.shape[0]
+    armed = FaultPlan(specs=tuple(
+        FaultSpec(site=site, kind="latency", delay=0.0, probability=0.0)
+        for site in SITES), seed=1)
+    qps = {}
+    for tag, plan in (("baseline", None), ("armed", armed)):
+        with SpatialQueryEngine(structure=structure, max_batch=k + 1,
+                                max_wait=0.5, workers=workers,
+                                queue_depth=max(64, k),
+                                fault_plan=plan) as engine:
+            fp = engine.register(lines, domain=domain)
+            engine.warm(fp)
+
+            def serve():
+                futures = [engine.submit_window(fp, r) for r in rects]
+                engine.flush()
+                for f in futures:
+                    f.result(timeout=60)
+
+            serve()   # warm the path
+            qps[tag] = best_qps(serve, k, max(repeats, 9))
+    return {
+        "structure": structure,
+        "probes": k,
+        "baseline_qps": round(qps["baseline"], 1),
+        "armed_qps": round(qps["armed"], 1),
+        "armed_overhead_pct": round(
+            (1.0 - qps["armed"] / qps["baseline"]) * 100.0, 2),
+    }
+
+
+def bench_degraded(structure: str, lines: np.ndarray, domain: int,
+                   rects: np.ndarray, repeats: int, workers: int,
+                   shards: int, ordering: str, cache_dir: str) -> dict:
+    """Throughput while degraded: corrupt loads + a stalled shard.
+
+    Warm start pays 10%-corrupted store loads (retry -> quarantine ->
+    rebuild), and shard 0 stalls past every probe's deadline, so each
+    batch resolves as partial results over the surviving shards.  The
+    interesting number is that throughput stays bounded by the deadline
+    instead of the stall.
+    """
+    from repro.engine import PartialResult
+    from repro.resilience import FaultPlan, FaultSpec
+
+    k = rects.shape[0]
+    # seed the store so the degraded engine warm-starts from disk
+    with SpatialQueryEngine(structure=structure, shards=shards,
+                            ordering=ordering, cache_dir=cache_dir,
+                            workers=workers) as engine:
+        engine.warm(engine.register(lines, domain=domain))
+
+    stall = 0.05
+    deadline = 0.02
+    plan = FaultPlan(specs=(
+        FaultSpec(site="store.load", kind="corrupt", probability=0.1),
+        FaultSpec(site="shard.query", kind="stall", delay=stall,
+                  match=(("shard", 0),)),
+    ), seed=5)   # seed 5: the warm-start load rolls corrupt twice
+    with SpatialQueryEngine(structure=structure, shards=shards,
+                            ordering=ordering, cache_dir=cache_dir,
+                            max_batch=k + 1, max_wait=0.5, workers=workers,
+                            queue_depth=max(64, 4 * shards),
+                            fault_plan=plan) as engine:
+        fp = engine.register(lines, domain=domain)
+        engine.warm(fp)
+
+        partials = [0]
+
+        def serve():
+            futures = [engine.submit_window(fp, r, deadline=deadline)
+                       for r in rects]
+            engine.flush()
+            for f in futures:
+                if isinstance(f.result(timeout=60), PartialResult):
+                    partials[0] += 1
+
+        serve()   # warm the path
+        partials[0] = 0
+        runs = max(repeats, 5)
+        degraded_qps = best_qps(serve, k, runs)
+        snap = engine.snapshot()
+    return {
+        "structure": structure,
+        "shards": shards,
+        "probes": k,
+        "stall_s": stall,
+        "deadline_s": deadline,
+        "degraded_qps": round(degraded_qps, 1),
+        "partial_fraction": round(partials[0] / (runs * k), 3),
+        "partial_batches": snap["partial_batches"],
+        "shards_dropped": snap["shards_dropped"],
+        "store_load_retries": snap["retries"].get("store.load", 0),
+        "faults_injected": snap["faults_injected"],
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--n", type=int, default=2000, help="segment count")
@@ -268,6 +386,11 @@ def main(argv=None) -> int:
                     help="segment count of the store cold/warm comparison")
     ap.add_argument("--store-json", default="BENCH_store.json",
                     help="where to write the store section's rows")
+    ap.add_argument("--skip-resilience", action="store_true")
+    ap.add_argument("--resilience-probes", type=int, default=512,
+                    help="probes per run in the resilience section")
+    ap.add_argument("--resilience-json", default="BENCH_resilience.json",
+                    help="where to write the resilience section's rows")
     ap.add_argument("--pretty", action="store_true")
     args = ap.parse_args(argv)
 
@@ -334,6 +457,35 @@ def main(argv=None) -> int:
                        "results": report["store"]}, fh, indent=2)
             fh.write("\n")
         print(f"# store rows -> {args.store_json}", file=sys.stderr)
+    if not args.skip_resilience:
+        structure = args.structures[0]
+        rects = make_windows(args.resilience_probes, args.domain,
+                             args.seed + 23)
+        report["resilience"] = []
+        row = bench_resilience_overhead(structure, lines, args.domain, rects,
+                                        args.repeats, args.workers)
+        row["mode"] = "fault_free_overhead"
+        report["resilience"].append(row)
+        print(f"# {structure} armed injector: {row['baseline_qps']:,} -> "
+              f"{row['armed_qps']:,} q/s "
+              f"({row['armed_overhead_pct']}% overhead, target < 5%)",
+              file=sys.stderr)
+        with tempfile.TemporaryDirectory(prefix="bench-degraded-") as cd:
+            row = bench_degraded(structure, lines, args.domain, rects,
+                                 args.repeats, args.workers, args.shards,
+                                 args.ordering, cd)
+        row["mode"] = "degraded"
+        report["resilience"].append(row)
+        print(f"# {structure} degraded (corrupt loads + stalled shard): "
+              f"{row['degraded_qps']:,} q/s, partial fraction "
+              f"{row['partial_fraction']}", file=sys.stderr)
+        with open(args.resilience_json, "w") as fh:
+            json.dump({"benchmark": "resilience_overhead_and_degraded_mode",
+                       "map": report["map"],
+                       "repeats": args.repeats,
+                       "results": report["resilience"]}, fh, indent=2)
+            fh.write("\n")
+        print(f"# resilience rows -> {args.resilience_json}", file=sys.stderr)
     json.dump(report, sys.stdout, indent=2 if args.pretty else None)
     print()
     return 0

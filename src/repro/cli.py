@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the everyday entry points:
+Six subcommands cover the everyday entry points:
 
 ``build``
     Generate (or take the paper's) map, run one of the data-parallel
@@ -22,6 +22,14 @@ Four subcommands cover the everyday entry points:
     (:mod:`repro.store`): ``ls`` the entries, ``gc`` down to a byte
     budget, ``clear`` everything, or ``prefetch`` -- build an index
     for a generated map and seed the cache with it ahead of serving.
+``chaos``
+    Run the engine under an injected fault plan
+    (:mod:`repro.resilience`): a chaos wave drives probes into
+    injected errors, shard stalls, and deadlines, then a recovery
+    wave shows the circuit breaker half-opening and closing.  Prints
+    per-probe outcomes (ok / partial / circuit-open / ...), the
+    breaker life cycle, and the fault-injection accounting.
+    ``--plan`` names a built-in example plan or a JSON file.
 
 Everything is seeded and offline; see ``--help`` on each subcommand.
 """
@@ -293,6 +301,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 [[k, int(v["batches"]), int(v["queries"]), f"{v['steps']:g}"]
                  for k, v in sorted(per.items())],
                 title="per-index batches"))
+        health = engine.health()
+        print()
+        print(format_table(
+            ["metric", "value"],
+            [["status", health["status"]],
+             ["breakers open/half-open",
+              ", ".join(health["breakers_not_closed"]) or "none"],
+             ["breaker trips", health["breaker_trips"]],
+             ["fast fails", health["breaker_fast_fails"]],
+             ["retries", sum(health["retries"].values())],
+             ["partial results", health["partial_results"]],
+             ["brute-force fallbacks", health["fallbacks"]]],
+            title="engine health"))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .engine import (CircuitOpenError, PartialResult, RejectedError,
+                         SpatialQueryEngine)
+    from .resilience import EXAMPLE_PLANS, FaultPlan, InjectedFault
+
+    if args.plan in EXAMPLE_PLANS:
+        plan = EXAMPLE_PLANS[args.plan]
+    else:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+
+    lines = _make_map(args.map, args.n, args.domain, args.seed)
+    rng = np.random.default_rng(args.seed + 11)
+    engine = SpatialQueryEngine(structure=args.structure,
+                                shards=args.shards,
+                                workers=args.workers,
+                                max_batch=args.max_batch,
+                                max_wait=0.001,
+                                breaker_threshold=args.breaker_threshold,
+                                breaker_reset=args.breaker_reset,
+                                brute_fallback=args.brute_fallback,
+                                fault_plan=plan)
+
+    def classify(fut) -> str:
+        try:
+            res = fut.result(timeout=30)
+        except CircuitOpenError:
+            return "circuit_open"
+        except RejectedError:
+            return "rejected"
+        except InjectedFault:
+            return "injected_fault"
+        except Exception:
+            return "failed"
+        return "partial" if isinstance(res, PartialResult) else "ok"
+
+    def drive(fp: str, n: int, deadline, outcomes: dict) -> None:
+        futs = []
+        for _ in range(n):
+            x, y = rng.uniform(0, args.domain * 0.9, 2)
+            w, h = rng.uniform(8, args.domain * 0.1, 2)
+            rect = [x, y, min(x + w, args.domain), min(y + h, args.domain)]
+            futs.append(engine.submit_window(fp, rect, deadline=deadline))
+        engine.flush()
+        for f in futs:
+            out = classify(f)
+            outcomes[out] = outcomes.get(out, 0) + 1
+
+    with engine:
+        fp = engine.register(lines, domain=args.domain)
+        chaos: dict = {}
+        recovery: dict = {}
+        # wave 1: probes run into the injected faults; enough
+        # consecutive batch failures trip the fingerprint's breaker
+        drive(fp, args.probes, args.deadline, chaos)
+        # wave 2: past the reset timeout the breaker half-opens; with
+        # the plan's fault budgets spent the single probe it admits
+        # succeeds, closes the circuit, and the rest flow normally
+        _time.sleep(args.breaker_reset + 0.05)
+        drive(fp, 1, None, recovery)
+        drive(fp, max(args.probes // 4, 8) - 1, None, recovery)
+        health = engine.health()
+        snap = engine.snapshot()
+
+    order = ("ok", "partial", "circuit_open", "injected_fault",
+             "rejected", "failed")
+    rows = [[k, chaos.get(k, 0), recovery.get(k, 0)]
+            for k in order if chaos.get(k, 0) or recovery.get(k, 0)]
+    print(format_table(["outcome", "chaos wave", "recovery wave"], rows,
+                       title=f"chaos run: plan {args.plan!r}, "
+                             f"{args.probes} probes"))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["status", health["status"]],
+         ["breaker trips", health["breaker_trips"]],
+         ["fast fails", health["breaker_fast_fails"]],
+         ["half-opens", health["breaker_half_opens"]],
+         ["closes", health["breaker_closes"]],
+         ["retries", sum(health["retries"].values())],
+         ["partial results", health["partial_results"]],
+         ["shards dropped", health["shards_dropped"]],
+         ["brute-force fallbacks", health["fallbacks"]]],
+        title="engine health after recovery"))
+    faults = snap["faults_injected"]
+    if faults:
+        print()
+        print(format_table(["site", "faults fired"],
+                           sorted(faults.items()),
+                           title="fault injection"))
     return 0
 
 
@@ -454,6 +570,32 @@ def _parser() -> argparse.ArgumentParser:
                    help="store byte budget (requires --cache-dir)")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_serve)
+
+    c = sub.add_parser("chaos",
+                       help="drive the engine under an injected fault plan")
+    c.add_argument("--plan", default="examples",
+                   help="built-in plan name (examples, stall, buildfail, "
+                        "corrupt, none) or a JSON plan file")
+    c.add_argument("--map", choices=MAPS, default="uniform")
+    c.add_argument("--n", type=int, default=1500, help="segment count")
+    c.add_argument("--domain", type=int, default=1024)
+    c.add_argument("--structure", choices=("pmr", "pm1", "rtree"),
+                   default="pmr")
+    c.add_argument("--shards", type=int, default=4,
+                   help="shards per index (stall faults need >1)")
+    c.add_argument("--workers", type=int, default=4)
+    c.add_argument("--max-batch", type=int, default=8)
+    c.add_argument("--probes", type=int, default=48,
+                   help="probes in the chaos wave")
+    c.add_argument("--deadline", type=float, default=0.05,
+                   help="per-probe deadline in the chaos wave (seconds)")
+    c.add_argument("--breaker-threshold", type=int, default=3)
+    c.add_argument("--breaker-reset", type=float, default=0.2,
+                   help="open -> half-open delay (seconds)")
+    c.add_argument("--brute-fallback", action="store_true",
+                   help="serve brute force instead of failing fast")
+    c.add_argument("--seed", type=int, default=0)
+    c.set_defaults(fn=_cmd_chaos)
 
     st = sub.add_parser("store",
                         help="inspect/manage a persistent index store")

@@ -7,6 +7,10 @@ coalescer, a bounded worker pool, and an engine-stats layer.  See
 queries with repro.engine" for a tour.
 """
 
+from ..errors import EngineError
+from ..resilience import (CircuitBreaker, CircuitOpenError, FaultInjector,
+                          FaultPlan, FaultSpec, InjectedCorruption,
+                          InjectedFault, PartialResult, RetryPolicy)
 from .coalescer import Coalescer, Probe
 from .engine import EngineConfig, SpatialQueryEngine
 from .executor import BoundedExecutor, RejectedError
@@ -23,7 +27,17 @@ __all__ = [
     "Coalescer",
     "Probe",
     "BoundedExecutor",
+    "EngineError",
     "RejectedError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedCorruption",
+    "PartialResult",
+    "RetryPolicy",
     "EngineStats",
     "LatencyReservoir",
 ]

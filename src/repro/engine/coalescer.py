@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from concurrent.futures import Future
 
@@ -30,11 +30,18 @@ __all__ = ["Probe", "Coalescer"]
 
 @dataclass
 class Probe:
-    """One in-flight request: its payload and the future awaiting it."""
+    """One in-flight request: its payload and the future awaiting it.
+
+    ``deadline_at`` (absolute ``time.monotonic`` seconds, ``None`` for
+    no deadline) rides along through coalescing: a batch inherits the
+    *earliest* deadline of its probes, and a sharded fan-out that blows
+    it resolves with a partial result instead of timing out.
+    """
 
     payload: object
     future: Future = field(default_factory=Future)
     submitted_at: float = field(default_factory=time.monotonic)
+    deadline_at: Optional[float] = None
 
 
 class Coalescer:
@@ -62,7 +69,7 @@ class Coalescer:
         ready = None
         with self._cv:
             if self._closed:
-                raise RejectedError("engine is closed")
+                raise RejectedError("engine is closed", reason="closed")
             group = self._groups.setdefault(key, [])
             group.append(probe)
             if len(group) == 1:

@@ -15,7 +15,16 @@
   the shared read-only index, with backpressure when saturated;
 * an :class:`~repro.engine.stats.EngineStats` layer aggregating batch
   sizes, queue depth, cache hit rate, latency percentiles, and the
-  scan-model step accounting per batch.
+  scan-model step accounting per batch;
+* a :mod:`~repro.resilience` layer: per-fingerprint circuit breakers
+  (fail fast with :class:`CircuitOpenError`, or degrade to a
+  brute-force scan with ``brute_fallback=True``), retry with backoff
+  on transient executor rejections and store loads, deadline
+  propagation into sharded fan-outs (an expired deadline yields a
+  :class:`~repro.resilience.PartialResult`, not a timeout), and an
+  optional :class:`~repro.resilience.FaultInjector` driven by
+  ``fault_plan`` for chaos testing.  :meth:`SpatialQueryEngine.health`
+  snapshots it all.
 
 Results are bit-identical to looping the scalar queries (a test
 invariant): batching changes the schedule, never the answer.
@@ -32,6 +41,7 @@ Example::
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import (Future, InvalidStateError,
@@ -41,6 +51,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..baselines.brute import brute_point_query, brute_window_query
+from ..resilience import (OPEN, BreakerBoard, CircuitOpenError, FaultInjector,
+                          FaultPlan, PartialResult, RetryPolicy)
 from ..structures.batch import (
     batch_nearest_quadtree,
     batch_nearest_rtree,
@@ -49,7 +62,8 @@ from ..structures.batch import (
     batch_window_query_quadtree,
     batch_window_query_rtree,
 )
-from ..structures.join import quadtree_join, rtree_join
+from ..structures.join import brute_join, quadtree_join, rtree_join
+from ..structures.nearest import brute_nearest
 from ..structures.sharded import ORDERINGS, ShardedIndex, sharded_join
 from .coalescer import Coalescer, Probe
 from .executor import BoundedExecutor, RejectedError
@@ -62,6 +76,21 @@ __all__ = ["EngineConfig", "SpatialQueryEngine"]
 _FAMILY = {"pmr": "quadtree", "pm1": "quadtree", "rtree": "rtree"}
 
 KINDS = ("window", "point", "nearest")
+
+
+def _resolve(fut: Future, value) -> None:
+    """Set a result, tolerating a future cancelled by a timed-out waiter."""
+    try:
+        fut.set_result(value)
+    except InvalidStateError:
+        pass
+
+
+def _reject(fut: Future, exc: BaseException) -> None:
+    try:
+        fut.set_exception(exc)
+    except InvalidStateError:
+        pass
 
 
 @dataclass(frozen=True)
@@ -81,6 +110,14 @@ class EngineConfig:
     ordering: str = "morton"      # shard cut order: morton | hilbert
     cache_dir: Optional[str] = None   # persistent index store directory
     disk_budget_bytes: Optional[int] = None  # store byte budget (None: unbounded)
+    # -- resilience -------------------------------------------------------
+    retry_attempts: int = 3       # tries per retrying site (1: no retries)
+    retry_base_delay: float = 0.002   # first backoff (seconds)
+    retry_max_delay: float = 0.05     # backoff cap (seconds)
+    breaker_threshold: int = 5    # consecutive failures tripping a breaker
+    breaker_reset: float = 5.0    # open -> half-open probe delay (seconds)
+    brute_fallback: bool = False  # serve brute-force while a breaker is open
+    fault_plan: Optional[FaultPlan] = None  # chaos plan (None: no injection)
 
     def __post_init__(self) -> None:
         if self.structure not in _FAMILY:
@@ -95,6 +132,14 @@ class EngineConfig:
                 raise ValueError("disk_budget_bytes requires cache_dir")
             if self.disk_budget_bytes < 0:
                 raise ValueError("disk_budget_bytes must be >= 0")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset < 0:
+            raise ValueError("breaker_reset must be >= 0")
 
 
 class SpatialQueryEngine:
@@ -107,16 +152,30 @@ class SpatialQueryEngine:
             raise TypeError("pass either a config or keyword overrides")
         self.config = config
         self.stats = EngineStats()
+        self.faults = (FaultInjector(config.fault_plan,
+                                     observer=self.stats.record_fault)
+                       if config.fault_plan is not None
+                       and config.fault_plan.specs else None)
+        self._retry = RetryPolicy(attempts=config.retry_attempts,
+                                  base_delay=config.retry_base_delay,
+                                  max_delay=config.retry_max_delay)
+        self._rng = random.Random(0xF417)  # deterministic backoff jitter
         self.store = None
         if config.cache_dir is not None:
             from ..store import IndexStore
             self.store = IndexStore(config.cache_dir,
                                     budget_bytes=config.disk_budget_bytes,
-                                    observer=self.stats.record_store_event)
+                                    observer=self.stats.record_store_event,
+                                    retry=self._retry, injector=self.faults)
         self.registry = IndexRegistry(capacity=config.cache_capacity,
-                                      store=self.store)
+                                      store=self.store, injector=self.faults)
         self._executor = BoundedExecutor(workers=config.workers,
-                                         queue_depth=config.queue_depth)
+                                         queue_depth=config.queue_depth,
+                                         injector=self.faults)
+        self.breakers = BreakerBoard(
+            failure_threshold=config.breaker_threshold,
+            reset_timeout=config.breaker_reset,
+            listener=self.stats.record_breaker_event)
         self._coalescer = Coalescer(self._dispatch,
                                     max_batch=config.max_batch,
                                     max_wait=config.max_wait)
@@ -145,13 +204,16 @@ class SpatialQueryEngine:
 
     def submit_window(self, fingerprint: str, rect,
                       structure: Optional[str] = None,
-                      exact: bool = True) -> Future:
+                      exact: bool = True,
+                      deadline: Optional[float] = None) -> Future:
         rect = np.asarray(rect, dtype=float).reshape(4)
-        return self._submit("window", fingerprint, rect, structure, exact)
+        return self._submit("window", fingerprint, rect, structure, exact,
+                            deadline)
 
     def submit_point(self, fingerprint: str, point,
                      structure: Optional[str] = None,
-                     exact: bool = True) -> Future:
+                     exact: bool = True,
+                     deadline: Optional[float] = None) -> Future:
         pt = np.asarray(point, dtype=float).reshape(2)
         structure = structure or self.config.structure
         if _FAMILY[structure] == "quadtree":
@@ -164,12 +226,15 @@ class SpatialQueryEngine:
                 self.stats.record_submitted("point")
                 self.stats.record_failed()
                 return fut
-        return self._submit("point", fingerprint, pt, structure, exact)
+        return self._submit("point", fingerprint, pt, structure, exact,
+                            deadline)
 
     def submit_nearest(self, fingerprint: str, point,
-                       structure: Optional[str] = None) -> Future:
+                       structure: Optional[str] = None,
+                       deadline: Optional[float] = None) -> Future:
         pt = np.asarray(point, dtype=float).reshape(2)
-        return self._submit("nearest", fingerprint, pt, structure, True)
+        return self._submit("nearest", fingerprint, pt, structure, True,
+                            deadline)
 
     def submit_join(self, fingerprint_a: str, fingerprint_b: str,
                     structure: Optional[str] = None) -> Future:
@@ -178,52 +243,74 @@ class SpatialQueryEngine:
         key_a = self._index_key(fingerprint_a, structure)
         key_b = self._index_key(fingerprint_b, structure)
         self.stats.record_submitted("join")
+        fps = (fingerprint_a, fingerprint_b)
+        if not all(self.breakers.allow(fp) for fp in fps):
+            if not self.config.brute_fallback:
+                return self._fail_fast("join", fps)
+
+            def brute(machine):
+                pairs = brute_join(self.registry.dataset(fingerprint_a),
+                                   self.registry.dataset(fingerprint_b))
+                self.stats.record_fallback()
+                self.stats.record_batch("brute:join", 1, machine.steps,
+                                        machine.total_primitives)
+                return pairs
+
+            return self._spawn(brute)
 
         def job(machine):
             start = time.monotonic()
-            ta = self.registry.get(key_a.fingerprint, key_a.structure,
-                                   **dict(key_a.params)).tree
-            tb = self.registry.get(key_b.fingerprint, key_b.structure,
-                                   **dict(key_b.params)).tree
-            if isinstance(ta, ShardedIndex) or isinstance(tb, ShardedIndex):
-                pairs = sharded_join(ta, tb)
-            else:
-                join = (rtree_join if _FAMILY[structure] == "rtree"
-                        else quadtree_join)
-                pairs = join(ta, tb)
+            try:
+                ta = self.registry.get(key_a.fingerprint, key_a.structure,
+                                       **dict(key_a.params)).tree
+                tb = self.registry.get(key_b.fingerprint, key_b.structure,
+                                       **dict(key_b.params)).tree
+                if isinstance(ta, ShardedIndex) or isinstance(tb, ShardedIndex):
+                    pairs = sharded_join(ta, tb)
+                else:
+                    join = (rtree_join if _FAMILY[structure] == "rtree"
+                            else quadtree_join)
+                    pairs = join(ta, tb)
+            except Exception:
+                for fp in fps:
+                    self.breakers.record_failure(fp)
+                raise
+            for fp in fps:
+                self.breakers.record_success(fp)
             self.stats.record_batch(f"{structure}:join", 1, machine.steps,
                                     machine.total_primitives,
                                     time.monotonic() - start)
             return pairs
 
-        try:
-            return self._executor.submit(job)
-        except RejectedError as exc:
-            self.stats.record_rejected(exc.reason)
-            fut: Future = Future()
-            fut.set_exception(exc)
-            return fut
+        return self._spawn(job)
 
     # -- synchronous helpers ---------------------------------------------
 
     def window(self, fingerprint: str, rect, structure: Optional[str] = None,
-               exact: bool = True, timeout: Optional[float] = None) -> np.ndarray:
-        """Blocking window query; raises TimeoutError past ``timeout``."""
+               exact: bool = True, timeout: Optional[float] = None,
+               deadline: Optional[float] = None) -> np.ndarray:
+        """Blocking window query; raises TimeoutError past ``timeout``.
+
+        With a ``deadline`` (seconds) on a sharded index, an expired
+        fan-out returns a :class:`PartialResult` instead of raising.
+        """
         return self._await(self.submit_window(fingerprint, rect, structure,
-                                              exact), timeout)
+                                              exact, deadline), timeout)
 
     def point(self, fingerprint: str, point, structure: Optional[str] = None,
-              exact: bool = True, timeout: Optional[float] = None) -> np.ndarray:
+              exact: bool = True, timeout: Optional[float] = None,
+              deadline: Optional[float] = None) -> np.ndarray:
         """Blocking point query."""
         return self._await(self.submit_point(fingerprint, point, structure,
-                                             exact), timeout)
+                                             exact, deadline), timeout)
 
     def nearest(self, fingerprint: str, point,
                 structure: Optional[str] = None,
-                timeout: Optional[float] = None) -> Tuple[int, float]:
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> Tuple[int, float]:
         """Blocking nearest-line query; returns ``(line id, distance)``."""
-        return self._await(self.submit_nearest(fingerprint, point, structure),
-                           timeout)
+        return self._await(self.submit_nearest(fingerprint, point, structure,
+                                               deadline), timeout)
 
     def join(self, fingerprint_a: str, fingerprint_b: str,
              structure: Optional[str] = None,
@@ -245,6 +332,40 @@ class SpatialQueryEngine:
         out["queue_depth"] = self._executor.queue_depth
         out["pending_probes"] = self._coalescer.pending
         return out
+
+    def health(self) -> Dict[str, object]:
+        """Liveness snapshot: breaker states plus the resilience counters.
+
+        ``status`` is ``"ok"`` while every breaker is closed and
+        ``"degraded"`` when any fingerprint is open or half-open (some
+        traffic fails fast or runs on the brute-force fallback).  The
+        full per-fingerprint breaker map, retry counters, partial-result
+        counters, and the fault-injector state ride along -- what a
+        load balancer's health endpoint would serve.
+        """
+        breakers = self.breakers.snapshot()
+        not_closed = [k for k, b in breakers.items() if b["state"] != "closed"]
+        s = self.stats
+        return {
+            "status": "degraded" if not_closed else "ok",
+            "closed": self._closed,
+            "breakers": breakers,
+            "breakers_not_closed": sorted(not_closed),
+            "breaker_trips": s.breaker_trips,
+            "breaker_fast_fails": s.breaker_fast_fails,
+            "breaker_half_opens": s.breaker_half_opens,
+            "breaker_closes": s.breaker_closes,
+            "retries": dict(s.retries),
+            "partial_batches": s.partial_batches,
+            "partial_results": s.partial_results,
+            "shards_dropped": s.shards_dropped,
+            "fallbacks": s.fallbacks,
+            "cancels": s.cancels,
+            "queue_depth": self._executor.queue_depth,
+            "pending_probes": self._coalescer.pending,
+            "fault_injection": (self.faults.snapshot()
+                                if self.faults is not None else None),
+        }
 
     def close(self) -> None:
         if self._closed:
@@ -282,12 +403,19 @@ class SpatialQueryEngine:
         return IndexKey.make(fingerprint, structure, **params)
 
     def _submit(self, kind: str, fingerprint: str, payload: np.ndarray,
-                structure: Optional[str], exact: bool) -> Future:
+                structure: Optional[str], exact: bool,
+                deadline: Optional[float] = None) -> Future:
         if fingerprint not in self.registry._datasets:
             raise KeyError(f"unknown dataset fingerprint {fingerprint!r}")
         key = (self._index_key(fingerprint, structure), kind, bool(exact))
-        probe = Probe(payload)
         self.stats.record_submitted(kind)
+        if not self.breakers.allow(fingerprint):
+            if self.config.brute_fallback:
+                return self._submit_brute(kind, fingerprint, payload)
+            return self._fail_fast(kind, (fingerprint,))
+        probe = Probe(payload,
+                      deadline_at=(time.monotonic() + deadline
+                                   if deadline is not None else None))
         try:
             self._coalescer.submit(key, probe)
         except RejectedError as exc:
@@ -295,12 +423,86 @@ class SpatialQueryEngine:
             probe.future.set_exception(exc)
         return probe.future
 
+    def _fail_fast(self, kind: str, fingerprints) -> Future:
+        """An already-failed future for a probe refused by an open breaker."""
+        self.stats.record_breaker_event("fast_fail")
+        self.stats.record_failed()
+        fp = next((f for f in fingerprints
+                   if self.breakers.state(f) != "closed"), fingerprints[0])
+        fut: Future = Future()
+        fut.set_exception(CircuitOpenError(
+            f"circuit open for dataset {fp!r} ({kind} probe refused)",
+            key=fp, retry_after=self.breakers.retry_after(fp)))
+        return fut
+
+    def _submit_brute(self, kind: str, fingerprint: str,
+                      payload: np.ndarray) -> Future:
+        """Degraded service: answer from the raw segments, no index.
+
+        Runs while the fingerprint's breaker is open and
+        ``brute_fallback`` is enabled -- an O(n) scan keeps answers
+        flowing (exact-geometry semantics) until the index path heals.
+        """
+        started = time.monotonic()
+
+        def job(machine):
+            lines = self.registry.dataset(fingerprint)
+            if kind == "window":
+                res = brute_window_query(lines, payload)
+            elif kind == "point":
+                res = brute_point_query(lines, float(payload[0]),
+                                        float(payload[1]))
+            else:
+                res = brute_nearest(lines, float(payload[0]),
+                                    float(payload[1]))
+            self.stats.record_fallback()
+            self.stats.record_batch(f"brute:{kind}", 1, machine.steps,
+                                    machine.total_primitives,
+                                    time.monotonic() - started)
+            return res
+
+        return self._spawn(job)
+
+    def _spawn(self, job) -> Future:
+        """Submit one executor job, converting a rejection into a future."""
+        try:
+            return self._submit_job_with_retry(job)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason)
+            fut: Future = Future()
+            fut.set_exception(exc)
+            return fut
+
+    def _submit_job_with_retry(self, job) -> Future:
+        """Executor submit with backoff on transient ``queue_full``.
+
+        A saturated queue usually drains within a backoff or two;
+        ``shutdown``/``closed`` rejections are permanent and re-raise
+        immediately.  The caller's thread naps, which is exactly the
+        backpressure a full queue should exert on producers.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._executor.submit(job)
+            except RejectedError as exc:
+                if exc.reason != "queue_full" \
+                        or attempt + 1 >= self._retry.attempts:
+                    raise
+                self.stats.record_retry("executor.submit")
+                time.sleep(self._retry.delay(attempt, self._rng))
+                attempt += 1
+
     def _await(self, future: Future, timeout: Optional[float]):
         timeout = self.config.default_timeout if timeout is None else timeout
         try:
             return future.result(timeout)
         except FutureTimeoutError:
+            # try to free the slot: a not-yet-started job (or a probe
+            # still waiting on its batch) cancels cleanly and its
+            # worker/delivery skips it; a running one must finish
             self.stats.record_timeout()
+            self.stats.record_cancel(future.cancel())
             raise
 
     def _batch_fn(self, structure: str, kind: str, exact: bool):
@@ -322,6 +524,17 @@ class SpatialQueryEngine:
             return lambda tree, v, m: batch_nearest_quadtree(tree, v, machine=m)
         return lambda tree, v, m: batch_nearest_rtree(tree, v, machine=m)
 
+    def _brute_batch(self, kind: str, lines: np.ndarray,
+                     payloads: np.ndarray) -> List[object]:
+        """Brute-force answers for a whole batch (degraded dispatch)."""
+        if kind == "window":
+            return [brute_window_query(lines, r) for r in payloads]
+        if kind == "point":
+            return [brute_point_query(lines, float(p[0]), float(p[1]))
+                    for p in payloads]
+        return [brute_nearest(lines, float(p[0]), float(p[1]))
+                for p in payloads]
+
     def _dispatch(self, group_key, probes: List[Probe]) -> None:
         """Flush callback: run one group as a single vectorized pass."""
         index_key, kind, exact = group_key
@@ -330,24 +543,45 @@ class SpatialQueryEngine:
             return
         batch_fn = self._batch_fn(index_key.structure, kind, exact)
         started = min(p.submitted_at for p in probes)
+        fingerprint = index_key.fingerprint
 
         def job(machine):
-            entry = self.registry.get(index_key.fingerprint,
-                                      index_key.structure,
-                                      **dict(index_key.params))
             payloads = np.stack([p.payload for p in probes])
-            results = batch_fn(entry.tree, payloads, machine)
+            try:
+                entry = self.registry.get(index_key.fingerprint,
+                                          index_key.structure,
+                                          **dict(index_key.params))
+            except Exception:
+                self.breakers.record_failure(fingerprint)
+                if self.config.brute_fallback \
+                        and self.breakers.state(fingerprint) == OPEN:
+                    # the failure tripped (or kept) the breaker open:
+                    # serve the batch from the raw segments instead
+                    lines = self.registry.dataset(fingerprint)
+                    results = self._brute_batch(kind, lines, payloads)
+                    self.stats.record_fallback(len(probes))
+                    self.stats.record_batch(
+                        f"brute:{kind}", len(probes), machine.steps,
+                        machine.total_primitives, time.monotonic() - started)
+                    return results
+                raise
+            try:
+                results = batch_fn(entry.tree, payloads, machine)
+            except Exception:
+                self.breakers.record_failure(fingerprint)
+                raise
+            self.breakers.record_success(fingerprint)
             self.stats.record_batch(
                 f"{index_key.structure}:{kind}", len(probes), machine.steps,
                 machine.total_primitives, time.monotonic() - started)
             return results
 
         try:
-            fut = self._executor.submit(job)
+            fut = self._submit_job_with_retry(job)
         except RejectedError as exc:
             self.stats.record_rejected(exc.reason, len(probes))
             for p in probes:
-                p.future.set_exception(RejectedError(exc.reason))
+                _reject(p.future, RejectedError(str(exc), reason=exc.reason))
             return
 
         def deliver(done: Future) -> None:
@@ -355,11 +589,11 @@ class SpatialQueryEngine:
             if exc is not None:
                 self.stats.record_failed(len(probes))
                 for p in probes:
-                    p.future.set_exception(exc)
+                    _reject(p.future, exc)
                 return
             results = done.result()
             for p, res in zip(probes, results):
-                p.future.set_result(res)
+                _resolve(p.future, res)
 
         fut.add_done_callback(deliver)
 
@@ -377,17 +611,28 @@ class SpatialQueryEngine:
         the round-one distance -- the batched analogue of the scalar
         best-so-far pruning.  ``warm()`` prebuilds the sharded index so
         the first dispatch does not pay the build on this thread.
+
+        The group inherits the **earliest deadline** of its probes;
+        when it expires with shards unreported the merge resolves every
+        probe with a :class:`PartialResult` over the shards that did
+        report (``shards_dropped`` counts the rest) instead of raising.
         """
         started = min(p.submitted_at for p in probes)
         name = f"{index_key.structure}:{kind}"
+        fingerprint = index_key.fingerprint
         try:
             entry = self.registry.get(index_key.fingerprint,
                                       index_key.structure,
                                       **dict(index_key.params))
         except Exception as exc:  # unknown structure, build failure, ...
+            self.breakers.record_failure(fingerprint)
+            if self.config.brute_fallback \
+                    and self.breakers.state(fingerprint) == OPEN:
+                self._dispatch_brute_group(kind, fingerprint, probes, started)
+                return
             self.stats.record_failed(len(probes))
             for p in probes:
-                p.future.set_exception(exc)
+                _reject(p.future, exc)
             return
         sharded: ShardedIndex = entry.tree
         payloads = np.stack([p.payload for p in probes])
@@ -397,24 +642,59 @@ class SpatialQueryEngine:
             if kind == "nearest":
                 self.stats.record_failed(len(probes))
                 for p in probes:
-                    p.future.set_exception(
-                        ValueError("empty tree has no nearest line"))
+                    _reject(p.future,
+                            ValueError("empty tree has no nearest line"))
             else:
                 self.stats.record_shard_batch(0, 0)
                 for p in probes:
-                    p.future.set_result(np.zeros(0, dtype=np.int64))
+                    _resolve(p.future, np.zeros(0, dtype=np.int64))
                 self.stats.record_batch(name, len(probes), 0.0, 0,
                                         time.monotonic() - started)
             return
 
+        deadlines = [p.deadline_at for p in probes if p.deadline_at is not None]
         merge = _ShardedMerge(self, sharded, kind, exact, probes, payloads,
-                              started, name)
+                              started, name, fingerprint,
+                              deadline=min(deadlines) if deadlines else None)
         if kind == "nearest":
             merge.start_nearest()
         else:
             mask = (sharded.plan_windows(payloads) if kind == "window"
                     else sharded.plan_points(payloads))
             merge.start_ids(mask)
+
+    def _dispatch_brute_group(self, kind: str, fingerprint: str,
+                              probes: List[Probe], started: float) -> None:
+        """Serve a whole coalesced group brute-force (breaker open)."""
+        def job(machine):
+            lines = self.registry.dataset(fingerprint)
+            payloads = np.stack([p.payload for p in probes])
+            results = self._brute_batch(kind, lines, payloads)
+            self.stats.record_fallback(len(probes))
+            self.stats.record_batch(f"brute:{kind}", len(probes),
+                                    machine.steps, machine.total_primitives,
+                                    time.monotonic() - started)
+            return results
+
+        try:
+            fut = self._submit_job_with_retry(job)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason, len(probes))
+            for p in probes:
+                _reject(p.future, RejectedError(str(exc), reason=exc.reason))
+            return
+
+        def deliver(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                self.stats.record_failed(len(probes))
+                for p in probes:
+                    _reject(p.future, exc)
+                return
+            for p, res in zip(probes, done.result()):
+                _resolve(p.future, res)
+
+        fut.add_done_callback(deliver)
 
 
 class _ShardedMerge:
@@ -424,13 +704,21 @@ class _ShardedMerge:
     job of a round (tracked by a ``remaining`` counter under ``lock``)
     triggers the round-end hook from its completion callback, so no
     thread ever blocks waiting on shard results.  Every probe future is
-    resolved exactly once -- by ``_finalize`` on success or by the
-    first ``_fail`` on any shard error or executor rejection.
+    resolved exactly once -- by ``_complete`` on success or deadline
+    expiry (first writer wins via the ``done`` flag) or by the first
+    ``_fail`` on any shard error or executor rejection.
+
+    With a ``deadline`` (absolute monotonic seconds) a daemon timer
+    fires ``_complete(partial=True)``: probes resolve to
+    :class:`PartialResult` wrapping the merge of the shards that
+    reported in time, and late shard deliveries are dropped.
     """
 
     def __init__(self, engine: SpatialQueryEngine, sharded: ShardedIndex,
                  kind: str, exact: bool, probes: List[Probe],
-                 payloads: np.ndarray, started: float, name: str) -> None:
+                 payloads: np.ndarray, started: float, name: str,
+                 fingerprint: str,
+                 deadline: Optional[float] = None) -> None:
         self.engine = engine
         self.sharded = sharded
         self.kind = kind
@@ -439,15 +727,24 @@ class _ShardedMerge:
         self.payloads = payloads
         self.started = started
         self.name = name
+        self.fingerprint = fingerprint
         self.lock = threading.Lock()
         self.failed = False
+        self.done = False
         self.remaining = 0
+        self.completed_jobs = 0
         self.steps = 0.0
         self.primitives = 0
         # per-shard (probe selection, global ids, per-probe counts)
         self.chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self.probed: set = set()        # distinct shards touched, all rounds
         self.on_round_end = self._finalize
+        self.timer: Optional[threading.Timer] = None
+        if deadline is not None:
+            self.timer = threading.Timer(max(deadline - time.monotonic(), 0.0),
+                                         self._on_deadline)
+            self.timer.daemon = True
+            self.timer.start()
 
     # -- rounds ----------------------------------------------------------
 
@@ -512,16 +809,20 @@ class _ShardedMerge:
             self.remaining += len(jobs)   # count before any job can finish
         for k, sel in jobs:
             try:
-                fut = self.engine._executor.submit(self._make_job(k, sel))
+                fut = self.engine._submit_job_with_retry(
+                    self._make_job(k, sel))
             except RejectedError as exc:
                 self.engine.stats.record_rejected(exc.reason,
                                                   len(self.probes))
-                self._fail(RejectedError(exc.reason))
+                self._fail(RejectedError(str(exc), reason=exc.reason))
                 return
             fut.add_done_callback(self._deliver)
 
     def _make_job(self, k: int, sel: np.ndarray):
         def job(machine):
+            if self.engine.faults is not None:
+                self.engine.faults.fire("shard.query", shard=k,
+                                        kind=self.kind)
             results = self.sharded.query_shard_batch(
                 k, self.kind, self.payloads[sel], exact=self.exact,
                 machine=machine, flat=self.kind != "nearest")
@@ -535,8 +836,8 @@ class _ShardedMerge:
             return
         sel, results, steps, primitives = done.result()
         with self.lock:
-            if self.failed:
-                return
+            if self.failed or self.done:
+                return   # the batch already failed or went partial
             if self.kind == "nearest":
                 # fold the shard's (ids, distances) into the running
                 # best, breaking distance ties toward the lower id
@@ -551,6 +852,7 @@ class _ShardedMerge:
                 self.chunks.append((sel, gids, counts))
             self.steps += steps
             self.primitives += primitives
+            self.completed_jobs += 1
             self.remaining -= 1
             last = self.remaining == 0
         if last:
@@ -558,57 +860,83 @@ class _ShardedMerge:
 
     def _fail(self, exc: BaseException) -> None:
         with self.lock:
-            if self.failed:
+            if self.failed or self.done:
                 return
             self.failed = True
+        if self.timer is not None:
+            self.timer.cancel()
+        if not isinstance(exc, RejectedError):
+            # backpressure is not an index fault: only real shard-query
+            # failures feed the fingerprint's breaker
+            self.engine.breakers.record_failure(self.fingerprint)
         self.engine.stats.record_failed(len(self.probes))
         for p in self.probes:
-            if not p.future.done():
-                try:
-                    p.future.set_exception(exc)
-                except InvalidStateError:  # lost a benign race to resolve
-                    pass
+            _reject(p.future, exc)
+
+    def _on_deadline(self) -> None:
+        self._complete(partial=True)
 
     def _finalize(self) -> None:
+        self._complete(partial=False)
+
+    def _merged_values(self) -> List[object]:
+        """Per-probe answers from the chunks delivered so far.
+
+        For nearest, the running best per probe.  For window/point the
+        chunk merge avoids sorting the hit stream: each chunk lists its
+        probes in ascending order with per-probe hit runs already
+        sorted, so every run can be scattered straight to its probe's
+        write cursor.  Only probes fed by two or more shards need a
+        final per-probe sort to interleave the runs -- shards partition
+        the segments, so it is never a dedup.
+        """
         if self.kind == "nearest":
-            for p, g, d in zip(self.probes, self.best_g, self.best_d):
-                p.future.set_result((int(g), float(d)))
-            self.engine.stats.record_batch(self.name, len(self.probes),
-                                           self.steps, self.primitives,
-                                           time.monotonic() - self.started)
-            return
-        if self.chunks:
-            # merge without sorting the hit stream: each chunk lists
-            # its probes in ascending order with per-probe hit runs
-            # already sorted, so every run can be scattered straight to
-            # its probe's write cursor.  Only probes fed by two or more
-            # shards need a final per-probe sort to interleave the runs
-            # -- shards partition the segments, so it is never a dedup.
-            B = len(self.probes)
-            counts_pp = np.zeros(B, dtype=np.int64)
-            nshards = np.zeros(B, dtype=np.int64)
-            for sel, _, counts in self.chunks:
-                counts_pp[sel] += counts
-                nshards[sel] += counts > 0
-            offsets = np.zeros(B + 1, dtype=np.int64)
-            np.cumsum(counts_pp, out=offsets[1:])
-            out = np.empty(offsets[-1], dtype=np.int64)
-            cursor = offsets[:-1].copy()
-            for sel, vals, counts in self.chunks:
-                run0 = np.concatenate(([0], np.cumsum(counts[:-1])))
-                pos = (np.repeat(cursor[sel] - run0, counts)
-                       + np.arange(vals.size))
-                out[pos] = vals
-                cursor[sel] += counts
-            pieces = np.split(out, offsets[1:-1])
-            for i in np.flatnonzero(nshards > 1).tolist():
-                pieces[i].sort()   # views into ``out``: sorts in place
-            for p, res in zip(self.probes, pieces):
-                p.future.set_result(res)
-        else:
+            return [(int(g), float(d))
+                    for g, d in zip(self.best_g, self.best_d)]
+        B = len(self.probes)
+        if not self.chunks:
             empty = np.zeros(0, dtype=np.int64)
-            for p in self.probes:
-                p.future.set_result(empty)
+            return [empty] * B
+        counts_pp = np.zeros(B, dtype=np.int64)
+        nshards = np.zeros(B, dtype=np.int64)
+        for sel, _, counts in self.chunks:
+            counts_pp[sel] += counts
+            nshards[sel] += counts > 0
+        offsets = np.zeros(B + 1, dtype=np.int64)
+        np.cumsum(counts_pp, out=offsets[1:])
+        out = np.empty(offsets[-1], dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for sel, vals, counts in self.chunks:
+            run0 = np.concatenate(([0], np.cumsum(counts[:-1])))
+            pos = (np.repeat(cursor[sel] - run0, counts)
+                   + np.arange(vals.size))
+            out[pos] = vals
+            cursor[sel] += counts
+        pieces = np.split(out, offsets[1:-1])
+        for i in np.flatnonzero(nshards > 1).tolist():
+            pieces[i].sort()   # views into ``out``: sorts in place
+        return pieces
+
+    def _complete(self, partial: bool) -> None:
+        with self.lock:
+            if self.failed or self.done:
+                return
+            self.done = True
+            dropped = self.remaining if partial else 0
+            completed = self.completed_jobs
+        if self.timer is not None:
+            self.timer.cancel()
+        values = self._merged_values()
+        if partial:
+            self.engine.stats.record_partial(len(self.probes), dropped)
+            for p, val in zip(self.probes, values):
+                _resolve(p.future,
+                         PartialResult(val, shards_dropped=dropped,
+                                       shards_completed=completed))
+        else:
+            self.engine.breakers.record_success(self.fingerprint)
+            for p, val in zip(self.probes, values):
+                _resolve(p.future, val)
         self.engine.stats.record_batch(self.name, len(self.probes),
                                        self.steps, self.primitives,
                                        time.monotonic() - self.started)

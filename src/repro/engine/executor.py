@@ -13,7 +13,11 @@ than a general-purpose executor:
   job's machine is handed to the job callable so the engine can fold
   its step counts into the per-batch statistics;
 * workers only ever *read* the shared indexes (all structures are
-  immutable once built), so no further synchronisation is needed.
+  immutable once built), so no further synchronisation is needed;
+* an optional :class:`~repro.resilience.FaultInjector` is consulted at
+  the ``executor.job`` site just before each job runs, so chaos tests
+  can make stragglers (latency) or crashed workers (errors) without
+  touching the job code.
 """
 
 from __future__ import annotations
@@ -23,27 +27,32 @@ import threading
 from concurrent.futures import Future
 from typing import Callable, Optional
 
+from ..errors import EngineError
 from ..machine import Machine, use_machine
 
 __all__ = ["RejectedError", "BoundedExecutor"]
 
 
-class RejectedError(RuntimeError):
-    """A request the engine refused to enqueue (backpressure or shutdown)."""
+class RejectedError(EngineError):
+    """A request the engine refused to enqueue (backpressure or shutdown).
 
-    def __init__(self, reason: str):
-        super().__init__(reason)
-        self.reason = reason
+    ``reason`` is the machine-readable code (``queue_full``,
+    ``shutdown``, ``closed``); the message stays human-readable.
+    """
+
+    reason = "rejected"
 
 
 class BoundedExecutor:
     """Fixed worker pool over a bounded queue; rejects when saturated."""
 
-    def __init__(self, workers: int = 4, queue_depth: int = 64):
+    def __init__(self, workers: int = 4, queue_depth: int = 64,
+                 injector=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        self._injector = injector
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
         self._shutdown = False
         self._lock = threading.Lock()
@@ -68,13 +77,15 @@ class BoundedExecutor:
         """
         with self._lock:
             if self._shutdown:
-                raise RejectedError("executor is shut down")
+                raise RejectedError("executor is shut down",
+                                    reason="shutdown")
         fut: Future = Future()
         try:
             self._queue.put_nowait((fn, fut))
         except queue.Full:
             raise RejectedError(
-                f"queue full ({self._queue.maxsize} jobs pending)") from None
+                f"queue full ({self._queue.maxsize} jobs pending)",
+                reason="queue_full") from None
         return fut
 
     def _worker(self) -> None:
@@ -88,6 +99,8 @@ class BoundedExecutor:
             machine = Machine()
             try:
                 with use_machine(machine):
+                    if self._injector is not None:
+                        self._injector.fire("executor.job")
                     result = fn(machine)
             except BaseException as exc:  # noqa: BLE001 - forwarded to caller
                 fut.set_exception(exc)

@@ -104,16 +104,21 @@ class IndexRegistry:
     store:
         Optional :class:`repro.store.IndexStore` used as the persistent
         second cache tier.
+    injector:
+        Optional :class:`repro.resilience.FaultInjector`; consulted at
+        the ``registry.get`` site on every lookup so chaos tests can
+        simulate failing builds and wedged loaders.
     """
 
     #: structure name -> builder(lines, domain, **params) -> tree
     BUILDERS: Dict[str, Callable] = {}
 
-    def __init__(self, capacity: int = 8, store=None):
+    def __init__(self, capacity: int = 8, store=None, injector=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.store = store
+        self.injector = injector
         self._lock = threading.RLock()
         self._datasets: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._domains: Dict[str, int] = {}
@@ -203,6 +208,11 @@ class IndexRegistry:
         if structure not in self.BUILDERS:
             raise ValueError(f"unknown structure {structure!r}; "
                              f"available: {sorted(self.BUILDERS)}")
+        if self.injector is not None:
+            # fires even on a cache hit: an injected error here models
+            # any failing index lookup, not just a failing build
+            self.injector.fire("registry.get", fingerprint=fingerprint,
+                               structure=structure)
         key = IndexKey.make(fingerprint, structure, **params)
         with self._lock:
             entry = self._cache.get(key)

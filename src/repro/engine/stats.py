@@ -68,6 +68,20 @@ class EngineStats:
         self.spills = 0
         self.corrupt_evictions = 0
         self.disk_evictions = 0
+        # -- resilience ---------------------------------------------------
+        self.retries: Dict[str, int] = {}        # site -> retry count
+        self.faults_injected: Dict[str, int] = {}  # site -> fired count
+        self.breaker_trips = 0
+        self.breaker_reopens = 0
+        self.breaker_half_opens = 0
+        self.breaker_closes = 0
+        self.breaker_fast_fails = 0
+        self.partial_batches = 0
+        self.partial_results = 0     # probes resolved partially
+        self.shards_dropped = 0      # shard jobs unreported at deadline
+        self.fallbacks = 0           # probes served by brute force
+        self.cancels = 0             # timed-out futures cancelled in time
+        self.cancel_failures = 0     # ... that had already started
         self.latency = LatencyReservoir(reservoir_size)
 
     # -- recording -------------------------------------------------------
@@ -88,6 +102,52 @@ class EngineStats:
     def record_failed(self, n: int = 1) -> None:
         with self._lock:
             self.failed += n
+
+    # -- resilience ------------------------------------------------------
+
+    def record_retry(self, site: str, n: int = 1) -> None:
+        """One backoff-and-retry at a named site (``store.load``, ...)."""
+        with self._lock:
+            self.retries[site] = self.retries.get(site, 0) + n
+
+    def record_fault(self, site: str, kind: str) -> None:
+        """One injected fault fired (the :class:`FaultInjector` observer)."""
+        with self._lock:
+            self.faults_injected[site] = self.faults_injected.get(site, 0) + 1
+
+    #: BreakerBoard listener event -> EngineStats counter attribute
+    _BREAKER_EVENTS = {"trip": "breaker_trips", "reopen": "breaker_reopens",
+                       "half_open": "breaker_half_opens",
+                       "close": "breaker_closes",
+                       "fast_fail": "breaker_fast_fails"}
+
+    def record_breaker_event(self, event: str, key: str = "") -> None:
+        """One circuit-breaker transition (the :class:`BreakerBoard` hook)."""
+        attr = self._BREAKER_EVENTS.get(event)
+        if attr is None:
+            return
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+    def record_partial(self, probes: int, dropped: int) -> None:
+        """One deadline-expired fan-out resolved with partial results."""
+        with self._lock:
+            self.partial_batches += 1
+            self.partial_results += probes
+            self.shards_dropped += dropped
+
+    def record_fallback(self, n: int = 1) -> None:
+        """Probes served by the engine-level brute-force fallback."""
+        with self._lock:
+            self.fallbacks += n
+
+    def record_cancel(self, succeeded: bool, n: int = 1) -> None:
+        """A timed-out future we tried to cancel (freeing its slot)."""
+        with self._lock:
+            if succeeded:
+                self.cancels += n
+            else:
+                self.cancel_failures += n
 
     def record_batch(self, index_name: str, size: int, steps: float,
                      primitives: int, latency_s: Optional[float] = None) -> None:
@@ -122,6 +182,9 @@ class EngineStats:
 
     def record_store_event(self, event: str, n: int = 1) -> None:
         """One persistent-store event (the :class:`IndexStore` observer)."""
+        if event == "load_retry":
+            self.record_retry("store.load", n)
+            return
         attr = self._STORE_EVENTS.get(event)
         if attr is None:
             return
@@ -152,6 +215,20 @@ class EngineStats:
                 "spills": self.spills,
                 "corrupt_evictions": self.corrupt_evictions,
                 "disk_evictions": self.disk_evictions,
+                "retries": dict(self.retries),
+                "retries_total": int(sum(self.retries.values())),
+                "faults_injected": dict(self.faults_injected),
+                "breaker_trips": self.breaker_trips,
+                "breaker_reopens": self.breaker_reopens,
+                "breaker_half_opens": self.breaker_half_opens,
+                "breaker_closes": self.breaker_closes,
+                "breaker_fast_fails": self.breaker_fast_fails,
+                "partial_batches": self.partial_batches,
+                "partial_results": self.partial_results,
+                "shards_dropped": self.shards_dropped,
+                "fallbacks": self.fallbacks,
+                "cancels": self.cancels,
+                "cancel_failures": self.cancel_failures,
                 "shard_batches": self.shard_batches,
                 "shards_probed": self.shards_probed,
                 "shards_skipped": self.shards_skipped,

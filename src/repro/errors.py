@@ -1,0 +1,43 @@
+"""The common error vocabulary of the serving stack.
+
+:class:`EngineError` is the base every *intentional* serving-layer
+failure derives from -- backpressure rejections, tripped circuit
+breakers, injected chaos faults.  It carries a machine-readable
+``reason`` code next to the human-readable message so callers (and the
+stats layer, which keys rejection counters by reason) can branch
+without parsing strings::
+
+    try:
+        engine.window(fp, rect)
+    except EngineError as exc:
+        if exc.reason == "circuit_open":
+            ...
+
+The module lives at the package root, with no imports of its own, so
+both :mod:`repro.engine` and :mod:`repro.resilience` can share the base
+class without a circular import; :mod:`repro.engine` re-exports every
+subclass for callers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Base of every deliberate serving-stack failure.
+
+    ``reason`` is a short machine-readable code (``queue_full``,
+    ``shutdown``, ``closed``, ``circuit_open``, ``injected_fault``,
+    ...); the positional message stays free-form for humans.
+    """
+
+    #: default code; subclasses override, constructors may refine
+    reason: str = "engine_error"
+
+    def __init__(self, message: str, reason: Optional[str] = None):
+        super().__init__(message)
+        if reason is not None:
+            self.reason = reason

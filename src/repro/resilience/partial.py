@@ -1,0 +1,31 @@
+"""Partial results: what a deadline-expired fan-out still knows.
+
+When a sharded query's deadline passes with some shards unreported,
+the engine resolves the probe with a :class:`PartialResult` wrapping
+the merge of the shards that *did* report, instead of raising a
+``TimeoutError`` -- graceful degradation over hard failure.  Callers
+distinguish the two shapes with ``isinstance`` (the fault-free path
+keeps returning bare arrays/tuples, preserving the bit-identical
+invariant against the scalar queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PartialResult"]
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """A best-effort answer from an incomplete shard fan-out.
+
+    ``value`` carries the kind's normal result shape -- a global-id
+    array for window/point probes, a ``(line id, distance)`` tuple for
+    nearest (``(-1, inf)`` when no shard reported at all).
+    """
+
+    value: object
+    shards_dropped: int
+    shards_completed: int
+    partial: bool = True

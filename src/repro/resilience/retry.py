@@ -1,0 +1,80 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+One small policy object shared by every retrying site in the serving
+stack: store loads (a transient read error heals, a torn file goes to
+quarantine after the budget) and executor submissions (a momentarily
+full queue drains within a backoff or two).  Budgets are **per site**
+-- each site holds its own :class:`RetryPolicy`, so a patient store
+cannot starve the latency-sensitive dispatch path.
+
+Jitter is driven by a caller-supplied ``random.Random`` so tests and
+chaos runs replay identically; with no RNG the delays are the bare
+exponential schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule: ``attempts`` tries in total.
+
+    The delay before retry ``k`` (0-based) is
+    ``min(base_delay * multiplier**k, max_delay)``, scaled by a
+    symmetric jitter factor in ``[1 - jitter, 1 + jitter]``.
+    ``attempts=1`` disables retrying without special-casing callers.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.002
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """Backoff before the retry following failed try ``attempt``."""
+        d = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if rng is not None and self.jitter:
+            d *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(d, 0.0)
+
+
+def retry_call(fn: Callable[[], object], policy: RetryPolicy,
+               retryable: Tuple[Type[BaseException], ...] = (Exception,),
+               rng: Optional[random.Random] = None,
+               on_retry: Optional[Callable[[int, BaseException], None]] = None,
+               sleep: Callable[[float], None] = time.sleep):
+    """Call ``fn`` under ``policy``; re-raise once the budget is spent.
+
+    ``on_retry(attempt, exc)`` runs before each backoff -- the stats
+    hook.  Only ``retryable`` exceptions are retried; anything else
+    propagates immediately.
+    """
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt + 1 >= policy.attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt, rng))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -26,12 +26,20 @@ Durability and integrity:
   evictor drops the least-recently-*used* entries (mtime, refreshed on
   every hit) until the total fits.  :meth:`gc` runs it on demand.
 
+Resilience: with a :class:`~repro.resilience.RetryPolicy` attached,
+:meth:`IndexStore.get` retries a failing load (backoff with seeded
+jitter) before quarantining -- a transient read error heals, a torn
+file still ends up in ``quarantine/`` and the registry rebuilds.  An
+optional :class:`~repro.resilience.FaultInjector` is consulted at the
+``store.load`` site inside the retry loop, so injected corruption
+exercises the very same retry -> quarantine -> rebuild path.
+
 All methods are thread-safe under one lock; the store never holds the
 registry's lock, so disk I/O cannot deadlock the serving path.  An
 optional ``observer`` callback receives one event name per counter
 increment (``disk_hit``, ``disk_miss``, ``spill``,
-``corrupt_eviction``, ``disk_eviction``) -- the engine points it at
-:meth:`EngineStats.record_store_event`.
+``corrupt_eviction``, ``disk_eviction``, ``load_retry``) -- the engine
+points it at :meth:`EngineStats.record_store_event`.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import tempfile
 import threading
 import time
@@ -91,12 +100,16 @@ class IndexStore:
     QUARANTINE = "quarantine"
 
     def __init__(self, cache_dir, budget_bytes: Optional[int] = None,
-                 observer: Optional[Callable[[str], None]] = None):
+                 observer: Optional[Callable[[str], None]] = None,
+                 retry=None, injector=None):
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
         self.cache_dir = os.fspath(cache_dir)
         self.budget_bytes = budget_bytes
         self._observer = observer
+        self.retry = retry            # Optional[resilience.RetryPolicy]
+        self._injector = injector     # Optional[resilience.FaultInjector]
+        self._retry_rng = random.Random(0x5EED)
         self._lock = threading.RLock()
         os.makedirs(self.cache_dir, exist_ok=True)
         self.disk_hits = 0
@@ -104,6 +117,7 @@ class IndexStore:
         self.spills = 0
         self.corrupt_evictions = 0
         self.disk_evictions = 0
+        self.load_retries = 0
 
     # -- paths -----------------------------------------------------------
 
@@ -158,11 +172,13 @@ class IndexStore:
         """Load one entry; ``None`` on miss or after quarantining.
 
         Returns ``(tree, manifest)`` on success and refreshes the
-        entry's mtime so the LRU evictor sees the use.  A file that
-        fails to load -- truncated zip, checksum mismatch, unknown
-        kind -- is moved to ``quarantine/`` and reported as a miss, so
-        the caller falls back to a rebuild instead of crashing or
-        serving bad data.
+        entry's mtime so the LRU evictor sees the use.  A failing load
+        -- truncated zip, checksum mismatch, unknown kind, transient
+        read error -- is retried under the attached
+        :class:`~repro.resilience.RetryPolicy` (one bare attempt with
+        none); once the budget is spent the file is moved to
+        ``quarantine/`` and reported as a miss, so the caller falls
+        back to a rebuild instead of crashing or serving bad data.
         """
         key_id = store_key_id(key)
         path = os.path.join(self.cache_dir, key_id + ".npz")
@@ -171,9 +187,8 @@ class IndexStore:
                 self.disk_misses += 1
                 event = "disk_miss"
             else:
-                try:
-                    tree = load_structure(path, verify=True)
-                except Exception:
+                tree = self._load_with_retry(path, key_id)
+                if tree is None:
                     self._quarantine_locked(key_id)
                     self.corrupt_evictions += 1
                     event = "corrupt_eviction"
@@ -184,6 +199,28 @@ class IndexStore:
                     self._notify("disk_hit")
                     return tree, manifest
         self._notify(event)
+        return None
+
+    def _load_with_retry(self, path: str, key_id: str):
+        """Verified load under the retry budget; ``None`` when spent.
+
+        The backoff naps hold the store lock -- delays are a few
+        milliseconds against disk I/O already serialized by the same
+        lock, so contention cannot invert: a competing reader would
+        block on the I/O either way.
+        """
+        attempts = self.retry.attempts if self.retry is not None else 1
+        for attempt in range(attempts):
+            try:
+                if self._injector is not None:
+                    self._injector.fire("store.load", key_id=key_id)
+                return load_structure(path, verify=True)
+            except Exception:
+                if attempt + 1 >= attempts:
+                    return None
+                self.load_retries += 1
+                self._notify("load_retry")
+                time.sleep(self.retry.delay(attempt, self._retry_rng))
         return None
 
     # -- deletion / eviction ---------------------------------------------
@@ -292,6 +329,7 @@ class IndexStore:
                 "spills": self.spills,
                 "corrupt_evictions": self.corrupt_evictions,
                 "disk_evictions": self.disk_evictions,
+                "load_retries": self.load_retries,
             }
 
     # -- internals -------------------------------------------------------

@@ -33,6 +33,7 @@ Query semantics (the invariants the differential harness checks):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -41,6 +42,7 @@ import numpy as np
 from ..geometry.distance import points_rects_distance, points_rects_max_distance
 from ..geometry.rect import overlaps, validate_rects
 from ..machine import Machine
+from ..resilience import PartialResult
 from ..machine.ordering import hilbert_encode, morton_encode
 from .batch import (
     batch_nearest_quadtree,
@@ -126,22 +128,49 @@ class ShardedIndex:
 
     # -- scalar queries --------------------------------------------------
 
-    def window_query(self, rect, exact: bool = True) -> np.ndarray:
+    def window_query(self, rect, exact: bool = True,
+                     deadline: Optional[float] = None) -> np.ndarray:
         """Global ids of lines intersecting the closed rectangle.
 
         Fans out to shards whose MBR overlaps the window and merges the
         per-shard hits.  With ``exact`` the answer is set-identical to
         the unsharded tree and to brute force; without it each shard
         contributes its own candidate set (decomposition-dependent).
+
+        With a ``deadline`` (relative seconds) the fan-out degrades
+        gracefully: when the budget runs out with overlapping shards
+        still unqueried, the merge of the shards visited so far comes
+        back wrapped in a :class:`~repro.resilience.PartialResult`
+        (``shards_dropped`` counts the rest) instead of raising.  The
+        engine's sharded dispatch applies the same semantics to
+        batched fan-outs.
         """
         rect = validate_rects(np.asarray(rect, dtype=float).reshape(1, 4))[0]
+        expires = (time.monotonic() + deadline
+                   if deadline is not None else None)
+        hit = [s for s in self.shards
+               if overlaps(s.mbr[None, :], rect[None, :])[0]]
         parts: List[np.ndarray] = []
-        for s in self.shards:
-            if not overlaps(s.mbr[None, :], rect[None, :])[0]:
-                continue
+        completed = 0
+        for i, s in enumerate(hit):
+            if expires is not None and time.monotonic() >= expires and i:
+                # budget spent: merge what we have, report the rest
+                return PartialResult(
+                    self._merge_parts(parts),
+                    shards_dropped=len(hit) - completed,
+                    shards_completed=completed)
             local = s.tree.window_query(rect, exact=exact)
             if local.size:
                 parts.append(s.ids[local])
+            completed += 1
+        value = self._merge_parts(parts)
+        if expires is not None and completed < len(hit):  # pragma: no cover
+            return PartialResult(value, shards_dropped=len(hit) - completed,
+                                 shards_completed=completed)
+        return value
+
+    @staticmethod
+    def _merge_parts(parts: List[np.ndarray]) -> np.ndarray:
         if not parts:
             return np.zeros(0, dtype=np.int64)
         return np.unique(np.concatenate(parts))

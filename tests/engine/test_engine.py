@@ -197,9 +197,12 @@ class TestRejectionPaths:
                 if exc is not None:
                     rejected = exc
             assert isinstance(rejected, RejectedError)
-            assert "queue full" in rejected.reason
+            assert rejected.reason == "queue_full"
+            assert "queue full" in str(rejected)
             snap = eng.snapshot()
             assert snap["rejected_total"] == 1
+            # the transient rejection was retried with backoff first
+            assert snap["retries"].get("executor.submit", 0) >= 1
         finally:
             release.set()
             eng.close()

@@ -1,0 +1,139 @@
+"""Circuit breaker state machine, driven by a fake clock (no sleeps)."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.resilience import (CLOSED, HALF_OPEN, OPEN, BreakerBoard,
+                              CircuitBreaker, CircuitOpenError)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_only(self):
+        clock = Clock()
+        b = CircuitBreaker(failure_threshold=3, reset_timeout=10, clock=clock)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()          # breaks the streak
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()          # third in a row
+        assert b.state == OPEN
+        assert b.trips == 1
+        assert not b.allow()
+
+    def test_half_open_admits_probes_then_closes_on_success(self):
+        clock = Clock()
+        events = []
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=5,
+                           half_open_probes=1, clock=clock,
+                           listener=events.append)
+        b.record_failure()
+        assert b.state == OPEN
+        clock.now = 5.0
+        assert b.state == HALF_OPEN
+        assert b.allow()            # the probe token
+        assert not b.allow()        # everyone else still fails fast
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+        assert events == ["trip", "half_open", "close"]
+
+    def test_failed_probe_reopens_and_restarts_clock(self):
+        clock = Clock()
+        events = []
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=5, clock=clock,
+                           listener=events.append)
+        b.record_failure()
+        clock.now = 5.0
+        assert b.allow()
+        b.record_failure()          # probe failed
+        assert b.state == OPEN
+        assert not b.allow()
+        clock.now = 9.0             # clock restarted at t=5
+        assert b.state == OPEN
+        clock.now = 10.0
+        assert b.state == HALF_OPEN
+        assert events == ["trip", "half_open", "reopen"]
+
+    def test_retry_after_counts_down(self):
+        clock = Clock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=8, clock=clock)
+        assert b.retry_after() == 0.0
+        b.record_failure()
+        assert b.retry_after() == pytest.approx(8.0)
+        clock.now = 3.0
+        assert b.retry_after() == pytest.approx(5.0)
+        clock.now = 20.0
+        assert b.retry_after() == 0.0
+
+    def test_snapshot_reports_live_state(self):
+        clock = Clock()
+        b = CircuitBreaker(failure_threshold=2, reset_timeout=4, clock=clock)
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 1
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["trips"] == 1
+        assert snap["retry_after"] == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self):
+        clock = Clock()
+        board = BreakerBoard(failure_threshold=1, reset_timeout=5,
+                             clock=clock)
+        board.record_failure("a")
+        assert board.state("a") == OPEN
+        assert board.state("b") == CLOSED
+        assert not board.allow("a")
+        assert board.allow("b")
+
+    def test_listener_receives_event_and_key(self):
+        clock = Clock()
+        events = []
+        board = BreakerBoard(failure_threshold=1, reset_timeout=5,
+                             clock=clock,
+                             listener=lambda e, k: events.append((e, k)))
+        board.record_failure("fp1")
+        clock.now = 5.0
+        board.allow("fp1")
+        board.record_success("fp1")
+        assert events == [("trip", "fp1"), ("half_open", "fp1"),
+                          ("close", "fp1")]
+
+    def test_snapshot_maps_keys_to_states(self):
+        board = BreakerBoard(failure_threshold=1, reset_timeout=60)
+        board.record_failure("down")
+        board.record_success("up")
+        snap = board.snapshot()
+        assert snap["down"]["state"] == OPEN
+        assert snap["up"]["state"] == CLOSED
+
+
+class TestCircuitOpenError:
+    def test_carries_key_and_retry_after(self):
+        exc = CircuitOpenError("circuit open", key="fp", retry_after=2.5)
+        assert exc.reason == "circuit_open"
+        assert exc.key == "fp"
+        assert exc.retry_after == 2.5
+        assert isinstance(exc, EngineError)

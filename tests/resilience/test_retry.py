@@ -1,0 +1,86 @@
+"""Retry policy unit semantics: schedule shape, budgets, jitter."""
+
+import random
+
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.resilience.retry import retry_call
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize("kw", [dict(attempts=0), dict(base_delay=-1),
+                                    dict(max_delay=-1), dict(multiplier=0.5),
+                                    dict(jitter=1.5)])
+    def test_rejects_bad_config(self, kw):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kw)
+
+    def test_delays_grow_exponentially_and_cap(self):
+        p = RetryPolicy(attempts=6, base_delay=0.01, multiplier=2.0,
+                        max_delay=0.05, jitter=0.0)
+        bare = [p.delay(k) for k in range(5)]
+        assert bare == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_stays_within_band_and_is_seeded(self):
+        p = RetryPolicy(attempts=3, base_delay=0.01, multiplier=1.0,
+                        max_delay=0.01, jitter=0.5)
+        a = [p.delay(0, random.Random(5)) for _ in range(16)]
+        b = [p.delay(0, random.Random(5)) for _ in range(16)]
+        assert a == b                              # replayable
+        for d in a:
+            assert 0.005 <= d <= 0.015             # 1 +/- jitter band
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        naps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        retried = []
+        out = retry_call(flaky, RetryPolicy(attempts=3, jitter=0.0),
+                         retryable=(OSError,),
+                         on_retry=lambda k, exc: retried.append(k),
+                         sleep=naps.append)
+        assert out == "ok"
+        assert calls["n"] == 3
+        assert retried == [0, 1]
+        assert len(naps) == 2 and naps[1] > naps[0]
+
+    def test_reraises_once_budget_is_spent(self):
+        def always():
+            raise OSError("still down")
+
+        with pytest.raises(OSError):
+            retry_call(always, RetryPolicy(attempts=3, base_delay=0.0),
+                       retryable=(OSError,), sleep=lambda s: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_type():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_call(wrong_type, RetryPolicy(attempts=5),
+                       retryable=(OSError,), sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_single_attempt_means_no_retry(self):
+        calls = {"n": 0}
+
+        def once():
+            calls["n"] += 1
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            retry_call(once, RetryPolicy(attempts=1), retryable=(OSError,),
+                       sleep=lambda s: None)
+        assert calls["n"] == 1
