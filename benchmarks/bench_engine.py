@@ -39,6 +39,15 @@ a degraded-mode run -- 10% corrupted store loads on warm start plus a
 permanently stalled shard under per-probe deadlines -- reporting the
 partial-result throughput and the retry/quarantine counters.  Rows
 land in ``BENCH_resilience.json`` (``--resilience-json``).
+
+A fifth section sweeps the executor backends
+(``EngineConfig(executor=...)``): thread vs. process pools at several
+worker counts over a sharded index, recording steady-state window and
+nearest throughput, cold-start vs. warm-start (store-backed) seconds,
+and the process backend's IPC accounting.  Rows land in
+``BENCH_parallel.json`` (``--parallel-json``) together with
+``cpu_count``, because the process-vs-thread ratio only means
+something relative to the cores available.
 """
 
 from __future__ import annotations
@@ -358,6 +367,100 @@ def bench_degraded(structure: str, lines: np.ndarray, domain: int,
     }
 
 
+def bench_parallel(structure: str, lines: np.ndarray, domain: int,
+                   rects: np.ndarray, points: np.ndarray, repeats: int,
+                   worker_counts, shards: int, ordering: str) -> list:
+    """Thread vs. process executor over a sharded index, per worker count.
+
+    Each row is one (backend, workers) cell: cold-start seconds
+    (engine construction through the first resolved batch -- under the
+    process backend that includes shipping the dataset snapshot and
+    every worker's rebuild), warm-start seconds (same, against a
+    pre-seeded store so workers take the disk path), and best-of-N
+    steady-state throughput for window and nearest batches.  Process
+    rows carry the IPC accounting (bytes, datasets shipped, restarts,
+    warm/cold materialisations) from ``engine.health()``.
+
+    The process backend can only beat the thread backend when there are
+    cores to fan out to: on a single-CPU host expect <= 1x (the IPC tax
+    with no parallel speedup to pay for it).  The caller records
+    ``os.cpu_count()`` next to the rows so the ratio reads honestly.
+    """
+    def make(backend, workers, cache_dir=None):
+        return SpatialQueryEngine(structure=structure, shards=shards,
+                                  ordering=ordering, executor=backend,
+                                  workers=workers,
+                                  max_batch=rects.shape[0] + 1,
+                                  max_wait=0.5,
+                                  queue_depth=max(64, 4 * shards * workers),
+                                  cache_dir=cache_dir)
+
+    def serve(engine, fp, submit, payloads):
+        futures = [submit(engine)(fp, v) for v in payloads]
+        t0 = time.perf_counter()
+        engine.flush()
+        for f in futures:
+            f.result(timeout=300)
+        return time.perf_counter() - t0
+
+    win = (lambda e: e.submit_window, rects)
+    near = (lambda e: e.submit_nearest, points)
+
+    rows = []
+    for backend in ("thread", "process"):
+        for workers in worker_counts:
+            row = {"backend": backend, "workers": workers,
+                   "structure": structure, "shards": shards,
+                   "ordering": ordering, "segments": int(lines.shape[0]),
+                   "probes_per_kind": int(rects.shape[0])}
+            # cold start: no store anywhere, process workers rebuild
+            # from the shipped snapshot
+            t0 = time.perf_counter()
+            with make(backend, workers) as engine:
+                fp = engine.register(lines, domain=domain)
+                engine.warm(fp)
+                serve(engine, fp, *win)
+                row["cold_start_s"] = round(time.perf_counter() - t0, 3)
+                best = {"window": float("inf"), "nearest": float("inf")}
+                for _ in range(max(repeats, 5)):
+                    best["window"] = min(best["window"],
+                                         serve(engine, fp, *win))
+                    best["nearest"] = min(best["nearest"],
+                                          serve(engine, fp, *near))
+                row["window_qps"] = round(rects.shape[0] / best["window"], 1)
+                row["nearest_qps"] = round(points.shape[0] / best["nearest"], 1)
+                health = engine.health()["executor"]
+            if backend == "process":
+                row.update({
+                    "start_method": health["start_method"],
+                    "datasets_shipped": health["datasets_shipped"],
+                    "ipc_bytes_sent": health["ipc_bytes_sent"],
+                    "ipc_bytes_received": health["ipc_bytes_received"],
+                    "worker_restarts": health["restarts"],
+                    "worker_warm_loads": health["worker_warm_loads"],
+                    "worker_cold_builds": health["worker_cold_builds"],
+                })
+            # warm start: a prior run's store is on disk, so register +
+            # warm + first batch all take the load path (in the parent
+            # for thread, in every worker for process)
+            with tempfile.TemporaryDirectory(prefix="bench-par-") as cd:
+                with make(backend, workers, cache_dir=cd) as engine:
+                    engine.warm(engine.register(lines, domain=domain))
+                t0 = time.perf_counter()
+                with make(backend, workers, cache_dir=cd) as engine:
+                    fp = engine.register(lines, domain=domain)
+                    engine.warm(fp)
+                    serve(engine, fp, *win)
+                    row["warm_start_s"] = round(time.perf_counter() - t0, 3)
+                    if backend == "process":
+                        h = engine.health()["executor"]
+                        row["warm_start_worker_loads"] = h["worker_warm_loads"]
+                        row["warm_start_datasets_shipped"] = \
+                            h["datasets_shipped"]
+            rows.append(row)
+    return rows
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--n", type=int, default=2000, help="segment count")
@@ -391,6 +494,13 @@ def main(argv=None) -> int:
                     help="probes per run in the resilience section")
     ap.add_argument("--resilience-json", default="BENCH_resilience.json",
                     help="where to write the resilience section's rows")
+    ap.add_argument("--skip-parallel", action="store_true")
+    ap.add_argument("--parallel-workers", type=int, nargs="+", default=[1, 4],
+                    help="worker counts for the thread-vs-process sweep")
+    ap.add_argument("--parallel-shards", type=int, default=8,
+                    help="shard count of the parallel sweep's index")
+    ap.add_argument("--parallel-json", default="BENCH_parallel.json",
+                    help="where to write the parallel section's rows")
     ap.add_argument("--pretty", action="store_true")
     args = ap.parse_args(argv)
 
@@ -486,6 +596,45 @@ def main(argv=None) -> int:
                        "results": report["resilience"]}, fh, indent=2)
             fh.write("\n")
         print(f"# resilience rows -> {args.resilience_json}", file=sys.stderr)
+    if not args.skip_parallel:
+        structure = args.structures[0]
+        big = random_segments(args.sharded_n, domain=args.domain,
+                              max_len=max(args.domain // 42, 2),
+                              seed=args.seed + 3)
+        rects = make_windows(args.sharded_probes, args.domain, args.seed + 31)
+        rng = np.random.default_rng(args.seed + 37)
+        pts = rng.uniform(0, args.domain, (args.sharded_probes, 2))
+        rows = bench_parallel(structure, big, args.domain, rects, pts,
+                              args.repeats, args.parallel_workers,
+                              args.parallel_shards, args.ordering)
+        report["parallel"] = rows
+        for row in rows:
+            print(f"# {structure} {row['backend']} x{row['workers']}: "
+                  f"window {row['window_qps']:,} q/s, nearest "
+                  f"{row['nearest_qps']:,} q/s, cold {row['cold_start_s']}s, "
+                  f"warm {row['warm_start_s']}s", file=sys.stderr)
+        by = {(r["backend"], r["workers"]): r for r in rows}
+        w_hi = max(args.parallel_workers)
+        speedup = None
+        if ("process", w_hi) in by and ("thread", w_hi) in by:
+            speedup = round(by[("process", w_hi)]["window_qps"]
+                            / by[("thread", w_hi)]["window_qps"], 2)
+            print(f"# process x{w_hi} vs thread x{w_hi} (window): "
+                  f"{speedup}x on {os.cpu_count()} cpu(s)", file=sys.stderr)
+        with open(args.parallel_json, "w") as fh:
+            json.dump({"benchmark": "thread_vs_process_executor",
+                       "cpu_count": os.cpu_count(),
+                       "note": "process-vs-thread speedup scales with "
+                               "available cores; on a single-CPU host the "
+                               "process backend pays the IPC tax with no "
+                               "parallelism to buy, so expect <= 1x there "
+                               "and >= 2x only with >= 4 cores",
+                       "map": dict(report["map"], segments=args.sharded_n),
+                       "repeats": args.repeats,
+                       "process_vs_thread_window": speedup,
+                       "results": rows}, fh, indent=2)
+            fh.write("\n")
+        print(f"# parallel rows -> {args.parallel_json}", file=sys.stderr)
     json.dump(report, sys.stdout, indent=2 if args.pretty else None)
     print()
     return 0

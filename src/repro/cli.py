@@ -17,6 +17,9 @@ Six subcommands cover the everyday entry points:
     the serving statistics (throughput, batching, cache, latency).
     ``--cache-dir`` attaches the persistent index store so evicted
     indexes spill to disk and later runs warm-start from it.
+    ``--backend process`` swaps the thread pool for a process pool:
+    shared-nothing workers sidestep the GIL for true multi-core
+    fan-out (also on ``build`` and ``chaos``).
 ``store``
     Inspect and manage a persistent index store directory
     (:mod:`repro.store`): ``ls`` the entries, ``gc`` down to a byte
@@ -77,10 +80,18 @@ def _make_map(name: str, n: int, domain: int, seed: int) -> np.ndarray:
     raise ValueError(f"unknown map family {name!r}")
 
 
-def _cmd_build(args: argparse.Namespace) -> int:
+def _build_report(args: argparse.Namespace) -> str:
+    """Run one build and return the report text.
+
+    A module-level function of a picklable namespace so ``--backend
+    process`` can ship it to a worker process whole: the build (the
+    CPU-bound part) runs off the GIL and only the formatted text comes
+    back over the pipe.
+    """
     domain = 8 if args.map == "paper" else args.domain
     lines = _make_map(args.map, args.n, domain, args.seed)
     m = Machine(cost_model=args.cost_model, processors=args.processors)
+    out: List[str] = []
     with use_machine(m):
         if args.shards > 1:
             if args.structure == "kdtree":
@@ -97,17 +108,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
                     ["ordering", sharded.ordering],
                     ["min shard", int(sizes.min())],
                     ["max shard", int(sizes.max())]]
-            print(format_table(["metric", "value"],
-                               [["map", args.map],
-                                ["segments", seg_in.shape[0]],
-                                ["structure", args.structure]] + rows,
-                               title="sharded build"))
-            print()
-            print(format_table(["primitive", "count"],
-                               sorted(m.counts.items()),
-                               title=f"machine ({m.cost_model.name}, "
-                                     f"p={m.processors}): {m.steps:g} steps"))
-            return 0
+            out.append(format_table(["metric", "value"],
+                                    [["map", args.map],
+                                     ["segments", seg_in.shape[0]],
+                                     ["structure", args.structure]] + rows,
+                                    title="sharded build"))
+            out.append("")
+            out.append(format_table(["primitive", "count"],
+                                    sorted(m.counts.items()),
+                                    title=f"machine ({m.cost_model.name}, "
+                                          f"p={m.processors}): "
+                                          f"{m.steps:g} steps"))
+            return "\n".join(out)
         if args.structure == "pmr":
             tree, trace = build_bucket_pmr(lines, domain, args.capacity)
             stats = quadtree_stats(tree)
@@ -132,18 +144,35 @@ def _cmd_build(args: argparse.Namespace) -> int:
             tree, trace = build_kdtree(midpoints(lines), leaf_size=args.capacity)
             rows = [["nodes", tree.num_nodes], ["height", tree.height]]
 
-    print(format_table(["metric", "value"],
-                       [["map", args.map], ["segments", lines.shape[0]],
-                        ["rounds", trace.num_rounds]] + rows,
-                       title=f"{args.structure} build"))
-    print()
-    print(format_table(["primitive", "count"],
-                       sorted(m.counts.items()),
-                       title=f"machine ({m.cost_model.name}, p={m.processors}): "
-                             f"{m.steps:g} steps"))
+    out.append(format_table(["metric", "value"],
+                            [["map", args.map], ["segments", lines.shape[0]],
+                             ["rounds", trace.num_rounds]] + rows,
+                            title=f"{args.structure} build"))
+    out.append("")
+    out.append(format_table(["primitive", "count"],
+                            sorted(m.counts.items()),
+                            title=f"machine ({m.cost_model.name}, "
+                                  f"p={m.processors}): {m.steps:g} steps"))
     if args.render and args.structure in ("pmr", "pm1"):
-        print()
-        print(tree.render())
+        out.append("")
+        out.append(tree.render())
+    return "\n".join(out)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if getattr(args, "backend", "thread") == "process":
+        import concurrent.futures as _cf
+        import multiprocessing as _mp
+
+        # same pick as ProcessBackend: forkserver where available,
+        # spawn otherwise, never fork
+        methods = _mp.get_all_start_methods()
+        ctx = _mp.get_context("forkserver" if "forkserver" in methods
+                              else "spawn")
+        with _cf.ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            print(pool.submit(_build_report, args).result())
+    else:
+        print(_build_report(args))
     return 0
 
 
@@ -216,6 +245,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 max_wait=args.max_wait,
                                 workers=args.workers,
                                 queue_depth=args.queue_depth,
+                                executor=args.backend,
                                 shards=args.shards,
                                 ordering=args.ordering,
                                 cache_dir=args.cache_dir,
@@ -302,6 +332,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  for k, v in sorted(per.items())],
                 title="per-index batches"))
         health = engine.health()
+        ex = health["executor"]
+        if ex["backend"] == "process":
+            print()
+            print(format_table(
+                ["metric", "value"],
+                [["backend", ex["backend"]],
+                 ["workers", ex["workers"]],
+                 ["start method", ex["start_method"]],
+                 ["worker restarts", ex["restarts"]],
+                 ["datasets shipped", ex["datasets_shipped"]],
+                 ["ipc sent", _fmt_bytes(ex["ipc_bytes_sent"])],
+                 ["ipc received", _fmt_bytes(ex["ipc_bytes_received"])],
+                 ["warm loads", ex["worker_warm_loads"]],
+                 ["cold builds", ex["worker_cold_builds"]]],
+                title="process executor"))
         print()
         print(format_table(
             ["metric", "value"],
@@ -337,6 +382,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                                 workers=args.workers,
                                 max_batch=args.max_batch,
                                 max_wait=0.001,
+                                executor=args.backend,
                                 breaker_threshold=args.breaker_threshold,
                                 breaker_reset=args.breaker_reset,
                                 brute_fallback=args.brute_fallback,
@@ -401,7 +447,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
          ["retries", sum(health["retries"].values())],
          ["partial results", health["partial_results"]],
          ["shards dropped", health["shards_dropped"]],
-         ["brute-force fallbacks", health["fallbacks"]]],
+         ["brute-force fallbacks", health["fallbacks"]]]
+        + ([["backend", "process"],
+            ["worker restarts", health["executor"]["restarts"]]]
+           if health["executor"]["backend"] == "process" else []),
         title="engine health after recovery"))
     faults = snap["faults_injected"]
     if faults:
@@ -524,6 +573,9 @@ def _parser() -> argparse.ArgumentParser:
     b.add_argument("--processors", type=int, default=32)
     b.add_argument("--render", action="store_true",
                    help="print the leaf decomposition (quadtrees)")
+    b.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="process: run the build in a worker process")
     b.set_defaults(fn=_cmd_build)
 
     f = sub.add_parser("figures", help="replay the paper's worked examples")
@@ -554,7 +606,11 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--clients", type=int, default=4,
                    help="concurrent client threads")
     s.add_argument("--workers", type=int, default=4,
-                   help="engine worker threads")
+                   help="engine workers (threads or processes)")
+    s.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="executor backend: thread (in-process) or "
+                        "process (multi-core fan-out)")
     s.add_argument("--max-batch", type=int, default=256,
                    help="coalescing count trigger")
     s.add_argument("--max-wait", type=float, default=0.002,
@@ -575,7 +631,7 @@ def _parser() -> argparse.ArgumentParser:
                        help="drive the engine under an injected fault plan")
     c.add_argument("--plan", default="examples",
                    help="built-in plan name (examples, stall, buildfail, "
-                        "corrupt, none) or a JSON plan file")
+                        "corrupt, workercrash, none) or a JSON plan file")
     c.add_argument("--map", choices=MAPS, default="uniform")
     c.add_argument("--n", type=int, default=1500, help="segment count")
     c.add_argument("--domain", type=int, default=1024)
@@ -584,6 +640,10 @@ def _parser() -> argparse.ArgumentParser:
     c.add_argument("--shards", type=int, default=4,
                    help="shards per index (stall faults need >1)")
     c.add_argument("--workers", type=int, default=4)
+    c.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="executor backend (crash faults kill real "
+                        "workers under process)")
     c.add_argument("--max-batch", type=int, default=8)
     c.add_argument("--probes", type=int, default=48,
                    help="probes in the chaos wave")

@@ -10,12 +10,15 @@ queries with repro.engine" for a tour.
 from ..errors import EngineError
 from ..resilience import (CircuitBreaker, CircuitOpenError, FaultInjector,
                           FaultPlan, FaultSpec, InjectedCorruption,
-                          InjectedFault, PartialResult, RetryPolicy)
+                          InjectedFault, InjectedWorkerCrash, PartialResult,
+                          RetryPolicy)
 from .coalescer import Coalescer, Probe
 from .engine import EngineConfig, SpatialQueryEngine
-from .executor import BoundedExecutor, RejectedError
+from .executor import (BoundedExecutor, ExecutorBackend, JobTimeoutError,
+                       ProcessBackend, RejectedError, WorkerCrashError)
 from .registry import BuiltIndex, IndexKey, IndexRegistry, dataset_fingerprint
 from .stats import EngineStats, LatencyReservoir
+from .worker import IndexRef, JobSpec, NeedDataset, WorkerResult
 
 __all__ = [
     "SpatialQueryEngine",
@@ -27,8 +30,17 @@ __all__ = [
     "Coalescer",
     "Probe",
     "BoundedExecutor",
+    "ProcessBackend",
+    "ExecutorBackend",
+    "IndexRef",
+    "JobSpec",
+    "WorkerResult",
+    "NeedDataset",
     "EngineError",
     "RejectedError",
+    "WorkerCrashError",
+    "JobTimeoutError",
+    "InjectedWorkerCrash",
     "CircuitBreaker",
     "CircuitOpenError",
     "FaultInjector",

@@ -54,26 +54,20 @@ import numpy as np
 from ..baselines.brute import brute_point_query, brute_window_query
 from ..resilience import (OPEN, BreakerBoard, CircuitOpenError, FaultInjector,
                           FaultPlan, PartialResult, RetryPolicy)
-from ..structures.batch import (
-    batch_nearest_quadtree,
-    batch_nearest_rtree,
-    batch_point_query_quadtree,
-    batch_point_query_rtree,
-    batch_window_query_quadtree,
-    batch_window_query_rtree,
-)
 from ..structures.join import brute_join, quadtree_join, rtree_join
 from ..structures.nearest import brute_nearest
 from ..structures.sharded import ORDERINGS, ShardedIndex, sharded_join
 from .coalescer import Coalescer, Probe
-from .executor import BoundedExecutor, RejectedError
+from .executor import BoundedExecutor, ProcessBackend, RejectedError
 from .registry import IndexKey, IndexRegistry
 from .stats import EngineStats
+from .worker import FAMILY as _FAMILY
+from .worker import IndexRef, JobSpec, WorkerResult, batch_kernel
 
 __all__ = ["EngineConfig", "SpatialQueryEngine"]
 
-#: structure name -> tree family used to pick the batch kernels
-_FAMILY = {"pmr": "quadtree", "pm1": "quadtree", "rtree": "rtree"}
+#: executor backend names accepted by :class:`EngineConfig`
+EXECUTORS = ("thread", "process")
 
 KINDS = ("window", "point", "nearest")
 
@@ -102,8 +96,11 @@ class EngineConfig:
     min_fill: int = 2             # R-tree m
     max_batch: int = 64           # coalescing count trigger
     max_wait: float = 0.002       # coalescing deadline trigger (seconds)
-    workers: int = 4              # executor threads
+    executor: str = "thread"      # "thread" (GIL-shared) | "process" (multi-core)
+    workers: int = 4              # executor threads / worker processes
     queue_depth: int = 64         # bounded executor queue
+    mp_start: Optional[str] = None    # process start method (None: auto)
+    job_timeout: Optional[float] = None  # per-job wall cap, process backend
     cache_capacity: int = 8       # LRU-cached built indexes
     default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
     shards: int = 1               # >1: space-sorted sharded indexes
@@ -122,6 +119,14 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.structure not in _FAMILY:
             raise ValueError(f"unknown structure {self.structure!r}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             f"choose from {EXECUTORS}")
+        if self.mp_start is not None \
+                and self.mp_start not in ("fork", "forkserver", "spawn"):
+            raise ValueError(f"unknown mp_start {self.mp_start!r}")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         if self.ordering not in ORDERINGS:
@@ -169,9 +174,19 @@ class SpatialQueryEngine:
                                     retry=self._retry, injector=self.faults)
         self.registry = IndexRegistry(capacity=config.cache_capacity,
                                       store=self.store, injector=self.faults)
-        self._executor = BoundedExecutor(workers=config.workers,
-                                         queue_depth=config.queue_depth,
-                                         injector=self.faults)
+        self._is_process = config.executor == "process"
+        if self._is_process:
+            self._executor = ProcessBackend(
+                workers=config.workers, queue_depth=config.queue_depth,
+                injector=self.faults, cache_dir=config.cache_dir,
+                fault_plan=config.fault_plan,
+                dataset_provider=self.registry.dataset_snapshot,
+                on_event=self._on_executor_event, retry=self._retry,
+                mp_start=config.mp_start, job_timeout=config.job_timeout)
+        else:
+            self._executor = BoundedExecutor(workers=config.workers,
+                                             queue_depth=config.queue_depth,
+                                             injector=self.faults)
         self.breakers = BreakerBoard(
             failure_threshold=config.breaker_threshold,
             reset_timeout=config.breaker_reset,
@@ -196,9 +211,41 @@ class SpatialQueryEngine:
         return self.registry.delete_lines(fingerprint, ids)
 
     def warm(self, fingerprint: str, structure: Optional[str] = None) -> None:
-        """Build (or touch) the index ahead of traffic."""
+        """Build (or touch) the index ahead of traffic.
+
+        Under the process backend this also warms the *workers*: the
+        built index is persisted to the store (when one is attached) so
+        workers take the disk warm path, and one best-effort warm job
+        per worker pre-materialises it off the serving path.  Without a
+        store the warm jobs ship the dataset snapshot instead, which
+        still spares the first real batch the cold build.
+        """
         key = self._index_key(fingerprint, structure)
-        self.registry.get(key.fingerprint, key.structure, **dict(key.params))
+        entry = self.registry.get(key.fingerprint, key.structure,
+                                  **dict(key.params))
+        if not self._is_process:
+            return
+        if self.store is not None and not self.store.contains(key):
+            try:
+                self.store.put(key, entry.tree,
+                               build_steps=entry.build_steps,
+                               build_primitives=entry.build_primitives,
+                               num_lines=entry.num_lines)
+            except OSError:
+                pass   # disk full: workers will cold-build instead
+        ref = self._index_ref(key)
+        futs = []
+        for _ in range(self.config.workers):
+            try:
+                futs.append(self._executor.submit(JobSpec(op="warm",
+                                                          index=ref)))
+            except RejectedError:
+                break   # pool busy: real traffic will warm it
+        for fut in futs:
+            try:
+                fut.result(self.config.default_timeout)
+            except Exception:
+                pass    # warm-up is advisory, never fails the caller
 
     # -- asynchronous probes ---------------------------------------------
 
@@ -238,48 +285,51 @@ class SpatialQueryEngine:
 
     def submit_join(self, fingerprint_a: str, fingerprint_b: str,
                     structure: Optional[str] = None) -> Future:
-        """Spatial join of two registered maps (dispatched unbatched)."""
+        """Spatial join of two registered maps.
+
+        Joins coalesce like probes do: pairs submitted within the batch
+        window for the same structure share **one** executor job (one
+        process-boundary crossing under the process backend) with
+        per-pair outcomes, so one bad pair fails only its own future.
+        """
         structure = structure or self.config.structure
-        key_a = self._index_key(fingerprint_a, structure)
-        key_b = self._index_key(fingerprint_b, structure)
+        if structure not in _FAMILY:
+            raise ValueError(f"unknown structure {structure!r}")
         self.stats.record_submitted("join")
         fps = (fingerprint_a, fingerprint_b)
         if not all(self.breakers.allow(fp) for fp in fps):
             if not self.config.brute_fallback:
                 return self._fail_fast("join", fps)
+            return self._submit_brute_join(fps)
+        probe = Probe(fps)
+        try:
+            self._coalescer.submit(("join", structure), probe)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason)
+            probe.future.set_exception(exc)
+        return probe.future
 
-            def brute(machine):
-                pairs = brute_join(self.registry.dataset(fingerprint_a),
-                                   self.registry.dataset(fingerprint_b))
-                self.stats.record_fallback()
-                self.stats.record_batch("brute:join", 1, machine.steps,
-                                        machine.total_primitives)
-                return pairs
-
-            return self._spawn(brute)
+    def _submit_brute_join(self, fps: Tuple[str, str]) -> Future:
+        """Degraded join (breaker open, ``brute_fallback`` on)."""
+        if self._is_process:
+            try:
+                pair = (self._index_ref(self._index_key(fps[0], None)),
+                        self._index_ref(self._index_key(fps[1], None)))
+            except KeyError as exc:
+                fut: Future = Future()
+                fut.set_exception(exc)
+                self.stats.record_failed()
+                return fut
+            spec = JobSpec(op="join", pairs=(pair,), brute=True)
+            return self._deliver_join_spec(spec, [Probe(fps)],
+                                           time.monotonic(), brute=True)
 
         def job(machine):
-            start = time.monotonic()
-            try:
-                ta = self.registry.get(key_a.fingerprint, key_a.structure,
-                                       **dict(key_a.params)).tree
-                tb = self.registry.get(key_b.fingerprint, key_b.structure,
-                                       **dict(key_b.params)).tree
-                if isinstance(ta, ShardedIndex) or isinstance(tb, ShardedIndex):
-                    pairs = sharded_join(ta, tb)
-                else:
-                    join = (rtree_join if _FAMILY[structure] == "rtree"
-                            else quadtree_join)
-                    pairs = join(ta, tb)
-            except Exception:
-                for fp in fps:
-                    self.breakers.record_failure(fp)
-                raise
-            for fp in fps:
-                self.breakers.record_success(fp)
-            self.stats.record_batch(f"{structure}:join", 1, machine.steps,
-                                    machine.total_primitives,
-                                    time.monotonic() - start)
+            pairs = brute_join(self.registry.dataset(fps[0]),
+                               self.registry.dataset(fps[1]))
+            self.stats.record_fallback()
+            self.stats.record_batch("brute:join", 1, machine.steps,
+                                    machine.total_primitives)
             return pairs
 
         return self._spawn(job)
@@ -346,9 +396,23 @@ class SpatialQueryEngine:
         breakers = self.breakers.snapshot()
         not_closed = [k for k, b in breakers.items() if b["state"] != "closed"]
         s = self.stats
+        executor = {"backend": self._executor.kind,
+                    "workers": self.config.workers}
+        if self._is_process:
+            executor.update({
+                "start_method": self._executor.start_method,
+                "restarts": s.worker_restarts,
+                "datasets_shipped": s.datasets_shipped,
+                "ipc_bytes_sent": s.ipc_bytes_sent,
+                "ipc_bytes_received": s.ipc_bytes_received,
+                "worker_warm_loads": s.worker_warm_loads,
+                "worker_cold_builds": s.worker_cold_builds,
+                "workers_seen": sorted(s.workers),
+            })
         return {
             "status": "degraded" if not_closed else "ok",
             "closed": self._closed,
+            "executor": executor,
             "breakers": breakers,
             "breakers_not_closed": sorted(not_closed),
             "breaker_trips": s.breaker_trips,
@@ -385,6 +449,27 @@ class SpatialQueryEngine:
         self.close()
 
     # -- internals -------------------------------------------------------
+
+    def _on_executor_event(self, name: str, value=None) -> None:
+        """Process-backend telemetry -> the stats layer (and fault replay)."""
+        if name == "restart":
+            self.stats.record_restart()
+        elif name == "crash_retry":
+            self.stats.record_retry("executor.crash")
+        elif name == "dataset_shipped":
+            self.stats.record_dataset_shipped(int(value))
+        elif name == "ipc_sent":
+            self.stats.record_ipc(sent=int(value))
+        elif name == "ipc_received":
+            self.stats.record_ipc(received=int(value))
+        elif name == "worker_result":
+            wr: WorkerResult = value
+            self.stats.record_worker(wr.pid, wr.jobs, wr.warm_loads,
+                                     wr.cold_builds, wr.cached_trees)
+            for site, kind in wr.faults:
+                # latency/stall specs fired inside the worker; replay
+                # them here so `faults_injected` covers both sides
+                self.stats.record_fault(site, kind)
 
     def _index_key(self, fingerprint: str, structure: Optional[str]) -> IndexKey:
         structure = structure or self.config.structure
@@ -444,6 +529,28 @@ class SpatialQueryEngine:
         flowing (exact-geometry semantics) until the index path heals.
         """
         started = time.monotonic()
+        if self._is_process:
+            key = self._index_key(fingerprint, None)
+            spec = JobSpec(op="brute", kind=kind, index=self._index_ref(key),
+                           payloads=payload[None, :])
+            fut = self._spawn(spec)
+            out: Future = Future()
+
+            def deliver(done: Future) -> None:
+                exc = done.exception()
+                if exc is not None:
+                    self.stats.record_failed()
+                    _reject(out, exc)
+                    return
+                wr: WorkerResult = done.result()
+                self.stats.record_fallback()
+                self.stats.record_batch(f"brute:{kind}", 1, wr.steps,
+                                        wr.primitives,
+                                        time.monotonic() - started)
+                _resolve(out, wr.values[0])
+
+            fut.add_done_callback(deliver)
+            return out
 
         def job(machine):
             lines = self.registry.dataset(fingerprint)
@@ -506,23 +613,8 @@ class SpatialQueryEngine:
             raise
 
     def _batch_fn(self, structure: str, kind: str, exact: bool):
-        family = _FAMILY[structure]
-        if kind == "window":
-            if family == "quadtree":
-                return lambda tree, v, m: batch_window_query_quadtree(
-                    tree, v, exact=exact, machine=m)
-            return lambda tree, v, m: batch_window_query_rtree(
-                tree, v, exact=exact, machine=m)
-        if kind == "point":
-            if family == "quadtree":
-                # out-of-domain points were rejected at submit time
-                return lambda tree, v, m: batch_point_query_quadtree(
-                    tree, v, strict=False, machine=m)
-            return lambda tree, v, m: batch_point_query_rtree(
-                tree, v, exact=exact, machine=m)
-        if family == "quadtree":
-            return lambda tree, v, m: batch_nearest_quadtree(tree, v, machine=m)
-        return lambda tree, v, m: batch_nearest_rtree(tree, v, machine=m)
+        # one shared kernel table for both backends (worker.py)
+        return batch_kernel(structure, kind, exact)
 
     def _brute_batch(self, kind: str, lines: np.ndarray,
                      payloads: np.ndarray) -> List[object]:
@@ -537,9 +629,15 @@ class SpatialQueryEngine:
 
     def _dispatch(self, group_key, probes: List[Probe]) -> None:
         """Flush callback: run one group as a single vectorized pass."""
+        if group_key[0] == "join":
+            self._dispatch_join(group_key[1], probes)
+            return
         index_key, kind, exact = group_key
         if int(dict(index_key.params).get("shards", 1)) > 1:
             self._dispatch_sharded(index_key, kind, exact, probes)
+            return
+        if self._is_process:
+            self._dispatch_process(index_key, kind, exact, probes)
             return
         batch_fn = self._batch_fn(index_key.structure, kind, exact)
         started = min(p.submitted_at for p in probes)
@@ -596,6 +694,232 @@ class SpatialQueryEngine:
                 _resolve(p.future, res)
 
         fut.add_done_callback(deliver)
+
+    def _index_ref(self, key: IndexKey) -> IndexRef:
+        """The picklable stand-in a worker materialises the index from."""
+        return IndexRef(key.fingerprint, key.structure, key.params,
+                        int(self.registry.domain(key.fingerprint)))
+
+    def _dispatch_process(self, index_key: IndexKey, kind: str, exact: bool,
+                          probes: List[Probe]) -> None:
+        """One coalesced group as one :class:`JobSpec` to the pool.
+
+        Index materialisation happens in the worker, so breaker and
+        stats accounting move to the delivery callback; the
+        ``registry.get`` fault site is evaluated here for chaos parity
+        with the thread path (the worker bypasses the parent registry).
+        """
+        started = min(p.submitted_at for p in probes)
+        fingerprint = index_key.fingerprint
+        payloads = np.stack([p.payload for p in probes])
+        if self.faults is not None:
+            try:
+                self.faults.fire("registry.get", fingerprint=fingerprint,
+                                 structure=index_key.structure)
+            except Exception as exc:
+                self._process_batch_failed(exc, index_key, kind, probes,
+                                           payloads, started)
+                return
+        spec = JobSpec(op="batch", kind=kind,
+                       index=self._index_ref(index_key),
+                       payloads=payloads, exact=exact)
+        try:
+            fut = self._submit_job_with_retry(spec)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason, len(probes))
+            for p in probes:
+                _reject(p.future, RejectedError(str(exc), reason=exc.reason))
+            return
+
+        def deliver(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                self._process_batch_failed(exc, index_key, kind, probes,
+                                           payloads, started)
+                return
+            wr: WorkerResult = done.result()
+            self.breakers.record_success(fingerprint)
+            self.stats.record_batch(
+                f"{index_key.structure}:{kind}", len(probes), wr.steps,
+                wr.primitives, time.monotonic() - started)
+            for p, res in zip(probes, wr.values):
+                _resolve(p.future, res)
+
+        fut.add_done_callback(deliver)
+
+    def _process_batch_failed(self, exc: BaseException, index_key: IndexKey,
+                              kind: str, probes: List[Probe],
+                              payloads: np.ndarray, started: float) -> None:
+        """Failure path of a process batch: breaker, then brute or reject.
+
+        Mirrors the thread job's except-clause: the failure feeds the
+        fingerprint's breaker, and with ``brute_fallback`` an OPEN
+        breaker re-serves the whole group as a degraded brute spec
+        (the dataset ships to the worker if it must).
+        """
+        fingerprint = index_key.fingerprint
+        self.breakers.record_failure(fingerprint)
+        if self.config.brute_fallback \
+                and self.breakers.state(fingerprint) == OPEN:
+            spec = JobSpec(op="brute", kind=kind,
+                           index=self._index_ref(index_key),
+                           payloads=payloads)
+            try:
+                fut = self._submit_job_with_retry(spec)
+            except RejectedError as rej:
+                self.stats.record_rejected(rej.reason, len(probes))
+                for p in probes:
+                    _reject(p.future, RejectedError(str(rej),
+                                                    reason=rej.reason))
+                return
+
+            def deliver(done: Future) -> None:
+                brute_exc = done.exception()
+                if brute_exc is not None:
+                    self.stats.record_failed(len(probes))
+                    for p in probes:
+                        _reject(p.future, brute_exc)
+                    return
+                wr: WorkerResult = done.result()
+                self.stats.record_fallback(len(probes))
+                self.stats.record_batch(f"brute:{kind}", len(probes),
+                                        wr.steps, wr.primitives,
+                                        time.monotonic() - started)
+                for p, res in zip(probes, wr.values):
+                    _resolve(p.future, res)
+
+            fut.add_done_callback(deliver)
+            return
+        self.stats.record_failed(len(probes))
+        for p in probes:
+            _reject(p.future, exc)
+
+    # -- joins -----------------------------------------------------------
+
+    def _dispatch_join(self, structure: str, probes: List[Probe]) -> None:
+        """Flush one coalesced join group as a single executor job."""
+        started = min(p.submitted_at for p in probes)
+        name = f"{structure}:join"
+        if self._is_process:
+            live: List[Probe] = []
+            pairs: List[Tuple[IndexRef, IndexRef]] = []
+            for p in probes:
+                fp_a, fp_b = p.payload
+                try:
+                    pairs.append(
+                        (self._index_ref(self._index_key(fp_a, structure)),
+                         self._index_ref(self._index_key(fp_b, structure))))
+                except KeyError as exc:   # unknown fingerprint
+                    self.stats.record_failed()
+                    _reject(p.future, exc)
+                    continue
+                live.append(p)
+            if live:
+                self._deliver_join_spec(JobSpec(op="join",
+                                                pairs=tuple(pairs)),
+                                        live, started, name)
+            return
+
+        keys = [(self._index_key(a, structure), self._index_key(b, structure))
+                for a, b in (p.payload for p in probes)]
+
+        def job(machine):
+            out = []
+            for key_a, key_b in keys:
+                try:
+                    ta = self.registry.get(key_a.fingerprint,
+                                           key_a.structure,
+                                           **dict(key_a.params)).tree
+                    tb = self.registry.get(key_b.fingerprint,
+                                           key_b.structure,
+                                           **dict(key_b.params)).tree
+                    if isinstance(ta, ShardedIndex) \
+                            or isinstance(tb, ShardedIndex):
+                        res = sharded_join(ta, tb)
+                    else:
+                        join = (rtree_join if _FAMILY[structure] == "rtree"
+                                else quadtree_join)
+                        res = join(ta, tb)
+                except Exception as exc:  # noqa: BLE001 - per-pair outcome
+                    out.append(("err", exc))
+                else:
+                    out.append(("ok", res))
+            self.stats.record_batch(name, len(out), machine.steps,
+                                    machine.total_primitives,
+                                    time.monotonic() - started)
+            return out
+
+        try:
+            fut = self._submit_job_with_retry(job)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason, len(probes))
+            for p in probes:
+                _reject(p.future, RejectedError(str(exc), reason=exc.reason))
+            return
+
+        def deliver(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                self._fail_join_group(exc, probes)
+                return
+            self._settle_join_outcomes(done.result(), probes)
+
+        fut.add_done_callback(deliver)
+
+    def _deliver_join_spec(self, spec: JobSpec, probes: List[Probe],
+                           started: float, name: str,
+                           brute: bool = False) -> Future:
+        """Submit a join :class:`JobSpec` and wire per-pair delivery."""
+        try:
+            fut = self._submit_job_with_retry(spec)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason, len(probes))
+            for p in probes:
+                _reject(p.future, RejectedError(str(exc), reason=exc.reason))
+            return probes[0].future
+
+        def deliver(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                self._fail_join_group(exc, probes, brute=brute)
+                return
+            wr: WorkerResult = done.result()
+            self.stats.record_batch("brute:join" if brute else name,
+                                    len(probes), wr.steps, wr.primitives,
+                                    time.monotonic() - started)
+            if brute:
+                self.stats.record_fallback(len(probes))
+            self._settle_join_outcomes(wr.values, probes, brute=brute)
+
+        fut.add_done_callback(deliver)
+        return probes[0].future
+
+    def _fail_join_group(self, exc: BaseException, probes: List[Probe],
+                         brute: bool = False) -> None:
+        if not (brute or isinstance(exc, RejectedError)):
+            # a whole-job failure (crash retries exhausted, injected
+            # fault) counts against every pair's fingerprints
+            for p in probes:
+                for fp in p.payload:
+                    self.breakers.record_failure(fp)
+        self.stats.record_failed(len(probes))
+        for p in probes:
+            _reject(p.future, exc)
+
+    def _settle_join_outcomes(self, outcomes, probes: List[Probe],
+                              brute: bool = False) -> None:
+        for p, (status, val) in zip(probes, outcomes):
+            if status == "ok":
+                if not brute:
+                    for fp in p.payload:
+                        self.breakers.record_success(fp)
+                _resolve(p.future, val)
+            else:
+                if not brute:
+                    for fp in p.payload:
+                        self.breakers.record_failure(fp)
+                self.stats.record_failed()
+                _reject(p.future, val)
 
     def _dispatch_sharded(self, index_key: IndexKey, kind: str, exact: bool,
                           probes: List[Probe]) -> None:
@@ -655,7 +979,9 @@ class SpatialQueryEngine:
         deadlines = [p.deadline_at for p in probes if p.deadline_at is not None]
         merge = _ShardedMerge(self, sharded, kind, exact, probes, payloads,
                               started, name, fingerprint,
-                              deadline=min(deadlines) if deadlines else None)
+                              deadline=min(deadlines) if deadlines else None,
+                              index_ref=(self._index_ref(index_key)
+                                         if self._is_process else None))
         if kind == "nearest":
             merge.start_nearest()
         else:
@@ -718,9 +1044,11 @@ class _ShardedMerge:
                  kind: str, exact: bool, probes: List[Probe],
                  payloads: np.ndarray, started: float, name: str,
                  fingerprint: str,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 index_ref: Optional[IndexRef] = None) -> None:
         self.engine = engine
         self.sharded = sharded
+        self.index_ref = index_ref    # set iff the backend is a process pool
         self.kind = kind
         self.exact = exact
         self.probes = probes
@@ -808,15 +1136,24 @@ class _ShardedMerge:
         with self.lock:
             self.remaining += len(jobs)   # count before any job can finish
         for k, sel in jobs:
+            if self.index_ref is not None:
+                work = JobSpec(op="shard", kind=self.kind,
+                               index=self.index_ref,
+                               payloads=self.payloads[sel],
+                               exact=self.exact, shard=k)
+            else:
+                work = self._make_job(k, sel)
             try:
-                fut = self.engine._submit_job_with_retry(
-                    self._make_job(k, sel))
+                fut = self.engine._submit_job_with_retry(work)
             except RejectedError as exc:
                 self.engine.stats.record_rejected(exc.reason,
                                                   len(self.probes))
                 self._fail(RejectedError(str(exc), reason=exc.reason))
                 return
-            fut.add_done_callback(self._deliver)
+            # the probe selection rides in the callback, not the result,
+            # so both backends deliver through the same path
+            fut.add_done_callback(
+                lambda done, s=sel: self._deliver(done, s))
 
     def _make_job(self, k: int, sel: np.ndarray):
         def job(machine):
@@ -826,15 +1163,19 @@ class _ShardedMerge:
             results = self.sharded.query_shard_batch(
                 k, self.kind, self.payloads[sel], exact=self.exact,
                 machine=machine, flat=self.kind != "nearest")
-            return sel, results, machine.steps, machine.total_primitives
+            return results, machine.steps, machine.total_primitives
         return job
 
-    def _deliver(self, done: Future) -> None:
+    def _deliver(self, done: Future, sel: np.ndarray) -> None:
         exc = done.exception()
         if exc is not None:
             self._fail(exc)
             return
-        sel, results, steps, primitives = done.result()
+        res = done.result()
+        if isinstance(res, WorkerResult):
+            results, steps, primitives = res.values, res.steps, res.primitives
+        else:
+            results, steps, primitives = res
         with self.lock:
             if self.failed or self.done:
                 return   # the batch already failed or went partial

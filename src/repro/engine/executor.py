@@ -1,36 +1,71 @@
-"""Bounded thread-pool executor with backpressure.
+"""Executor backends: bounded thread pool and crash-surviving process pool.
 
-A deliberately small worker pool tuned for the engine's needs rather
-than a general-purpose executor:
+Both backends present the same small surface (:class:`ExecutorBackend`)
+to the engine -- ``submit`` returning a future, a ``queue_depth``
+gauge, and ``shutdown`` -- and both apply **backpressure**: when the
+bounded queue (thread) or the in-flight window (process) is full,
+``submit`` fails *immediately* with :class:`RejectedError` carrying a
+reason, so overload surfaces as explicit rejections instead of
+unbounded memory growth and collapsing latency.
 
-* the submission queue is **bounded** -- when it is full, `submit`
-  fails *immediately* with :class:`RejectedError` carrying a reason,
-  so overload surfaces as explicit rejections instead of unbounded
-  memory growth and collapsing latency;
-* every job runs under a **fresh scan-model** :class:`Machine`
-  installed with :func:`use_machine`.  Because the machine default is
-  contextvar-scoped, concurrent workers account in isolation; the
-  job's machine is handed to the job callable so the engine can fold
-  its step counts into the per-batch statistics;
-* workers only ever *read* the shared indexes (all structures are
-  immutable once built), so no further synchronisation is needed;
-* an optional :class:`~repro.resilience.FaultInjector` is consulted at
-  the ``executor.job`` site just before each job runs, so chaos tests
-  can make stragglers (latency) or crashed workers (errors) without
-  touching the job code.
+:class:`BoundedExecutor` (``kind="thread"``) runs job *callables* in
+threads sharing the parent's indexes.  Cheap and zero-copy, but the GIL
+serialises the CPU-bound portions of concurrent batch kernels.
+
+:class:`ProcessBackend` (``kind="process"``) runs picklable
+:class:`~repro.engine.worker.JobSpec`\\ s in a
+``concurrent.futures.ProcessPoolExecutor`` of shared-nothing workers
+(see :mod:`repro.engine.worker` for how workers materialise indexes).
+On top of the raw pool it adds what serving needs:
+
+* **crash survival** -- a dead worker surfaces as ``BrokenProcessPool``
+  failing *every* in-flight job; the backend restarts the pool once
+  (generation-guarded) and resubmits each job under the engine's retry
+  policy, so a killed worker costs a retry, never a hung or silently
+  dropped batch.  Exhausted retries fail the job's future with
+  :class:`WorkerCrashError`, which the engine feeds to the dataset's
+  circuit breaker like any job failure;
+* **dataset shipping** -- a worker that cannot materialise an index
+  (:class:`~repro.engine.worker.NeedDataset`) gets the registry
+  snapshot attached to its spec and the job resubmitted, at no cost to
+  the retry budget;
+* **fault-site parity** -- ``error``/``crash``/``corrupt`` specs of the
+  fault plan are evaluated here at submit time (one global,
+  deterministic schedule; a ``crash`` marks the spec so its worker
+  ``os._exit``\\ s), while ``latency``/``stall`` specs ship to the
+  workers so a stalled shard delays only itself;
+* **timeouts** -- an optional per-job wall-clock cap fails the future
+  with :class:`JobTimeoutError` (the worker process is left to finish
+  and its late result is dropped).
+
+Every thread-backend job runs under a **fresh scan-model**
+:class:`Machine` installed with :func:`use_machine`; process workers do
+the same on their side, and ship the step counts back in the
+:class:`~repro.engine.worker.WorkerResult`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import queue
+import random
 import threading
-from concurrent.futures import Future
+from concurrent.futures import (BrokenExecutor, CancelledError, Future,
+                                InvalidStateError, ProcessPoolExecutor)
+from dataclasses import replace
 from typing import Callable, Optional
 
 from ..errors import EngineError
 from ..machine import Machine, use_machine
+from ..resilience import InjectedFault, InjectedWorkerCrash
+from .worker import JobSpec, NeedDataset, _init_worker, run_job
 
-__all__ = ["RejectedError", "BoundedExecutor"]
+__all__ = ["RejectedError", "WorkerCrashError", "JobTimeoutError",
+           "ExecutorBackend", "BoundedExecutor", "ProcessBackend"]
+
+#: fault kinds the process backend evaluates parent-side at submit
+PARENT_FAULT_KINDS = ("error", "crash", "corrupt")
 
 
 class RejectedError(EngineError):
@@ -43,8 +78,71 @@ class RejectedError(EngineError):
     reason = "rejected"
 
 
-class BoundedExecutor:
+class WorkerCrashError(EngineError):
+    """A job whose worker process died on every attempt.
+
+    Raised only after the pool was restarted and the job resubmitted up
+    to the retry budget -- repeated crashes on the same work are treated
+    as persistent, so the engine routes this into the circuit breaker.
+    """
+
+    reason = "worker_crash"
+
+
+class JobTimeoutError(EngineError):
+    """A process-backend job that blew its per-job wall-clock cap."""
+
+    reason = "job_timeout"
+
+
+def _set_result(fut: Future, value) -> None:
+    """Resolve, tolerating a future already cancelled/timed out."""
+    try:
+        fut.set_result(value)
+    except InvalidStateError:
+        pass
+
+
+def _set_exception(fut: Future, exc: BaseException) -> None:
+    try:
+        fut.set_exception(exc)
+    except InvalidStateError:
+        pass
+
+
+def _nbytes(obj) -> int:
+    """Pickled size of one boundary crossing (the IPC-bytes gauge)."""
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+class ExecutorBackend:
+    """The surface the engine needs from an executor backend.
+
+    ``submit`` takes a job callable (thread backend) or a
+    :class:`~repro.engine.worker.JobSpec` (process backend) and returns
+    a future; ``queue_depth`` gauges waiting work; ``shutdown`` drains.
+    """
+
+    kind: str = "?"
+
+    @property
+    def queue_depth(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def submit(self, job) -> "Future":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def shutdown(self, wait: bool = True) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class BoundedExecutor(ExecutorBackend):
     """Fixed worker pool over a bounded queue; rejects when saturated."""
+
+    kind = "thread"
 
     def __init__(self, workers: int = 4, queue_depth: int = 64,
                  injector=None):
@@ -117,3 +215,233 @@ class BoundedExecutor:
         if wait:
             for t in self._threads:
                 t.join()
+
+
+class ProcessBackend(ExecutorBackend):
+    """Shared-nothing process pool with crash restarts (module docstring).
+
+    Parameters beyond the thread backend's: ``cache_dir``/``fault_plan``
+    seed each worker's read-only store and latency/stall injector;
+    ``dataset_provider(fingerprint) -> (lines, domain)`` answers
+    :class:`~repro.engine.worker.NeedDataset` round trips;
+    ``on_event(name, value)`` streams backend telemetry (``restart``,
+    ``crash_retry``, ``dataset_shipped``, ``ipc_sent``,
+    ``ipc_received``, ``worker_result``) to the engine's stats layer;
+    ``retry`` budgets crash resubmissions; ``mp_start`` picks the
+    multiprocessing start method (default: ``forkserver`` where
+    available, else ``spawn`` -- never ``fork``, the parent runs
+    coalescer/timer threads); ``job_timeout`` caps one job's wall clock.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int = 4, queue_depth: int = 64,
+                 injector=None, cache_dir: Optional[str] = None,
+                 fault_plan=None, dataset_provider=None, on_event=None,
+                 retry=None, mp_start: Optional[str] = None,
+                 job_timeout: Optional[float] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0")
+        self._workers = workers
+        self._capacity = workers + queue_depth
+        self._injector = injector
+        self._cache_dir = cache_dir
+        self._fault_plan = fault_plan
+        self._dataset_provider = dataset_provider
+        self._on_event = on_event
+        self._retry = retry
+        self._rng = random.Random(0xC3A5)  # deterministic crash backoff
+        self._job_timeout = job_timeout
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._shutdown = False
+        self._generation = 0
+        self.restarts = 0
+        if mp_start is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_start = "forkserver" if "forkserver" in methods else "spawn"
+        self.start_method = mp_start
+        self._ctx = multiprocessing.get_context(mp_start)
+        self._pool = self._new_pool()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._workers, mp_context=self._ctx,
+            initializer=_init_worker,
+            initargs=(self._cache_dir, self._fault_plan))
+
+    @property
+    def queue_depth(self) -> int:
+        """In-flight jobs beyond the worker count (waiting, roughly)."""
+        with self._lock:
+            return max(0, self._inflight - self._workers)
+
+    def _event(self, name: str, value=None) -> None:
+        if self._on_event is not None:
+            try:
+                self._on_event(name, value)
+            except Exception:  # pragma: no cover - observer must not kill
+                pass
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> "Future":
+        """Dispatch one :class:`JobSpec`; the future yields a
+        :class:`~repro.engine.worker.WorkerResult`."""
+        with self._lock:
+            if self._shutdown:
+                raise RejectedError("executor is shut down",
+                                    reason="shutdown")
+            if self._inflight >= self._capacity:
+                raise RejectedError(
+                    f"queue full ({self._capacity} jobs in flight)",
+                    reason="queue_full")
+            self._inflight += 1
+        outer: Future = Future()
+        outer.add_done_callback(self._release)
+        if self._job_timeout is not None:
+            timer = threading.Timer(
+                self._job_timeout, _set_exception,
+                args=(outer, JobTimeoutError(
+                    f"job exceeded {self._job_timeout:g}s")))
+            timer.daemon = True
+            timer.start()
+            outer.add_done_callback(lambda _f: timer.cancel())
+        self._launch(spec, outer, attempt=0)
+        return outer
+
+    def _release(self, _fut: Future) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def _launch(self, spec: JobSpec, outer: Future, attempt: int) -> None:
+        """One pool submission; ``spec`` stays pristine across retries."""
+        if outer.done():   # timed out / cancelled while backing off
+            return
+        run = spec
+        if self._injector is not None:
+            # parent-side evaluation keeps error/crash schedules global
+            # and deterministic across workers and pool restarts
+            site = "shard.query" if spec.op == "shard" else "executor.job"
+            ctx = ({"shard": spec.shard, "kind": spec.kind}
+                   if spec.op == "shard" else {})
+            try:
+                self._injector.fire(site, only_kinds=PARENT_FAULT_KINDS,
+                                    **ctx)
+            except InjectedWorkerCrash:
+                run = replace(spec, crash=True)
+            except InjectedFault as exc:
+                _set_exception(outer, exc)
+                return
+        with self._lock:
+            if self._shutdown:
+                _set_exception(outer, RejectedError(
+                    "executor is shut down", reason="shutdown"))
+                return
+            pool = self._pool
+            gen = self._generation
+        try:
+            inner = pool.submit(run_job, run)
+        except BrokenExecutor as exc:
+            self._crashed(spec, outer, attempt, gen, exc)
+            return
+        except RuntimeError as exc:   # pool shut down under us
+            _set_exception(outer, RejectedError(str(exc), reason="shutdown"))
+            return
+        self._event("ipc_sent", _nbytes(run))
+        inner.add_done_callback(
+            lambda f: self._on_inner(f, spec, outer, attempt, gen))
+
+    def _on_inner(self, inner: Future, spec: JobSpec, outer: Future,
+                  attempt: int, gen: int) -> None:
+        try:
+            exc = inner.exception()
+        except CancelledError as cancelled:
+            exc = cancelled
+        if exc is None:
+            wr = inner.result()
+            self._event("ipc_received", _nbytes(wr))
+            self._event("worker_result", wr)
+            _set_result(outer, wr)
+            return
+        if isinstance(exc, NeedDataset):
+            self._ship(exc, spec, outer, attempt)
+            return
+        if isinstance(exc, BrokenExecutor):
+            self._crashed(spec, outer, attempt, gen, exc)
+            return
+        _set_exception(outer, exc)
+
+    def _ship(self, need: NeedDataset, spec: JobSpec, outer: Future,
+              attempt: int) -> None:
+        """Attach the requested dataset snapshots and resubmit.
+
+        Costs nothing against the crash-retry budget -- it is the
+        normal cold path, not a failure.  A fingerprint the spec
+        already carries (or no provider) means the dataset truly cannot
+        be served; then the job fails instead of looping.
+        """
+        have = {fp for fp, _, _ in spec.datasets}
+        wanted = [fp for fp in need.fingerprints if fp not in have]
+        if not wanted or self._dataset_provider is None:
+            _set_exception(outer, need)
+            return
+        shipped = []
+        for fp in wanted:
+            try:
+                lines, domain = self._dataset_provider(fp)
+            except Exception as provider_exc:
+                _set_exception(outer, provider_exc)
+                return
+            shipped.append((fp, lines, int(domain)))
+        self._event("dataset_shipped", len(shipped))
+        self._launch(replace(spec, datasets=spec.datasets + tuple(shipped)),
+                     outer, attempt)
+
+    def _crashed(self, spec: JobSpec, outer: Future, attempt: int,
+                 gen: int, exc: BaseException) -> None:
+        """BrokenProcessPool: restart once per generation, retry the job."""
+        self._restart(gen)
+        attempts = self._retry.attempts if self._retry is not None else 1
+        if attempt + 1 >= attempts:
+            err = WorkerCrashError(
+                f"worker crashed running {spec.op!r} job; "
+                f"gave up after {attempt + 1} attempt(s)")
+            err.__cause__ = exc
+            _set_exception(outer, err)
+            return
+        self._event("crash_retry", spec.op)
+        delay = (self._retry.delay(attempt, self._rng)
+                 if self._retry is not None else 0.0)
+        timer = threading.Timer(delay, self._launch,
+                                args=(spec, outer, attempt + 1))
+        timer.daemon = True
+        timer.start()
+
+    def _restart(self, gen: int) -> None:
+        """Replace the broken pool; the generation guard makes the N
+        concurrent failures of one crash cost exactly one restart."""
+        with self._lock:
+            if self._shutdown or self._generation != gen:
+                return
+            self._generation += 1
+            old = self._pool
+            self._pool = self._new_pool()
+            self.restarts += 1
+        self._event("restart")
+        try:
+            old.shutdown(wait=False)
+        except Exception:  # pragma: no cover - broken pools may throw
+            pass
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            pool = self._pool
+        pool.shutdown(wait=wait)

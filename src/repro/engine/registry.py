@@ -188,6 +188,19 @@ class IndexRegistry:
         with self._lock:
             return self._domains[fingerprint]
 
+    def dataset_snapshot(self, fingerprint: str):
+        """``(lines, domain)`` for shipping to a process-pool worker.
+
+        The array is the registered read-only canonical form, so it
+        pickles as-is and the worker's rebuild is bit-identical to a
+        parent-side build of the same key.
+        """
+        with self._lock:
+            try:
+                return self._datasets[fingerprint], self._domains[fingerprint]
+            except KeyError:
+                raise KeyError(f"unknown dataset fingerprint {fingerprint!r}")
+
     def forget(self, fingerprint: str) -> None:
         """Drop a dataset and every index built from it."""
         with self._lock:

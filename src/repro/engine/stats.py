@@ -82,6 +82,15 @@ class EngineStats:
         self.fallbacks = 0           # probes served by brute force
         self.cancels = 0             # timed-out futures cancelled in time
         self.cancel_failures = 0     # ... that had already started
+        # -- process backend ----------------------------------------------
+        self.worker_restarts = 0     # broken pools replaced
+        self.ipc_bytes_sent = 0      # pickled job-spec bytes to workers
+        self.ipc_bytes_received = 0  # pickled result bytes back
+        self.datasets_shipped = 0    # NeedDataset round trips served
+        self.worker_warm_loads = 0   # worker index loads from the store
+        self.worker_cold_builds = 0  # worker index rebuilds from snapshots
+        #: pid -> that worker's latest self-reported totals
+        self.workers: Dict[int, Dict[str, int]] = {}
         self.latency = LatencyReservoir(reservoir_size)
 
     # -- recording -------------------------------------------------------
@@ -140,6 +149,41 @@ class EngineStats:
         """Probes served by the engine-level brute-force fallback."""
         with self._lock:
             self.fallbacks += n
+
+    def record_restart(self, n: int = 1) -> None:
+        """One broken process pool replaced after a worker crash."""
+        with self._lock:
+            self.worker_restarts += n
+
+    def record_ipc(self, sent: int = 0, received: int = 0) -> None:
+        """Bytes pickled across the process boundary (either way)."""
+        with self._lock:
+            self.ipc_bytes_sent += sent
+            self.ipc_bytes_received += received
+
+    def record_dataset_shipped(self, n: int = 1) -> None:
+        """Dataset snapshots attached after ``NeedDataset`` round trips."""
+        with self._lock:
+            self.datasets_shipped += n
+
+    def record_worker(self, pid: int, jobs: int, warm_loads: int,
+                      cold_builds: int, cached_trees: int) -> None:
+        """Fold one :class:`WorkerResult`'s accounting into the stats.
+
+        ``warm_loads``/``cold_builds`` are per-job deltas (summed);
+        ``jobs``/``cached_trees`` are the worker's own running totals
+        (latest wins), keyed by pid so restarts show up as new rows.
+        """
+        with self._lock:
+            self.worker_warm_loads += warm_loads
+            self.worker_cold_builds += cold_builds
+            row = self.workers.setdefault(
+                pid, {"jobs": 0, "warm_loads": 0, "cold_builds": 0,
+                      "cached_trees": 0})
+            row["jobs"] = jobs
+            row["warm_loads"] += warm_loads
+            row["cold_builds"] += cold_builds
+            row["cached_trees"] = cached_trees
 
     def record_cancel(self, succeeded: bool, n: int = 1) -> None:
         """A timed-out future we tried to cancel (freeing its slot)."""
@@ -229,6 +273,14 @@ class EngineStats:
                 "fallbacks": self.fallbacks,
                 "cancels": self.cancels,
                 "cancel_failures": self.cancel_failures,
+                "worker_restarts": self.worker_restarts,
+                "ipc_bytes_sent": self.ipc_bytes_sent,
+                "ipc_bytes_received": self.ipc_bytes_received,
+                "datasets_shipped": self.datasets_shipped,
+                "worker_warm_loads": self.worker_warm_loads,
+                "worker_cold_builds": self.worker_cold_builds,
+                "workers": {pid: dict(row)
+                            for pid, row in self.workers.items()},
                 "shard_batches": self.shard_batches,
                 "shards_probed": self.shards_probed,
                 "shards_skipped": self.shards_skipped,

@@ -1,0 +1,381 @@
+"""Process-pool worker: shared-nothing index serving over picklable jobs.
+
+The process backend never ships a built tree across the process
+boundary.  A job crosses as a :class:`JobSpec` -- fingerprint-addressed
+:class:`IndexRef`\\ s plus a small query array -- and each worker
+process lazily **materialises** the indexes it is asked about, in
+priority order:
+
+1. its own in-process cache (keyed by :func:`repro.store.store_key_id`,
+   the same stem the disk store uses),
+2. the persistent :class:`~repro.store.IndexStore` opened *read-only*
+   (the warm path: the parent engine spilled or prefetched the index),
+3. a deterministic rebuild from the dataset snapshot -- and if the
+   worker has never seen that dataset it raises :class:`NeedDataset`,
+   the parent attaches ``(fingerprint, lines, domain)`` to the spec and
+   resubmits, so a dataset is shipped **at most once per (worker,
+   fingerprint)** and only when the disk store cannot serve it.
+
+Builds are pure functions of ``(dataset, structure, params)`` (the
+registry invariant), so a worker-built tree is bit-identical to the
+parent's and results cannot depend on which path materialised it.
+
+Fault-site parity: the parent evaluates ``error``/``crash``/``corrupt``
+specs at submit time (one global, deterministic schedule regardless of
+which worker runs the job); ``latency``/``stall`` specs are evaluated
+here, inside the worker, so a stalled shard delays only itself.  A spec
+with ``crash=True`` makes the worker ``os._exit`` before touching the
+job -- a real dead process, indistinguishable from a SIGKILL, which the
+parent observes as ``BrokenProcessPool`` and handles with a pool
+restart plus resubmission.
+
+Everything in this module must stay importable without the engine
+(workers import it standalone) and every type crossing the boundary
+must pickle.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.brute import brute_point_query, brute_window_query
+from ..machine import Machine, use_machine
+from ..resilience import FaultInjector, FaultPlan
+from ..store import IndexStore, store_key_id
+from ..structures.batch import (
+    batch_nearest_quadtree,
+    batch_nearest_rtree,
+    batch_point_query_quadtree,
+    batch_point_query_rtree,
+    batch_window_query_quadtree,
+    batch_window_query_rtree,
+)
+from ..structures.join import brute_join, quadtree_join, rtree_join
+from ..structures.nearest import brute_nearest
+from ..structures.sharded import ShardedIndex, sharded_join
+from .registry import IndexRegistry
+
+__all__ = ["FAMILY", "IndexRef", "JobSpec", "WorkerResult", "NeedDataset",
+           "batch_kernel", "run_job"]
+
+#: structure name -> tree family used to pick the batch kernels
+FAMILY = {"pmr": "quadtree", "pm1": "quadtree", "rtree": "rtree"}
+
+#: fault kinds evaluated in the worker (the parent fires the rest)
+WORKER_FAULT_KINDS = ("latency", "stall")
+
+
+def batch_kernel(structure: str, kind: str, exact: bool):
+    """The vectorized batch kernel for one (structure, kind) pair.
+
+    Shared by the thread engine and the process workers so both
+    backends run literally the same code path per batch.
+    """
+    family = FAMILY[structure]
+    if kind == "window":
+        if family == "quadtree":
+            return lambda tree, v, m: batch_window_query_quadtree(
+                tree, v, exact=exact, machine=m)
+        return lambda tree, v, m: batch_window_query_rtree(
+            tree, v, exact=exact, machine=m)
+    if kind == "point":
+        if family == "quadtree":
+            # out-of-domain points were rejected at submit time
+            return lambda tree, v, m: batch_point_query_quadtree(
+                tree, v, strict=False, machine=m)
+        return lambda tree, v, m: batch_point_query_rtree(
+            tree, v, exact=exact, machine=m)
+    if family == "quadtree":
+        return lambda tree, v, m: batch_nearest_quadtree(tree, v, machine=m)
+    return lambda tree, v, m: batch_nearest_rtree(tree, v, machine=m)
+
+
+@dataclass(frozen=True)
+class IndexRef:
+    """A fingerprint-addressed index reference -- the pickled stand-in
+    for a built tree.  Duck-types the registry's ``IndexKey`` (same
+    ``fingerprint``/``structure``/``params`` attributes), so the disk
+    store derives the identical filename stem for both."""
+
+    fingerprint: str
+    structure: str
+    params: Tuple[Tuple[str, object], ...]
+    domain: int
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work crossing the process boundary.
+
+    ``op`` selects the kernel: ``batch`` (one vectorized pass),
+    ``shard`` (one per-shard sub-batch of a fan-out), ``join`` (a batch
+    of dataset-pair joins; ``brute=True`` for the degraded scan),
+    ``brute`` (degraded window/point/nearest batch), ``warm``
+    (materialise only).  ``datasets`` carries ``(fingerprint, lines,
+    domain)`` snapshots attached by the parent after a
+    :class:`NeedDataset` round trip; ``crash=True`` is the injected
+    worker-kill used by chaos tests.
+    """
+
+    op: str
+    kind: str = ""
+    index: Optional[IndexRef] = None
+    pairs: Tuple[Tuple[IndexRef, IndexRef], ...] = ()
+    payloads: Optional[np.ndarray] = None
+    exact: bool = True
+    shard: int = -1
+    datasets: Tuple[Tuple[str, np.ndarray, int], ...] = ()
+    crash: bool = False
+    brute: bool = False
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """A job's answer plus the worker-side accounting that rides along.
+
+    ``faults`` lists the (site, kind) pairs the worker-side injector
+    fired during this job (the parent replays them into its stats);
+    ``warm_loads``/``cold_builds`` count index materialisations done
+    *for this job*; ``jobs``/``cached_trees`` are the worker's running
+    totals, keyed by ``pid`` in the parent's per-worker map.
+    """
+
+    values: object
+    steps: float
+    primitives: int
+    pid: int
+    faults: Tuple[Tuple[str, str], ...] = ()
+    warm_loads: int = 0
+    cold_builds: int = 0
+    jobs: int = 0
+    cached_trees: int = 0
+
+
+class NeedDataset(Exception):
+    """The worker lacks these datasets and the store could not help.
+
+    The parent catches this, attaches the registry's snapshots to the
+    spec, and resubmits -- one round trip per (worker, fingerprint),
+    and none at all when the disk store already holds the index.
+    """
+
+    def __init__(self, fingerprints):
+        self.fingerprints = tuple(fingerprints)
+        super().__init__(
+            f"worker {os.getpid()} needs dataset(s) "
+            f"{', '.join(self.fingerprints)}")
+
+    def __reduce__(self):
+        return (NeedDataset, (self.fingerprints,))
+
+
+@dataclass
+class _WorkerState:
+    """Per-process caches and counters (module-global, one per worker)."""
+
+    store: Optional[IndexStore]
+    injector: Optional[FaultInjector]
+    trees: Dict[str, object] = field(default_factory=dict)
+    datasets: Dict[str, Tuple[np.ndarray, int]] = field(default_factory=dict)
+    fired: List[Tuple[str, str]] = field(default_factory=list)
+    jobs: int = 0
+    job_warm: int = 0
+    job_cold: int = 0
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(cache_dir: Optional[str],
+                 fault_plan: Optional[FaultPlan]) -> None:
+    """Process-pool initializer: build this worker's state once.
+
+    The store is opened read-only -- workers never spill, refresh
+    mtimes, or quarantine, so the parent's GC/shutdown spill stays the
+    single writer.  The injector evaluates only the sleep kinds (see
+    module docstring).
+    """
+    global _STATE
+    state = _WorkerState(
+        store=(IndexStore(cache_dir, readonly=True)
+               if cache_dir is not None else None),
+        injector=None)
+    if fault_plan is not None and fault_plan.specs:
+        state.injector = FaultInjector(
+            fault_plan, observer=lambda s, k: state.fired.append((s, k)))
+    _STATE = state
+
+
+def _materialize(state: _WorkerState, ref: IndexRef):
+    """Cache -> read-only store -> rebuild-from-snapshot, in that order."""
+    key_id = store_key_id(ref)
+    tree = state.trees.get(key_id)
+    if tree is not None:
+        return tree
+    if state.store is not None:
+        probe = state.store.get(ref)
+        if probe is not None:
+            tree = probe[0]
+            state.trees[key_id] = tree
+            state.job_warm += 1
+            return tree
+    snap = state.datasets.get(ref.fingerprint)
+    if snap is None:
+        raise NeedDataset((ref.fingerprint,))
+    lines, domain = snap
+    builder = IndexRegistry.BUILDERS[ref.structure]
+    tree = builder(lines, domain, **dict(ref.params))
+    state.trees[key_id] = tree
+    state.job_cold += 1
+    return tree
+
+
+def _dataset(state: _WorkerState, ref: IndexRef) -> np.ndarray:
+    snap = state.datasets.get(ref.fingerprint)
+    if snap is None:
+        raise NeedDataset((ref.fingerprint,))
+    return snap[0]
+
+
+def _preflight(state: _WorkerState, spec: JobSpec) -> None:
+    """Raise one :class:`NeedDataset` naming *every* missing dataset.
+
+    Checked before any kernel runs so a join over N pairs costs at most
+    one ship round trip instead of N.
+    """
+    missing: List[str] = []
+
+    def need_tree(ref: IndexRef) -> None:
+        if store_key_id(ref) in state.trees:
+            return
+        if state.store is not None and state.store.contains(ref):
+            return
+        if ref.fingerprint not in state.datasets \
+                and ref.fingerprint not in missing:
+            missing.append(ref.fingerprint)
+
+    def need_lines(ref: IndexRef) -> None:
+        if ref.fingerprint not in state.datasets \
+                and ref.fingerprint not in missing:
+            missing.append(ref.fingerprint)
+
+    if spec.op in ("batch", "shard", "warm"):
+        need_tree(spec.index)
+    elif spec.op == "brute":
+        need_lines(spec.index)
+    elif spec.op == "join":
+        for ref_a, ref_b in spec.pairs:
+            if spec.brute:
+                need_lines(ref_a)
+                need_lines(ref_b)
+            else:
+                need_tree(ref_a)
+                need_tree(ref_b)
+    if missing:
+        raise NeedDataset(missing)
+
+
+def _op_batch(state: _WorkerState, spec: JobSpec, machine: Machine):
+    tree = _materialize(state, spec.index)
+    fn = batch_kernel(spec.index.structure, spec.kind, spec.exact)
+    return fn(tree, spec.payloads, machine)
+
+
+def _op_shard(state: _WorkerState, spec: JobSpec, machine: Machine):
+    sharded: ShardedIndex = _materialize(state, spec.index)
+    return sharded.query_shard_batch(
+        spec.shard, spec.kind, spec.payloads, exact=spec.exact,
+        machine=machine, flat=spec.kind != "nearest")
+
+
+def _op_join(state: _WorkerState, spec: JobSpec, machine: Machine):
+    """A batch of joins: per-pair ``("ok", pairs)`` / ``("err", exc)``.
+
+    Per-pair outcomes (not one shared exception) so one failing pair
+    cannot poison the other joins coalesced into the same job -- the
+    parent feeds each outcome to its own fingerprints' breakers.
+    """
+    out = []
+    for ref_a, ref_b in spec.pairs:
+        try:
+            if spec.brute:
+                pairs = brute_join(_dataset(state, ref_a),
+                                   _dataset(state, ref_b))
+            else:
+                ta = _materialize(state, ref_a)
+                tb = _materialize(state, ref_b)
+                if isinstance(ta, ShardedIndex) or isinstance(tb, ShardedIndex):
+                    pairs = sharded_join(ta, tb)
+                else:
+                    join = (rtree_join if FAMILY[ref_a.structure] == "rtree"
+                            else quadtree_join)
+                    pairs = join(ta, tb)
+        except NeedDataset:
+            raise
+        except Exception as exc:  # noqa: BLE001 - outcome, not control flow
+            out.append(("err", exc))
+        else:
+            out.append(("ok", pairs))
+    return out
+
+
+def _op_brute(state: _WorkerState, spec: JobSpec, machine: Machine):
+    lines = _dataset(state, spec.index)
+    if spec.kind == "window":
+        return [brute_window_query(lines, r) for r in spec.payloads]
+    if spec.kind == "point":
+        return [brute_point_query(lines, float(p[0]), float(p[1]))
+                for p in spec.payloads]
+    return [brute_nearest(lines, float(p[0]), float(p[1]))
+            for p in spec.payloads]
+
+
+def _op_warm(state: _WorkerState, spec: JobSpec, machine: Machine):
+    _materialize(state, spec.index)
+    return None
+
+
+_OPS = {"batch": _op_batch, "shard": _op_shard, "join": _op_join,
+        "brute": _op_brute, "warm": _op_warm}
+
+
+def run_job(spec: JobSpec) -> WorkerResult:
+    """Entry point the parent submits to the pool; runs in the worker."""
+    state = _STATE
+    if state is None:  # pool built without the initializer (tests)
+        _init_worker(None, None)
+        state = _STATE
+    if spec.crash:
+        # injected worker kill: a real dead process, not an exception.
+        # _exit skips atexit/finalizers exactly like a SIGKILL would.
+        os._exit(1)
+    for fp, lines, domain in spec.datasets:
+        if fp not in state.datasets:
+            arr = np.ascontiguousarray(
+                np.asarray(lines, dtype=np.float64).reshape(-1, 4))
+            arr.setflags(write=False)
+            state.datasets[fp] = (arr, int(domain))
+    state.jobs += 1
+    state.job_warm = state.job_cold = 0
+    state.fired = []
+    _preflight(state, spec)
+    machine = Machine()
+    with use_machine(machine):
+        if state.injector is not None:
+            state.injector.fire("executor.job",
+                                only_kinds=WORKER_FAULT_KINDS)
+            if spec.op == "shard":
+                state.injector.fire("shard.query",
+                                    only_kinds=WORKER_FAULT_KINDS,
+                                    shard=spec.shard, kind=spec.kind)
+        values = _OPS[spec.op](state, spec, machine)
+    return WorkerResult(values=values, steps=machine.steps,
+                        primitives=machine.total_primitives,
+                        pid=os.getpid(), faults=tuple(state.fired),
+                        warm_loads=state.job_warm,
+                        cold_builds=state.job_cold,
+                        jobs=state.jobs, cached_trees=len(state.trees))

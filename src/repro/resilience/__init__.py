@@ -22,7 +22,8 @@ first.
 from .breaker import (CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker,
                       CircuitOpenError)
 from .faults import (EXAMPLE_PLANS, KINDS, SITES, FaultInjector, FaultPlan,
-                     FaultSpec, InjectedCorruption, InjectedFault)
+                     FaultSpec, InjectedCorruption, InjectedFault,
+                     InjectedWorkerCrash)
 from .partial import PartialResult
 from .retry import RetryPolicy, retry_call
 
@@ -32,6 +33,7 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "InjectedCorruption",
+    "InjectedWorkerCrash",
     "EXAMPLE_PLANS",
     "SITES",
     "KINDS",

@@ -18,7 +18,13 @@ Sites (see the module docstrings of the instrumented components):
     file would.
 ``executor.job``
     Job start in the :class:`repro.engine.executor.BoundedExecutor`
-    worker -- ``latency`` makes stragglers, ``error`` a crashed worker.
+    worker -- ``latency`` makes stragglers, ``error`` a failing job,
+    and ``crash`` a killed worker *process*: under the process-pool
+    backend the job is marked so its worker calls ``os._exit``
+    mid-batch (the parent sees ``BrokenProcessPool``, restarts the
+    pool, and retries); under the thread backend -- where a worker
+    cannot be killed -- it degrades to an :class:`InjectedWorkerCrash`
+    error.
 ``shard.query``
     One per-shard sub-batch of a sharded fan-out (context key
     ``shard``) -- ``stall`` holds a single shard past the batch
@@ -50,6 +56,7 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "InjectedCorruption",
+    "InjectedWorkerCrash",
     "EXAMPLE_PLANS",
 ]
 
@@ -57,7 +64,7 @@ __all__ = [
 SITES = ("registry.get", "store.load", "executor.job", "shard.query")
 
 #: what a spec can do when it fires
-KINDS = ("latency", "error", "corrupt", "stall")
+KINDS = ("latency", "error", "corrupt", "stall", "crash")
 
 
 class InjectedFault(EngineError):
@@ -74,6 +81,19 @@ class InjectedCorruption(InjectedFault):
     """
 
     reason = "injected_corruption"
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A ``crash`` spec fired: this job's worker should die mid-batch.
+
+    The process backend catches this at submit time and marks the job
+    so the worker that picks it up calls ``os._exit`` -- producing a
+    real ``BrokenProcessPool`` in the parent, exactly like a SIGKILL'd
+    worker.  The thread backend cannot kill a worker, so there the
+    exception simply propagates as the job's failure.
+    """
+
+    reason = "injected_worker_crash"
 
 
 @dataclass(frozen=True)
@@ -173,11 +193,17 @@ class FaultInjector:
     def active(self) -> bool:
         return bool(self.plan.specs)
 
-    def fire(self, site: str, **ctx) -> None:
+    def fire(self, site: str, only_kinds: Optional[Tuple[str, ...]] = None,
+             **ctx) -> None:
         """Evaluate the plan at one site; may sleep or raise.
 
         At most one spec raises per call (the first due one, in plan
-        order); latency/stall specs all sleep before that.
+        order); latency/stall specs all sleep before that.  With
+        ``only_kinds`` the other specs are skipped *without counting an
+        arrival* -- the process backend uses this to evaluate
+        error/crash specs once in the parent (global, deterministic
+        schedules) and latency/stall specs in the worker that runs the
+        job (so a stalled shard delays only itself).
         """
         indexes = self._by_site.get(site)
         if not indexes:
@@ -186,6 +212,8 @@ class FaultInjector:
         naps = 0.0
         for i in indexes:
             spec = self.plan.specs[i]
+            if only_kinds is not None and spec.kind not in only_kinds:
+                continue
             if not spec.matches(ctx):
                 continue
             with self._lock:
@@ -207,6 +235,7 @@ class FaultInjector:
                                        + (f" {dict(spec.match)}" if spec.match
                                           else ""))
                 cls = (InjectedCorruption if spec.kind == "corrupt"
+                       else InjectedWorkerCrash if spec.kind == "crash"
                        else InjectedFault)
                 to_raise = cls(msg)
         if naps:
@@ -261,6 +290,12 @@ EXAMPLE_PLANS: Dict[str, FaultPlan] = {
     ), seed=7),
     "corrupt": FaultPlan(specs=(
         FaultSpec(site="store.load", kind="corrupt", probability=0.5),
+    ), seed=7),
+    # the process-pool story: the first two jobs get their worker
+    # SIGKILL'd mid-batch (pool restart + resubmit), then the budget is
+    # spent and the retried batches complete
+    "workercrash": FaultPlan(specs=(
+        FaultSpec(site="executor.job", kind="crash", times=2),
     ), seed=7),
     "none": FaultPlan(),
 }

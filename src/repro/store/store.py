@@ -101,11 +101,18 @@ class IndexStore:
 
     def __init__(self, cache_dir, budget_bytes: Optional[int] = None,
                  observer: Optional[Callable[[str], None]] = None,
-                 retry=None, injector=None):
+                 retry=None, injector=None, readonly: bool = False):
         if budget_bytes is not None and budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
         self.cache_dir = os.fspath(cache_dir)
         self.budget_bytes = budget_bytes
+        #: a read-only store never writes: no spills, no mtime refresh
+        #: on hit, and a corrupt file is reported as a miss instead of
+        #: quarantined.  Process-pool workers open the parent's cache
+        #: dir this way, so concurrent workers cannot race the owning
+        #: engine's GC/quarantine and shutdown spills happen exactly
+        #: once -- in the parent.
+        self.readonly = bool(readonly)
         self._observer = observer
         self.retry = retry            # Optional[resilience.RetryPolicy]
         self._injector = injector     # Optional[resilience.FaultInjector]
@@ -143,6 +150,8 @@ class IndexStore:
         The build accounting rides in the manifest so a later disk hit
         can report the original build cost instead of zeros.
         """
+        if self.readonly:
+            raise RuntimeError("IndexStore is read-only; put() refused")
         key_id = store_key_id(key)
         final = os.path.join(self.cache_dir, key_id + ".npz")
         with self._lock:
@@ -189,12 +198,20 @@ class IndexStore:
             else:
                 tree = self._load_with_retry(path, key_id)
                 if tree is None:
-                    self._quarantine_locked(key_id)
-                    self.corrupt_evictions += 1
-                    event = "corrupt_eviction"
+                    if self.readonly:
+                        # leave the file for the owning engine's
+                        # quarantine machinery; to this reader it is
+                        # just a miss (caller rebuilds)
+                        self.disk_misses += 1
+                        event = "disk_miss"
+                    else:
+                        self._quarantine_locked(key_id)
+                        self.corrupt_evictions += 1
+                        event = "corrupt_eviction"
                 else:
                     manifest = self._read_manifest(key_id) or {}
-                    os.utime(path)
+                    if not self.readonly:
+                        os.utime(path)
                     self.disk_hits += 1
                     self._notify("disk_hit")
                     return tree, manifest

@@ -25,6 +25,12 @@ not the right oracle there.
 The ``slow``-marked variant repeats the sweep on larger maps; tier-1
 excludes it (``-m "not slow"`` in addopts) and CI runs it in a second
 job with the same fixed seeds.
+
+``test_engine_differential_across_backends`` lifts the same identity
+one layer up: probes through :class:`repro.engine.SpatialQueryEngine`
+against the brute oracle, on both the thread and the process executor
+backends (the process cells are ``slow``-marked -- pool spin-up per
+cell -- and run in CI's process-backend job).
 """
 
 import numpy as np
@@ -148,3 +154,54 @@ def test_sharded_identity_large_maps(family, structure, shards, ordering,
                                      seed):
     run_differential(family, structure, shards, ordering, seed=seed,
                      big=True, probes=25)
+
+
+def run_engine_differential(family, structure, shards, backend, seed,
+                            probes=8):
+    """Engine answers == brute oracle, on either executor backend.
+
+    Both backends check against the same oracle, so passing here also
+    certifies thread/process bit-identity transitively: process workers
+    rebuild their trees from the shipped dataset snapshot through the
+    very same deterministic builders the parent uses.
+    """
+    from repro.engine import SpatialQueryEngine
+
+    lines = np.unique(make_family(family, seed), axis=0)
+    with SpatialQueryEngine(structure=structure, shards=shards,
+                            ordering="hilbert", max_batch=64, max_wait=0.3,
+                            workers=2, executor=backend) as eng:
+        fp = eng.register(lines, domain=DOMAIN)
+        rng = np.random.default_rng(seed + 2000)
+        rects = probe_windows(rng, probes)
+        pts = rng.uniform(0, DOMAIN, (probes, 2))
+        mids = 0.5 * (lines[:, 0:2] + lines[:, 2:4])
+        pts[::2] = mids[rng.integers(0, mids.shape[0], pts[::2].shape[0])]
+        w = [eng.submit_window(fp, r) for r in rects]
+        p = [eng.submit_point(fp, pt) for pt in pts]
+        n = [eng.submit_nearest(fp, pt) for pt in pts]
+        eng.flush()
+        for fut, rect in zip(w, rects):
+            assert np.array_equal(fut.result(120),
+                                  brute_window_query(lines, rect)), \
+                (family, structure, shards, backend, "window")
+        for fut, (px, py) in zip(p, pts):
+            got = np.intersect1d(fut.result(120),
+                                 brute_point_query(lines, px, py))
+            assert np.array_equal(got, brute_point_query(lines, px, py)), \
+                (family, structure, shards, backend, "point")
+        for fut, (px, py) in zip(n, pts):
+            gid, d = fut.result(120)
+            bid, bd = brute_nearest(lines, px, py)
+            assert (gid, d) == (bid, pytest.approx(bd)), \
+                (family, structure, shards, backend, "nearest")
+
+
+@pytest.mark.parametrize("backend", [
+    "thread", pytest.param("process", marks=pytest.mark.slow)])
+@pytest.mark.parametrize("shards", (1, 3))
+@pytest.mark.parametrize("structure", STRUCTURES)
+@pytest.mark.parametrize("family", ["uniform", "clustered"])
+def test_engine_differential_across_backends(family, structure, shards,
+                                             backend):
+    run_engine_differential(family, structure, shards, backend, seed=17)
