@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Serving smoke against a live server: overload arrives structured.
+
+Expects a networked server already listening (see the README's
+two-terminal quickstart)::
+
+    PYTHONPATH=src python -m repro serve --listen 127.0.0.1:8723 \
+        --n 20000 --shards 4 --workers 1 --client-inflight 8
+
+Then::
+
+    PYTHONPATH=src python examples/serving_smoke.py 127.0.0.1:8723
+
+The script pipelines a burst of full-domain window queries with a 1 ms
+deadline down one connection and asserts the admission-control story
+end to end: some answers are full 200s, expired deadlines come back as
+206 partials carrying ``shards_dropped`` (never timeouts), the
+requests beyond the per-client in-flight cap are structured 429s with
+a ``retry_after_ms`` hint (never hangs), and the connection survives
+the whole burst.  CI runs exactly this pair of commands.
+"""
+
+import sys
+
+from repro.net import ServeClient
+
+BURST = 200
+DEADLINE_MS = 1
+
+
+def main() -> int:
+    host, _, port = sys.argv[1].partition(":") if len(sys.argv) > 1 \
+        else ("127.0.0.1", ":", "8723")
+    with ServeClient(host, int(port), connect_timeout=10.0) as client:
+        target = client.datasets()["result"][0]
+        fp, domain = target["fingerprint"], float(target["domain"])
+        rect = [0.0, 0.0, domain, domain]
+
+        for i in range(BURST):
+            client.send_only({"id": i, "kind": "window", "fingerprint": fp,
+                              "rect": rect, "deadline_ms": DEADLINE_MS})
+        statuses = {}
+        partial_fields_ok = True
+        throttle_hint_ok = True
+        for _ in range(BURST):
+            resp = client.recv()
+            assert resp is not None, "server hung up mid-burst"
+            statuses[resp["status"]] = statuses.get(resp["status"], 0) + 1
+            if resp["status"] == 206:
+                partial_fields_ok &= (resp.get("shards_dropped", 0) >= 1
+                                      and "result" in resp)
+            elif resp["status"] == 429:
+                throttle_hint_ok &= resp.get("retry_after_ms", 0) >= 1
+
+        health = client.health()["result"]
+
+    print(f"burst of {BURST} x window(deadline={DEADLINE_MS}ms): "
+          f"statuses {sorted(statuses.items())}")
+    assert statuses.get(206, 0) >= 1, \
+        f"expected deadline expiries as 206 partials, got {statuses}"
+    assert statuses.get(429, 0) >= 1, \
+        f"expected in-flight-cap backpressure as 429s, got {statuses}"
+    assert sum(statuses.values()) == BURST, "responses went missing"
+    assert set(statuses) <= {200, 206, 429}, f"unexpected statuses {statuses}"
+    assert partial_fields_ok, "a 206 lacked shards_dropped/result"
+    assert throttle_hint_ok, "a 429 lacked a retry_after_ms hint"
+    assert health["server"]["admission"]["inflight"] == 0, \
+        "in-flight leak after the burst drained"
+    print(f"ok: {statuses.get(200, 0)} full, {statuses.get(206, 0)} partial "
+          f"(deadline expiry), {statuses.get(429, 0)} throttled; "
+          f"no hangs, no unstructured failures")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the everyday entry points:
+Eight subcommands cover the everyday entry points:
 
 ``build``
     Generate (or take the paper's) map, run one of the data-parallel
@@ -12,14 +12,28 @@ Six subcommands cover the everyday entry points:
     Spatial join of two generated maps through a chosen structure,
     verified against brute force.
 ``serve``
-    Drive the concurrent batched query engine (:mod:`repro.engine`)
-    with a mixed probe workload from several client threads and print
-    the serving statistics (throughput, batching, cache, latency).
-    ``--cache-dir`` attaches the persistent index store so evicted
-    indexes spill to disk and later runs warm-start from it.
-    ``--backend process`` swaps the thread pool for a process pool:
-    shared-nothing workers sidestep the GIL for true multi-core
-    fan-out (also on ``build`` and ``chaos``).
+    Serve the concurrent batched query engine (:mod:`repro.engine`),
+    in one of two modes.  ``--demo`` drives it in-process with a mixed
+    probe workload from several client threads and prints the serving
+    statistics (throughput, batching, cache, latency).  ``--listen
+    HOST:PORT`` is the networked mode: an asyncio TCP server
+    (:mod:`repro.net`) speaking the length-prefixed JSON protocol,
+    with admission control surfacing backpressure/breakers/deadlines
+    as structured 429/206/503 responses.  ``--cache-dir`` attaches
+    the persistent index store so evicted indexes spill to disk and
+    later runs warm-start from it.  ``--backend process`` swaps the
+    thread pool for a process pool: shared-nothing workers sidestep
+    the GIL for true multi-core fan-out (also on ``build`` and
+    ``chaos``).
+``loadgen``
+    Multi-process open-loop load generator against a running
+    ``serve --listen`` server: drives a qps ramp, prints the overload
+    curve (sustained qps, p50/p99, throttle/shed/error rates), and
+    writes ``BENCH_serving.json``.
+``health``
+    Scrape a running server's ``health`` request kind -- engine,
+    executor, breaker, and server-edge state; ``--json`` emits the
+    raw machine-readable document.
 ``store``
     Inspect and manage a persistent index store directory
     (:mod:`repro.store`): ``ls`` the entries, ``gc`` down to a byte
@@ -231,25 +245,106 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(spec: str) -> tuple:
+    """``HOST:PORT`` (or ``:PORT`` for localhost) -> ``(host, port)``."""
+    if ":" not in spec:
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    host, _, port = spec.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad port in {spec!r}")
+
+
+def _serve_engine(args: argparse.Namespace):
+    from .engine import SpatialQueryEngine
+
+    return SpatialQueryEngine(structure=args.structure,
+                              capacity=args.capacity,
+                              max_batch=args.max_batch,
+                              max_wait=args.max_wait,
+                              workers=args.workers,
+                              queue_depth=args.queue_depth,
+                              executor=args.backend,
+                              shards=args.shards,
+                              ordering=args.ordering,
+                              cache_dir=args.cache_dir,
+                              disk_budget_bytes=args.disk_budget_bytes)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen and args.demo:
+        raise SystemExit("serve: --demo and --listen are mutually exclusive")
+    if args.listen:
+        return _serve_listen(args)
+    if not args.demo:
+        raise SystemExit("serve: pick a mode -- --demo (in-process demo "
+                         "workload) or --listen HOST:PORT (network server)")
+    return _serve_demo(args)
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """Networked serving: the asyncio front-end over one warm engine."""
+    import asyncio
+
+    from .net import SpatialServer
+
+    host, port = _parse_hostport(args.listen)
+    lines = _make_map(args.map, args.n, args.domain, args.seed)
+    engine = _serve_engine(args)
+    with engine:
+        fp = engine.register(lines, domain=args.domain)
+        engine.warm(fp)
+        server = SpatialServer(engine, host, port,
+                               max_connections=args.max_connections,
+                               max_inflight=args.max_inflight,
+                               client_inflight=args.client_inflight,
+                               client_rate=args.client_rate,
+                               client_burst=args.client_burst,
+                               request_timeout=args.request_timeout)
+
+        async def main() -> None:
+            h, p = await server.start()
+            print(f"serving {args.map} map ({lines.shape[0]} segments, "
+                  f"structure {args.structure}, backend {args.backend}) "
+                  f"on {h}:{p}", flush=True)
+            print(f"dataset fingerprint {fp}", flush=True)
+            print(f"try: python -m repro loadgen --connect {h}:{p}   "
+                  f"(ctrl-c stops the server)", flush=True)
+            await server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+        srv = server.stats.snapshot()
+        adm = server.admission.snapshot()
+        print()
+        print(format_table(
+            ["metric", "value"],
+            [["connections", srv["connections_total"]],
+             ["connections shed", srv["connections_shed"]],
+             ["requests", srv["requests_total"]],
+             ["responses by status",
+              ", ".join(f"{k}:{v}" for k, v in srv["per_status"].items())
+              or "none"],
+             ["throttled (429)", adm["requests_throttled"]],
+             ["shed (503)", adm["requests_shed"]],
+             ["cancelled in-flight", srv["cancelled_inflight"]],
+             ["bytes in/out",
+              f"{_fmt_bytes(srv['bytes_in'])} / "
+              f"{_fmt_bytes(srv['bytes_out'])}"]],
+            title="server stats"))
+    return 0
+
+
+def _serve_demo(args: argparse.Namespace) -> int:
     import threading
     import time as _time
 
-    from .engine import SpatialQueryEngine
-
     lines = _make_map(args.map, args.n, args.domain, args.seed)
     rng = np.random.default_rng(args.seed + 7)
-    engine = SpatialQueryEngine(structure=args.structure,
-                                capacity=args.capacity,
-                                max_batch=args.max_batch,
-                                max_wait=args.max_wait,
-                                workers=args.workers,
-                                queue_depth=args.queue_depth,
-                                executor=args.backend,
-                                shards=args.shards,
-                                ordering=args.ordering,
-                                cache_dir=args.cache_dir,
-                                disk_budget_bytes=args.disk_budget_bytes)
+    engine = _serve_engine(args)
     with engine:
         fp = engine.register(lines, domain=args.domain)
         engine.warm(fp)
@@ -461,6 +556,101 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .net import ServeClient
+    from .net.client import ServeConnectionError
+
+    host, port = _parse_hostport(args.connect)
+    try:
+        with ServeClient(host, port, connect_timeout=args.timeout) as client:
+            resp = client.health()
+    except ServeConnectionError as exc:
+        raise SystemExit(f"health: {exc}")
+    if resp.get("status") != 200:
+        print(f"health request failed: {resp}", file=sys.stderr)
+        return 1
+    result = resp["result"]
+    if args.json:
+        print(_json.dumps(result, indent=2))
+        return 0
+    srv = result["server"]
+    adm = srv["admission"]
+    eng = result["engine"]
+    ex = eng["executor"]
+    print(format_table(
+        ["metric", "value"],
+        [["status", result["status"]],
+         ["listen", f"{result['listen']['host']}:{result['listen']['port']}"],
+         ["connections open", srv["connections_open"]],
+         ["in-flight", adm["inflight"]],
+         ["requests", srv["requests_total"]],
+         ["responses by status",
+          ", ".join(f"{k}:{v}" for k, v in srv["per_status"].items())
+          or "none"],
+         ["throttled (429)", adm["requests_throttled"]],
+         ["shed (503)", adm["requests_shed"] + adm["connections_shed"]],
+         ["cancelled in-flight", srv["cancelled_inflight"]]],
+        title=f"server {host}:{port}"))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["backend", f"{ex['backend']} x{ex['workers']}"],
+         ["breakers open/half-open",
+          ", ".join(eng["breakers_not_closed"]) or "none"],
+         ["breaker trips", eng["breaker_trips"]],
+         ["retries", sum(eng["retries"].values())],
+         ["partial results", eng["partial_results"]],
+         ["queue depth", eng["queue_depth"]],
+         ["pending probes", eng["pending_probes"]]],
+        title="engine health"))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .net.loadgen import DEFAULT_MIX, run_loadgen
+
+    host, port = _parse_hostport(args.connect)
+    try:
+        stages = [float(q) for q in args.qps.split(",") if q.strip()]
+    except ValueError:
+        raise SystemExit(f"--qps must be a comma list of rates, "
+                         f"got {args.qps!r}")
+    if not stages:
+        raise SystemExit("--qps must name at least one stage")
+    mix = DEFAULT_MIX
+    if args.mix:
+        mix = {}
+        for part in args.mix.split(","):
+            kind, _, weight = part.partition(":")
+            if kind not in ("window", "point", "nearest") or not weight:
+                raise SystemExit(f"bad --mix entry {part!r}")
+            mix[kind] = float(weight)
+    from .net.client import ServeConnectionError
+    try:
+        report = run_loadgen(host, port, stages, duration=args.duration,
+                             procs=args.procs, conns=args.conns, mix=mix,
+                             deadline_ms=args.deadline_ms, grace=args.grace,
+                             seed=args.seed, out_path=args.out)
+    except (ServeConnectionError, RuntimeError) as exc:
+        raise SystemExit(f"loadgen: {exc}")
+    rows = [[s["offered_qps"], s["achieved_qps"], s["p50_ms"], s["p99_ms"],
+             s["ok"], s["partial"], s["throttled_429"], s["shed_503"],
+             s["errors"]]
+            for s in report["stages"]]
+    print(format_table(
+        ["offered", "achieved", "p50 ms", "p99 ms", "200", "206", "429",
+         "503", "err"],
+        rows, title=f"open-loop ramp against {host}:{port} "
+                    f"({args.procs} procs x {args.conns} conns)"))
+    print()
+    print(f"notes: {report['notes']}")
+    if args.out:
+        print(f"report written to {args.out}")
+    return 0
+
+
 #: engine-compatible build params per structure (mirrors
 #: SpatialQueryEngine._index_key so `store prefetch` seeds the exact
 #: keys a later engine run will probe)
@@ -594,7 +784,28 @@ def _parser() -> argparse.ArgumentParser:
     j.set_defaults(fn=_cmd_join)
 
     s = sub.add_parser("serve",
-                       help="drive the batched query engine with a workload")
+                       help="serve the batched query engine: --demo "
+                            "(in-process workload) or --listen HOST:PORT "
+                            "(network server)")
+    s.add_argument("--demo", action="store_true",
+                   help="in-process demo: drive the engine with a synthetic "
+                        "workload from client threads and print stats")
+    s.add_argument("--listen", metavar="HOST:PORT", default=None,
+                   help="networked mode: asyncio TCP server speaking the "
+                        "length-prefixed JSON protocol (port 0 picks a "
+                        "free port)")
+    s.add_argument("--max-connections", type=int, default=256,
+                   help="connection cap; excess sockets get one 503 frame")
+    s.add_argument("--max-inflight", type=int, default=1024,
+                   help="global in-flight cap; past it requests shed (503)")
+    s.add_argument("--client-inflight", type=int, default=64,
+                   help="per-connection in-flight fairness cap (429)")
+    s.add_argument("--client-rate", type=float, default=None,
+                   help="per-connection token-bucket rate (req/s, 429)")
+    s.add_argument("--client-burst", type=float, default=None,
+                   help="token-bucket burst (default: rate/4 + 1)")
+    s.add_argument("--request-timeout", type=float, default=30.0,
+                   help="server-side wall cap per request (seconds)")
     s.add_argument("--structure", choices=("pmr", "pm1", "rtree"),
                    default="pmr")
     s.add_argument("--map", choices=MAPS, default="uniform")
@@ -626,6 +837,41 @@ def _parser() -> argparse.ArgumentParser:
                    help="store byte budget (requires --cache-dir)")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_serve)
+
+    lg = sub.add_parser("loadgen",
+                        help="open-loop multi-process load generator "
+                             "against a serve --listen server")
+    lg.add_argument("--connect", metavar="HOST:PORT", required=True,
+                    help="server address")
+    lg.add_argument("--qps", default="100,200,400,800",
+                    help="comma list of offered rates (one stage each)")
+    lg.add_argument("--duration", type=float, default=2.0,
+                    help="seconds per stage")
+    lg.add_argument("--procs", type=int, default=2,
+                    help="load-generator worker processes")
+    lg.add_argument("--conns", type=int, default=4,
+                    help="pipelined connections per worker")
+    lg.add_argument("--mix", default=None,
+                    help="probe mix, e.g. window:0.6,point:0.2,nearest:0.2")
+    lg.add_argument("--deadline-ms", type=float, default=None,
+                    help="per-request deadline budget (expired sharded "
+                         "fan-outs degrade to 206)")
+    lg.add_argument("--grace", type=float, default=2.0,
+                    help="post-stage wait for in-flight responses (seconds)")
+    lg.add_argument("--out", default="BENCH_serving.json",
+                    help="JSON report path ('' to skip writing)")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.set_defaults(fn=_cmd_loadgen)
+
+    h = sub.add_parser("health",
+                       help="scrape a running server's health document")
+    h.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="server address")
+    h.add_argument("--json", action="store_true",
+                   help="print the raw JSON document instead of tables")
+    h.add_argument("--timeout", type=float, default=5.0,
+                   help="connect timeout (seconds)")
+    h.set_defaults(fn=_cmd_health)
 
     c = sub.add_parser("chaos",
                        help="drive the engine under an injected fault plan")

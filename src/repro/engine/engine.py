@@ -210,6 +210,15 @@ class SpatialQueryEngine:
         """Dynamic delete: new fingerprint, stale indexes invalidated."""
         return self.registry.delete_lines(fingerprint, ids)
 
+    def datasets_info(self) -> List[Dict[str, object]]:
+        """One row per registered dataset (fingerprint, size, domain).
+
+        The serving front-end (:mod:`repro.net`) exposes this as the
+        ``datasets`` request kind so network clients can discover what
+        to probe without an out-of-band fingerprint exchange.
+        """
+        return self.registry.datasets_info()
+
     def warm(self, fingerprint: str, structure: Optional[str] = None) -> None:
         """Build (or touch) the index ahead of traffic.
 
@@ -1265,6 +1274,10 @@ class _ShardedMerge:
             self.done = True
             dropped = self.remaining if partial else 0
             completed = self.completed_jobs
+            if partial and dropped == 0 and completed == 0:
+                # the deadline beat the fan-out itself: no job was even
+                # dispatched, so every shard's contribution was dropped
+                dropped = self.sharded.num_shards
         if self.timer is not None:
             self.timer.cancel()
         values = self._merged_values()

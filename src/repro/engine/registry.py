@@ -201,6 +201,14 @@ class IndexRegistry:
             except KeyError:
                 raise KeyError(f"unknown dataset fingerprint {fingerprint!r}")
 
+    def datasets_info(self):
+        """Registration order, one row per dataset -- what a network
+        client needs to address probes (the ``datasets`` request kind)."""
+        with self._lock:
+            return [{"fingerprint": fp, "num_lines": int(arr.shape[0]),
+                     "domain": int(self._domains[fp])}
+                    for fp, arr in self._datasets.items()]
+
     def forget(self, fingerprint: str) -> None:
         """Drop a dataset and every index built from it."""
         with self._lock:

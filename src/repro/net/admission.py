@@ -1,0 +1,190 @@
+"""Admission control: who gets into the engine, and who waits.
+
+The engine already *has* overload machinery -- a bounded executor that
+rejects, breakers that fail fast, deadlines that degrade -- but those
+trigger deep in the stack, after a request has bought coalescer and
+queue space.  The admission layer sits at the socket edge and spends
+three cheaper verdicts first, in order:
+
+1. **brownout** -- a global in-flight cap.  Past it the server sheds
+   load with :data:`~repro.net.protocol.SHED` (503) instead of letting
+   queues build until every client times out at once;
+2. **per-client fairness** -- an in-flight cap per connection, so one
+   firehose client cannot occupy the whole in-flight window while
+   polite clients starve (:data:`~repro.net.protocol.RETRY_AFTER`,
+   reason ``client_inflight``);
+3. **per-client rate** -- an optional token bucket per connection
+   (``client_rate`` requests/second, burst ``client_burst``), the
+   classic smooth-rate cap (429, reason ``rate_limited``).
+
+Connection admission is separate: past ``max_connections`` a new
+socket gets one 503 frame (reason ``max_connections``) and a close.
+
+Every verdict is computed on the event loop thread -- no locks, just
+integers -- which is the point: admission must stay cheap when the
+server is busiest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .protocol import RETRY_AFTER, SHED
+
+__all__ = ["TokenBucket", "Admission", "AdmissionController"]
+
+
+class TokenBucket:
+    """The classic leaky-bucket rate limiter, monotonic-clock driven.
+
+    ``rate`` tokens/second refill up to ``burst`` capacity;
+    :meth:`try_take` spends one or reports how long until one exists.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self) -> float:
+        """Take one token; 0.0 on success, else seconds until the next."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One verdict: admitted, or a status/reason/retry hint to answer."""
+
+    ok: bool
+    status: int = 0
+    reason: str = ""
+    retry_after: float = 0.0
+
+
+_ADMIT = Admission(True)
+
+
+class _ClientState:
+    __slots__ = ("inflight", "bucket")
+
+    def __init__(self, bucket: Optional[TokenBucket]):
+        self.inflight = 0
+        self.bucket = bucket
+
+
+class AdmissionController:
+    """Connection and request admission for one server.
+
+    All methods run on the server's event loop thread; the counters are
+    plain integers by design (no locks on the hot path).
+    """
+
+    def __init__(self, max_connections: int = 256, max_inflight: int = 1024,
+                 client_inflight: int = 64,
+                 client_rate: Optional[float] = None,
+                 client_burst: Optional[float] = None,
+                 retry_hint: float = 0.05,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if client_inflight < 1:
+            raise ValueError("client_inflight must be >= 1")
+        if client_rate is not None and client_rate <= 0:
+            raise ValueError("client_rate must be > 0")
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        self.client_inflight = client_inflight
+        self.client_rate = client_rate
+        self.client_burst = (client_burst if client_burst is not None
+                             else (client_rate or 0) * 0.25 + 1)
+        self.retry_hint = retry_hint
+        self._clock = clock
+        self.connections = 0
+        self.inflight = 0
+        self.connections_shed = 0
+        self.requests_shed = 0        # 503 brownout verdicts
+        self.requests_throttled = 0   # 429 fairness/rate verdicts
+        self._clients: Dict[int, _ClientState] = {}
+
+    # -- connections -----------------------------------------------------
+
+    def connect(self, client_id: int) -> bool:
+        """Admit one new connection; ``False`` means shed it (503)."""
+        if self.connections >= self.max_connections:
+            self.connections_shed += 1
+            return False
+        self.connections += 1
+        bucket = (TokenBucket(self.client_rate, self.client_burst,
+                              self._clock)
+                  if self.client_rate is not None else None)
+        self._clients[client_id] = _ClientState(bucket)
+        return True
+
+    def disconnect(self, client_id: int) -> None:
+        state = self._clients.pop(client_id, None)
+        if state is not None:
+            self.connections -= 1
+            self.inflight -= state.inflight
+
+    # -- requests --------------------------------------------------------
+
+    def admit(self, client_id: int) -> Admission:
+        """One request's verdict; an admitted request holds an in-flight
+        slot until :meth:`release`."""
+        state = self._clients[client_id]
+        if self.inflight >= self.max_inflight:
+            self.requests_shed += 1
+            return Admission(False, SHED, "brownout", self.retry_hint)
+        if state.inflight >= self.client_inflight:
+            self.requests_throttled += 1
+            return Admission(False, RETRY_AFTER, "client_inflight",
+                             self.retry_hint)
+        if state.bucket is not None:
+            wait = state.bucket.try_take()
+            if wait > 0.0:
+                self.requests_throttled += 1
+                return Admission(False, RETRY_AFTER, "rate_limited", wait)
+        self.inflight += 1
+        state.inflight += 1
+        return _ADMIT
+
+    def release(self, client_id: int) -> None:
+        state = self._clients.get(client_id)
+        if state is None:
+            return   # connection already torn down; disconnect() settled it
+        state.inflight -= 1
+        self.inflight -= 1
+
+    # -- readout ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "max_connections": self.max_connections,
+            "max_inflight": self.max_inflight,
+            "client_inflight": self.client_inflight,
+            "client_rate": self.client_rate,
+            "connections": self.connections,
+            "inflight": self.inflight,
+            "connections_shed": self.connections_shed,
+            "requests_shed": self.requests_shed,
+            "requests_throttled": self.requests_throttled,
+        }

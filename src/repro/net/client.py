@@ -1,0 +1,144 @@
+"""A blocking client for the wire protocol.
+
+:class:`ServeClient` is the synchronous counterpart of the asyncio
+server: one TCP connection, one request at a time, the full response
+dict back (``status``, ``result``, ``reason``, ...).  It deliberately
+does **not** raise on non-200 statuses -- 429/206/503 are normal
+vocabulary of an admission-controlled server and callers (the load
+generator, the CLI, the tests) branch on them; only transport-level
+failures raise :class:`ServeConnectionError`.
+
+The load generator uses its own pipelined asyncio path; this client is
+for everything that wants simple call-and-response semantics::
+
+    with ServeClient("127.0.0.1", 8723) as c:
+        fp = c.datasets()["result"][0]["fingerprint"]
+        resp = c.window(fp, [100, 100, 400, 300])
+        if resp["status"] == 200:
+            ids = resp["result"]
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import List, Optional
+
+from .protocol import ProtocolError, recv_frame_sock, send_frame_sock
+
+__all__ = ["ServeConnectionError", "ServeClient", "connect_with_retry"]
+
+
+class ServeConnectionError(ConnectionError):
+    """The server is unreachable or hung up mid-exchange."""
+
+
+def connect_with_retry(host: str, port: int, timeout: float = 5.0,
+                       interval: float = 0.05) -> socket.socket:
+    """Dial until the listener is up (races server startup in CI)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise ServeConnectionError(
+                    f"no server at {host}:{port} within {timeout}s") from exc
+            time.sleep(interval)
+
+
+class ServeClient:
+    """One blocking protocol connection with sequential request/response."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 connect_timeout: float = 5.0):
+        self.host = host
+        self.port = port
+        self._sock = connect_with_retry(host, port, timeout=connect_timeout)
+        self._sock.settimeout(timeout)
+        self._next_id = 0
+        self._closed = False
+
+    # -- plumbing --------------------------------------------------------
+
+    def request(self, kind: str, **fields) -> dict:
+        """Send one request and block for its response."""
+        self._next_id += 1
+        req = {"id": self._next_id, "kind": kind, **{
+            k: v for k, v in fields.items() if v is not None}}
+        try:
+            send_frame_sock(self._sock, req)
+            while True:
+                resp = recv_frame_sock(self._sock)
+                if resp is None:
+                    raise ServeConnectionError(
+                        "server closed the connection (shed or shutdown)")
+                if resp.get("id") in (self._next_id, None):
+                    return resp
+                # a stale response from an earlier abandoned exchange
+        except (OSError, ProtocolError) as exc:
+            raise ServeConnectionError(str(exc)) from exc
+
+    def send_only(self, obj: dict) -> None:
+        """Fire one raw frame without reading (pipelining in tests)."""
+        try:
+            send_frame_sock(self._sock, obj)
+        except OSError as exc:
+            raise ServeConnectionError(str(exc)) from exc
+
+    def recv(self) -> Optional[dict]:
+        """Read one raw frame (pairs with :meth:`send_only`)."""
+        try:
+            return recv_frame_sock(self._sock)
+        except (OSError, ProtocolError) as exc:
+            raise ServeConnectionError(str(exc)) from exc
+
+    # -- request kinds ---------------------------------------------------
+
+    def window(self, fingerprint: str, rect: List[float],
+               structure: Optional[str] = None, exact: Optional[bool] = None,
+               deadline_ms: Optional[float] = None) -> dict:
+        return self.request("window", fingerprint=fingerprint,
+                            rect=list(rect), structure=structure,
+                            exact=exact, deadline_ms=deadline_ms)
+
+    def point(self, fingerprint: str, point: List[float],
+              structure: Optional[str] = None, exact: Optional[bool] = None,
+              deadline_ms: Optional[float] = None) -> dict:
+        return self.request("point", fingerprint=fingerprint,
+                            point=list(point), structure=structure,
+                            exact=exact, deadline_ms=deadline_ms)
+
+    def nearest(self, fingerprint: str, point: List[float],
+                structure: Optional[str] = None,
+                deadline_ms: Optional[float] = None) -> dict:
+        return self.request("nearest", fingerprint=fingerprint,
+                            point=list(point), structure=structure,
+                            deadline_ms=deadline_ms)
+
+    def join(self, fingerprint: str, fingerprint_b: str,
+             structure: Optional[str] = None) -> dict:
+        return self.request("join", fingerprint=fingerprint,
+                            fingerprint_b=fingerprint_b, structure=structure)
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    def datasets(self) -> dict:
+        return self.request("datasets")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,424 @@
+"""The asyncio serving front-end over :class:`SpatialQueryEngine`.
+
+:class:`SpatialServer` binds a TCP port, speaks the length-prefixed
+JSON protocol of :mod:`repro.net.protocol`, and feeds every admitted
+probe into the engine's request coalescer -- so concurrent network
+clients share the same vectorized engine batches that in-process
+callers do.  The bridge from the asyncio world to the engine's
+thread-side futures is :func:`asyncio.wrap_future`: the engine keeps
+returning ``concurrent.futures.Future`` and the connection handler
+awaits it without blocking the loop; cancelling the awaiting task
+(client gone, server timeout) cancels the probe future, which the
+coalescer's batch delivery already tolerates -- a dropped client never
+stalls or poisons the batch its probe rode in.
+
+What the wire adds on top of the engine:
+
+* **admission control** (:mod:`repro.net.admission`) -- brownout
+  shedding, per-client in-flight fairness, optional per-client rate
+  limits -- answered as structured 503/429 frames *before* the request
+  costs engine resources;
+* **status mapping** -- the engine's overload and failure vocabulary
+  becomes protocol statuses: executor backpressure and open breakers
+  are 429 ``RETRY_AFTER`` (with a ``retry_after_ms`` hint), an expired
+  deadline's :class:`~repro.resilience.PartialResult` is a 206 carrying
+  ``shards_dropped``, unknown fingerprints are 404, schema errors 400,
+  engine faults 500;
+* **observability** -- :class:`ServerStats` counts connections,
+  requests per kind, responses per status, bytes both ways, and
+  mid-flight disconnects; the ``health`` request kind (never
+  admission-controlled) returns it next to the engine's own
+  :meth:`~repro.engine.SpatialQueryEngine.health` snapshot.
+
+:class:`ServerThread` runs a server on a background event loop for
+tests, benchmarks, and embedding into synchronous programs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from ..resilience import CircuitOpenError, PartialResult
+from ..errors import EngineError
+from ..engine.executor import RejectedError
+from .admission import AdmissionController
+from .protocol import (BAD_REQUEST, INTERNAL, NOT_FOUND, OK, PARTIAL,
+                       RETRY_AFTER, SHED, ProtocolError, jsonable,
+                       parse_request, read_frame, write_frame)
+
+__all__ = ["ServerStats", "SpatialServer", "ServerThread"]
+
+
+class ServerStats:
+    """Socket-edge counters (loop-thread only; read via :meth:`snapshot`)."""
+
+    def __init__(self):
+        self.connections_total = 0
+        self.connections_open = 0
+        self.connections_shed = 0
+        self.disconnects_inflight = 0   # connections dropped with work pending
+        self.requests_total = 0
+        self.per_kind: Dict[str, int] = {}
+        self.per_status: Dict[int, int] = {}
+        self.cancelled_inflight = 0     # probe futures cancelled on disconnect
+        self.request_timeouts = 0       # server-side wall cap expirations
+        self.bad_frames = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def record_request(self, kind: str) -> None:
+        self.requests_total += 1
+        self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
+
+    def record_response(self, status: int) -> None:
+        self.per_status[status] = self.per_status.get(status, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "connections_total": self.connections_total,
+            "connections_open": self.connections_open,
+            "connections_shed": self.connections_shed,
+            "disconnects_inflight": self.disconnects_inflight,
+            "requests_total": self.requests_total,
+            "per_kind": dict(self.per_kind),
+            "per_status": {str(k): v
+                           for k, v in sorted(self.per_status.items())},
+            "cancelled_inflight": self.cancelled_inflight,
+            "request_timeouts": self.request_timeouts,
+            "bad_frames": self.bad_frames,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
+
+class SpatialServer:
+    """One engine behind one TCP listen address.
+
+    The server borrows the engine (it never closes it); several servers
+    could front one engine, though one is the normal shape.
+    """
+
+    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0, *,
+                 max_connections: int = 256, max_inflight: int = 1024,
+                 client_inflight: int = 64,
+                 client_rate: Optional[float] = None,
+                 client_burst: Optional[float] = None,
+                 request_timeout: Optional[float] = 30.0,
+                 retry_hint: float = 0.05):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.stats = ServerStats()
+        self.admission = AdmissionController(
+            max_connections=max_connections, max_inflight=max_inflight,
+            client_inflight=client_inflight, client_rate=client_rate,
+            client_burst=client_burst, retry_hint=retry_hint)
+        self.request_timeout = request_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._next_conn_id = 0
+        self._conn_tasks: Set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle_conn,
+                                                  self.host, self.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # -- health ----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The ``health`` request body: server edge + engine internals."""
+        engine_health = self.engine.health()
+        return {
+            "status": engine_health["status"],
+            "listen": {"host": self.host, "port": self.port},
+            "server": {**self.stats.snapshot(),
+                       "admission": self.admission.snapshot()},
+            "engine": engine_health,
+        }
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        conn_task = asyncio.current_task()
+        self._conn_tasks.add(conn_task)
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        self.stats.connections_total += 1
+        write_lock = asyncio.Lock()
+        if not self.admission.connect(conn_id):
+            self.stats.connections_shed += 1
+            await self._respond(writer, write_lock, {
+                "id": None, "status": SHED, "reason": "max_connections",
+                "error": "server connection limit reached",
+                "retry_after_ms": int(self.admission.retry_hint * 1e3)})
+            writer.close()
+            self._conn_tasks.discard(conn_task)
+            return
+        self.stats.connections_open += 1
+        tasks: Set[asyncio.Task] = set()
+        try:
+            await self._read_loop(reader, writer, write_lock, conn_id, tasks)
+        except asyncio.CancelledError:
+            pass   # server shutdown: fall through to the same teardown
+        except (ConnectionError, TimeoutError, OSError):
+            pass   # peer vanished: the finally block settles the books
+        finally:
+            if tasks:
+                # the cancelled-future path: in-flight probes of a dead
+                # connection are cancelled, never awaited to completion
+                self.stats.disconnects_inflight += 1
+                for t in tasks:
+                    t.cancel()
+                try:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                except asyncio.CancelledError:
+                    pass
+            self.admission.disconnect(conn_id)
+            self.stats.connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            self._conn_tasks.discard(conn_task)
+
+    async def _read_loop(self, reader, writer, write_lock,
+                         conn_id: int, tasks: Set[asyncio.Task]) -> None:
+        while True:
+            try:
+                frame = await read_frame(reader, count=self._count_in)
+            except ProtocolError as exc:
+                self.stats.bad_frames += 1
+                await self._respond(writer, write_lock, {
+                    "id": None, "status": BAD_REQUEST,
+                    "reason": exc.reason, "error": str(exc)})
+                return   # framing broken: the stream cannot be trusted
+            if frame is None:
+                return   # clean EOF
+            try:
+                req = parse_request(frame)
+            except ProtocolError as exc:
+                self.stats.record_request("invalid")
+                await self._respond(writer, write_lock, {
+                    "id": frame.get("id"), "status": BAD_REQUEST,
+                    "reason": exc.reason, "error": str(exc)})
+                continue
+            self.stats.record_request(req["kind"])
+            if req["kind"] in ("health", "datasets"):
+                # introspection stays answerable during brownout
+                await self._respond(writer, write_lock,
+                                    self._introspect(req))
+                continue
+            verdict = self.admission.admit(conn_id)
+            if not verdict.ok:
+                await self._respond(writer, write_lock, {
+                    "id": req["id"], "status": verdict.status,
+                    "reason": verdict.reason,
+                    "error": f"admission refused: {verdict.reason}",
+                    "retry_after_ms": int(verdict.retry_after * 1e3) or 1})
+                continue
+            task = asyncio.ensure_future(
+                self._run_probe(req, conn_id, writer, write_lock))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
+    def _count_in(self, n: int) -> None:
+        self.stats.bytes_in += n
+
+    def _introspect(self, req: dict) -> dict:
+        if req["kind"] == "health":
+            return {"id": req["id"], "status": OK, "result": self.health()}
+        return {"id": req["id"], "status": OK,
+                "result": self.engine.datasets_info()}
+
+    # -- probes ----------------------------------------------------------
+
+    def _submit(self, req: dict):
+        """Route one parsed request into the engine (may raise)."""
+        kind = req["kind"]
+        if kind == "window":
+            return self.engine.submit_window(
+                req["fingerprint"], req["rect"], structure=req["structure"],
+                exact=req["exact"], deadline=req["deadline"])
+        if kind == "point":
+            return self.engine.submit_point(
+                req["fingerprint"], req["point"], structure=req["structure"],
+                exact=req["exact"], deadline=req["deadline"])
+        if kind == "nearest":
+            return self.engine.submit_nearest(
+                req["fingerprint"], req["point"], structure=req["structure"],
+                deadline=req["deadline"])
+        return self.engine.submit_join(req["fingerprint"],
+                                       req["fingerprint_b"],
+                                       structure=req["structure"])
+
+    async def _run_probe(self, req: dict, conn_id: int, writer,
+                         write_lock) -> None:
+        try:
+            try:
+                fut = asyncio.wrap_future(self._submit(req))
+                if self.request_timeout is not None:
+                    result = await asyncio.wait_for(fut, self.request_timeout)
+                else:
+                    result = await fut
+            except asyncio.CancelledError:
+                # disconnect mid-flight: the wrapped engine future was
+                # cancelled with us; the batch it rode in is unharmed
+                self.stats.cancelled_inflight += 1
+                raise
+            except asyncio.TimeoutError:
+                self.stats.request_timeouts += 1
+                resp = {"id": req["id"], "status": INTERNAL,
+                        "reason": "server_timeout",
+                        "error": f"no engine answer within "
+                                 f"{self.request_timeout}s"}
+            except BaseException as exc:  # noqa: BLE001 - mapped to statuses
+                resp = self._error_response(req, exc)
+            else:
+                resp = self._ok_response(req, result)
+            await self._respond(writer, write_lock, resp)
+        finally:
+            self.admission.release(conn_id)
+
+    def _ok_response(self, req: dict, result) -> dict:
+        resp = {"id": req["id"], "status": OK}
+        if isinstance(result, PartialResult):
+            resp["status"] = PARTIAL
+            resp["shards_dropped"] = result.shards_dropped
+            resp["shards_completed"] = result.shards_completed
+            result = result.value
+        resp["result"] = _encode_result(req["kind"], result)
+        return resp
+
+    def _error_response(self, req: dict, exc: BaseException) -> dict:
+        resp = {"id": req["id"], "error": str(exc)}
+        if isinstance(exc, CircuitOpenError):
+            resp["status"] = RETRY_AFTER
+            resp["reason"] = "circuit_open"
+            retry = exc.retry_after if exc.retry_after is not None else 1.0
+            resp["retry_after_ms"] = max(int(retry * 1e3), 1)
+        elif isinstance(exc, RejectedError):
+            # executor backpressure (queue_full) or engine shutdown
+            resp["status"] = RETRY_AFTER
+            resp["reason"] = exc.reason
+            resp["retry_after_ms"] = int(self.admission.retry_hint * 1e3)
+        elif isinstance(exc, KeyError):
+            resp["status"] = NOT_FOUND
+            resp["reason"] = "unknown_fingerprint"
+        elif isinstance(exc, (ValueError, TypeError)):
+            resp["status"] = BAD_REQUEST
+            resp["reason"] = "invalid_argument"
+        else:
+            resp["status"] = INTERNAL
+            resp["reason"] = getattr(exc, "reason", "internal")
+        return resp
+
+    async def _respond(self, writer, write_lock, resp: dict) -> None:
+        self.stats.record_response(resp["status"])
+        try:
+            async with write_lock:
+                self.stats.bytes_out += await write_frame(writer, resp)
+        except (ConnectionError, RuntimeError, OSError):
+            pass   # peer gone; the read loop notices and tears down
+
+
+def _encode_result(kind: str, result):
+    """Engine result -> the kind's documented JSON shape."""
+    if kind in ("window", "point"):
+        return np.asarray(result, dtype=np.int64).tolist()
+    if kind == "nearest":
+        gid, dist = result
+        return [int(gid), float(dist)]
+    # join: (N, 2) id pairs
+    return np.asarray(result, dtype=np.int64).reshape(-1, 2).tolist()
+
+
+class ServerThread:
+    """A :class:`SpatialServer` on a background event loop.
+
+    The synchronous embedding tests and benchmarks want: construct,
+    read ``.host``/``.port``, drive it with blocking clients, then
+    :meth:`stop`.  The engine's lifetime stays the caller's problem.
+    """
+
+    def __init__(self, engine, **server_kw):
+        self.server = SpatialServer(engine, **server_kw)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-net-server")
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("server failed to start within 10s")
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # bind failure -> the constructor
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        serve = asyncio.ensure_future(self.server.serve_forever())
+        await self._stop.wait()
+        serve.cancel()
+        try:
+            await serve
+        except (asyncio.CancelledError, Exception):
+            pass
+        await self.server.close()
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

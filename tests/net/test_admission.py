@@ -1,0 +1,122 @@
+"""Token bucket and admission-controller verdicts (fake clock, no IO)."""
+
+import pytest
+
+from repro.net.admission import Admission, AdmissionController, TokenBucket
+from repro.net.protocol import RETRY_AFTER, SHED
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clk = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clk)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.1)
+        clk.advance(wait)
+        assert bucket.try_take() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clk = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=1.0, clock=clk)
+        clk.advance(60.0)   # idle for a minute: still only one token
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestAdmissionController:
+    def make(self, **kw):
+        kw.setdefault("clock", FakeClock())
+        return AdmissionController(**kw)
+
+    def test_connection_cap_sheds(self):
+        adm = self.make(max_connections=2)
+        assert adm.connect(1) and adm.connect(2)
+        assert not adm.connect(3)
+        assert adm.connections_shed == 1
+        adm.disconnect(1)
+        assert adm.connect(3)
+
+    def test_global_inflight_brownout(self):
+        adm = self.make(max_inflight=2, client_inflight=10)
+        adm.connect(1)
+        assert adm.admit(1).ok and adm.admit(1).ok
+        verdict = adm.admit(1)
+        assert not verdict.ok and verdict.status == SHED
+        assert verdict.reason == "brownout"
+        adm.release(1)
+        assert adm.admit(1).ok
+
+    def test_per_client_fairness_cap(self):
+        adm = self.make(max_inflight=100, client_inflight=1)
+        adm.connect(1)
+        adm.connect(2)
+        assert adm.admit(1).ok
+        verdict = adm.admit(1)
+        assert verdict.status == RETRY_AFTER
+        assert verdict.reason == "client_inflight"
+        # the hog does not starve the polite client
+        assert adm.admit(2).ok
+
+    def test_rate_limit_verdict_carries_wait(self):
+        clk = FakeClock()
+        adm = self.make(client_rate=10.0, client_burst=1.0, clock=clk)
+        adm.connect(1)
+        ok = adm.admit(1)
+        assert ok.ok
+        adm.release(1)
+        verdict = adm.admit(1)
+        assert verdict.status == RETRY_AFTER
+        assert verdict.reason == "rate_limited"
+        assert verdict.retry_after == pytest.approx(0.1)
+
+    def test_disconnect_frees_global_slots(self):
+        adm = self.make(max_inflight=2, client_inflight=10)
+        adm.connect(1)
+        adm.connect(2)
+        assert adm.admit(1).ok and adm.admit(1).ok
+        assert not adm.admit(2).ok
+        adm.disconnect(1)   # takes its two in-flight slots with it
+        assert adm.admit(2).ok
+
+    def test_release_after_disconnect_is_harmless(self):
+        adm = self.make()
+        adm.connect(1)
+        assert adm.admit(1).ok
+        adm.disconnect(1)
+        adm.release(1)   # the probe task finishing after teardown
+        assert adm.inflight == 0
+
+    def test_snapshot_counts(self):
+        adm = self.make(max_inflight=1, client_inflight=1)
+        adm.connect(1)
+        assert adm.admit(1).ok
+        adm.admit(1)
+        snap = adm.snapshot()
+        assert snap["inflight"] == 1
+        assert snap["requests_shed"] == 1
+        assert snap["connections"] == 1
+
+    def test_validation(self):
+        for kw in ({"max_connections": 0}, {"max_inflight": 0},
+                   {"client_inflight": 0}, {"client_rate": -1.0}):
+            with pytest.raises(ValueError):
+                AdmissionController(**kw)

@@ -1,0 +1,64 @@
+"""CLI surface of the networked mode: serve dispatch, health --json."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import SpatialQueryEngine
+from repro.geometry import random_segments
+from repro.net import ServerThread
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestServeDispatch:
+    def test_serve_without_mode_is_an_error(self):
+        with pytest.raises(SystemExit, match="pick a mode"):
+            main(["serve"])
+
+    def test_demo_and_listen_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["serve", "--demo", "--listen", "127.0.0.1:0"])
+
+    def test_listen_rejects_bad_hostport(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["serve", "--listen", "no-port-here"])
+
+
+class TestHealthCommand:
+    @pytest.fixture()
+    def served(self):
+        lines = np.unique(random_segments(200, 256, 32, seed=1), axis=0)
+        with SpatialQueryEngine(workers=2, max_batch=16,
+                                max_wait=0.002) as eng:
+            eng.register(lines, domain=256)
+            with ServerThread(eng) as st:
+                yield st
+
+    def test_health_json_is_the_raw_health_document(self, capsys, served):
+        code, out = run(capsys, "health", "--connect",
+                        f"{served.host}:{served.port}", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["status"] == "ok"
+        assert doc["listen"]["port"] == served.port
+        assert "admission" in doc["server"]
+        assert "executor" in doc["engine"]
+
+    def test_health_tables(self, capsys, served):
+        code, out = run(capsys, "health", "--connect",
+                        f"{served.host}:{served.port}")
+        assert code == 0
+        assert "server" in out
+        assert "engine" in out
+        assert "connections open" in out
+
+    def test_health_connect_refused(self):
+        with pytest.raises(SystemExit, match="no server"):
+            main(["health", "--connect", "127.0.0.1:1", "--timeout", "0.2"])

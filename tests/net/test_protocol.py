@@ -1,0 +1,88 @@
+"""Framing and schema validation of the wire protocol."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import (MAX_FRAME, ProtocolError, encode_frame,
+                                jsonable, parse_request)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame({"id": 1, "kind": "health"})
+        (n,) = struct.unpack(">I", frame[:4])
+        assert n == len(frame) - 4
+        assert json.loads(frame[4:]) == {"id": 1, "kind": "health"}
+
+    def test_numpy_payloads_encode(self):
+        frame = encode_frame({"result": np.arange(3),
+                              "dist": np.float64(1.5),
+                              "n": np.int64(7)})
+        assert json.loads(frame[4:]) == {"result": [0, 1, 2], "dist": 1.5,
+                                         "n": 7}
+
+    def test_oversized_frame_refused(self):
+        with pytest.raises(ProtocolError) as ei:
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+        assert ei.value.fatal
+
+    def test_jsonable_handles_nested_and_nonfinite(self):
+        out = jsonable({"a": (np.int32(1), [np.float32(2.0)]),
+                        "inf": float("inf")})
+        assert out == {"a": [1, [2.0]], "inf": "inf"}
+        json.dumps(out)   # must be serializable
+
+
+class TestParseRequest:
+    def test_window_normalizes(self):
+        req = parse_request({"id": 3, "kind": "window", "fingerprint": "f",
+                             "rect": [1, 2, 3, 4], "deadline_ms": 50})
+        assert req["rect"] == [1.0, 2.0, 3.0, 4.0]
+        assert req["deadline"] == pytest.approx(0.05)
+        assert req["exact"] is True
+
+    def test_point_and_nearest(self):
+        for kind in ("point", "nearest"):
+            req = parse_request({"kind": kind, "fingerprint": "f",
+                                 "point": [1, 2]})
+            assert req["point"] == [1.0, 2.0]
+            assert req["deadline"] is None
+
+    def test_join_requires_second_fingerprint(self):
+        req = parse_request({"kind": "join", "fingerprint": "a",
+                             "fingerprint_b": "b"})
+        assert req["fingerprint_b"] == "b"
+        with pytest.raises(ProtocolError):
+            parse_request({"kind": "join", "fingerprint": "a"})
+
+    def test_introspection_kinds_need_no_fields(self):
+        assert parse_request({"kind": "health"})["kind"] == "health"
+        assert parse_request({"kind": "datasets"})["kind"] == "datasets"
+
+    @pytest.mark.parametrize("bad", [
+        {"kind": "scan", "fingerprint": "f"},          # unknown kind
+        {"fingerprint": "f"},                          # missing kind
+        {"kind": "window", "rect": [1, 2, 3, 4]},      # missing fingerprint
+        {"kind": "window", "fingerprint": "f"},        # missing rect
+        {"kind": "window", "fingerprint": "f",
+         "rect": [1, 2, 3]},                           # short rect
+        {"kind": "window", "fingerprint": "f",
+         "rect": [5, 2, 3, 4]},                        # inverted rect
+        {"kind": "window", "fingerprint": "f",
+         "rect": [1, 2, 3, "x"]},                      # non-numeric coord
+        {"kind": "point", "fingerprint": "f",
+         "point": [1, 2], "deadline_ms": 0},           # non-positive deadline
+        {"kind": "point", "fingerprint": "f",
+         "point": [1, 2], "exact": "yes"},             # non-bool flag
+        {"kind": "nearest", "fingerprint": "",
+         "point": [1, 2]},                             # empty fingerprint
+        {"kind": "window", "fingerprint": "f",
+         "rect": [1, 2, 3, 4], "id": 1.5},             # non-int/str id
+    ])
+    def test_schema_violations_raise_nonfatal(self, bad):
+        with pytest.raises(ProtocolError) as ei:
+            parse_request(bad)
+        assert not ei.value.fatal

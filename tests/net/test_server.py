@@ -1,0 +1,365 @@
+"""End-to-end server behaviour over real sockets on localhost.
+
+The acceptance story: networked answers are bit-identical to direct
+engine calls, the engine's overload vocabulary arrives as structured
+statuses (429/206/503), and a client that disconnects mid-flight never
+stalls or poisons the shared batch its probe rode in.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import SpatialQueryEngine
+from repro.engine.executor import RejectedError
+from repro.geometry import random_segments
+from repro.net import ServeClient, ServerThread
+from repro.net.client import ServeConnectionError
+from repro.resilience import FaultPlan, FaultSpec
+
+DOMAIN = 512
+
+
+def segments(n=250, seed=3):
+    return np.unique(random_segments(n, DOMAIN, 48, seed=seed), axis=0)
+
+
+def poll(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture()
+def engine():
+    with SpatialQueryEngine(workers=2, max_batch=16, max_wait=0.002) as eng:
+        yield eng
+
+
+@pytest.fixture()
+def served(engine):
+    lines = segments()
+    fp = engine.register(lines, domain=DOMAIN)
+    with ServerThread(engine) as st:
+        yield st, engine, fp, lines
+
+
+class TestDifferential:
+    def test_all_kinds_bit_identical_to_direct_calls(self, served):
+        st, eng, fp, lines = served
+        rng = np.random.default_rng(11)
+        with ServeClient(st.host, st.port) as c:
+            for _ in range(12):
+                x, y = rng.uniform(0, DOMAIN * 0.8, 2)
+                rect = [x, y, x + DOMAIN * 0.15, y + DOMAIN * 0.15]
+                assert (c.window(fp, rect)["result"]
+                        == eng.window(fp, rect).tolist())
+                pt = rng.uniform(0, DOMAIN, 2).tolist()
+                assert (c.point(fp, pt)["result"]
+                        == eng.point(fp, pt).tolist())
+                gid, dist = eng.nearest(fp, pt)
+                net_gid, net_dist = c.nearest(fp, pt)["result"]
+                assert net_gid == gid and net_dist == pytest.approx(dist)
+            assert (c.join(fp, fp)["result"]
+                    == eng.join(fp, fp).tolist())
+
+    def test_concurrent_clients_share_batches_and_stay_exact(self, served):
+        st, eng, fp, lines = served
+        rng = np.random.default_rng(7)
+        rects = [[x, y, x + 60, y + 60]
+                 for x, y in rng.uniform(0, DOMAIN - 60, (24, 2))]
+        want = [eng.window(fp, r).tolist() for r in rects]
+        results = [None] * len(rects)
+        errors = []
+
+        def client(lo, hi):
+            try:
+                with ServeClient(st.host, st.port) as c:
+                    for i in range(lo, hi):
+                        resp = c.window(fp, rects[i])
+                        assert resp["status"] == 200
+                        results[i] = resp["result"]
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i * 6, (i + 1) * 6))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert results == want
+        # the network edge fed the same coalescer: batches formed
+        assert eng.snapshot()["batches"] >= 1
+
+    def test_structure_override_matches_engine(self, served):
+        st, eng, fp, lines = served
+        rect = [10.0, 10.0, 200.0, 200.0]
+        with ServeClient(st.host, st.port) as c:
+            resp = c.window(fp, rect, structure="rtree")
+            assert resp["result"] == eng.window(fp, rect,
+                                                structure="rtree").tolist()
+
+
+class TestIntrospection:
+    def test_datasets_lists_registrations(self, served):
+        st, eng, fp, lines = served
+        with ServeClient(st.host, st.port) as c:
+            rows = c.datasets()["result"]
+        assert rows == [{"fingerprint": fp, "num_lines": len(lines),
+                         "domain": DOMAIN}]
+
+    def test_health_carries_server_and_engine_sections(self, served):
+        st, eng, fp, lines = served
+        with ServeClient(st.host, st.port) as c:
+            c.window(fp, [0, 0, 50, 50])
+            doc = c.health()["result"]
+        assert doc["status"] == "ok"
+        assert doc["listen"]["port"] == st.port
+        assert doc["server"]["requests_total"] >= 2
+        assert doc["server"]["per_status"].get("200", 0) >= 1
+        assert doc["server"]["admission"]["connections"] == 1
+        assert doc["engine"]["executor"]["backend"] == "thread"
+        assert doc["server"]["bytes_in"] > 0
+        assert doc["server"]["bytes_out"] > 0
+
+
+class TestStatusMapping:
+    def test_unknown_fingerprint_is_404(self, served):
+        st, *_ = served
+        with ServeClient(st.host, st.port) as c:
+            resp = c.window("deadbeef", [0, 0, 10, 10])
+        assert resp["status"] == 404
+        assert resp["reason"] == "unknown_fingerprint"
+
+    def test_schema_violation_is_400(self, served):
+        st, *_ = served
+        with ServeClient(st.host, st.port) as c:
+            resp = c.request("window", fingerprint="f")     # no rect
+            assert resp["status"] == 400
+            resp = c.request("mystery")
+            assert resp["status"] == 400
+            # the connection survives request-level 400s
+            assert c.health()["status"] == 200
+
+    def test_point_outside_quadtree_domain_is_400(self, served):
+        st, eng, fp, lines = served
+        with ServeClient(st.host, st.port) as c:
+            resp = c.point(fp, [DOMAIN * 4.0, 10.0])
+        assert resp["status"] == 400
+        assert resp["reason"] == "invalid_argument"
+
+    def test_malformed_frame_gets_400_then_close(self, served):
+        st, *_ = served
+        sock = socket.create_connection((st.host, st.port), timeout=5)
+        try:
+            sock.sendall(struct.pack(">I", 5) + b"not-j")
+            header = sock.recv(4)
+            (n,) = struct.unpack(">I", header)
+            resp = sock.recv(n)
+            assert b'"status":400' in resp
+            assert sock.recv(1) == b""   # server closed the stream
+        finally:
+            sock.close()
+
+    def test_oversized_header_closes_connection(self, served):
+        st, *_ = served
+        sock = socket.create_connection((st.host, st.port), timeout=5)
+        try:
+            sock.sendall(struct.pack(">I", 1 << 31))
+            header = sock.recv(4)
+            if header:   # one 400 frame, then EOF
+                (n,) = struct.unpack(">I", header)
+                sock.recv(n)
+                assert sock.recv(1) == b""
+        finally:
+            sock.close()
+
+    def test_backpressure_rejection_maps_to_429(self, served):
+        st, *_ = served
+        resp = st.server._error_response(
+            {"id": 9, "kind": "window"},
+            RejectedError("queue is full", reason="queue_full"))
+        assert resp["status"] == 429
+        assert resp["reason"] == "queue_full"
+        assert resp["retry_after_ms"] > 0
+
+    def test_open_breaker_maps_to_429_circuit_open(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="registry.get", kind="error", times=4),), seed=1)
+        with SpatialQueryEngine(workers=2, max_batch=1, max_wait=0.001,
+                                breaker_threshold=1, breaker_reset=60.0,
+                                fault_plan=plan) as eng:
+            fp = eng.register(segments(), domain=DOMAIN)
+            with ServerThread(eng) as st:
+                with ServeClient(st.host, st.port) as c:
+                    first = c.window(fp, [0, 0, 50, 50])
+                    assert first["status"] == 500   # injected engine fault
+                    second = c.window(fp, [0, 0, 50, 50])
+                    assert second["status"] == 429
+                    assert second["reason"] == "circuit_open"
+                    assert second["retry_after_ms"] > 0
+                    health = c.health()["result"]
+                    assert health["status"] == "degraded"
+
+    def test_expired_deadline_maps_to_206_with_shards_dropped(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="shard.query", kind="stall", delay=0.5,
+                      match=(("shard", 0),)),), seed=1)
+        lines = segments(seed=5)
+        with SpatialQueryEngine(shards=4, workers=4, max_batch=8,
+                                max_wait=0.002, fault_plan=plan) as eng:
+            fp = eng.register(lines, domain=DOMAIN)
+            eng.warm(fp)
+            full = [0.0, 0.0, float(DOMAIN), float(DOMAIN)]
+            want = eng.window(fp, full)
+            with ServerThread(eng) as st:
+                with ServeClient(st.host, st.port) as c:
+                    resp = c.window(fp, full, deadline_ms=80)
+            assert resp["status"] == 206
+            assert resp["shards_dropped"] >= 1
+            assert resp["shards_completed"] >= 1
+            # the partial answer is a subset of the full one
+            assert set(resp["result"]) <= set(want.tolist())
+
+
+class TestAdmissionOverWire:
+    def test_per_client_inflight_cap_429(self):
+        # a huge batch window parks the first probe in the coalescer,
+        # keeping it in flight while the second request arrives
+        with SpatialQueryEngine(workers=2, max_batch=1024,
+                                max_wait=30.0) as eng:
+            fp = eng.register(segments(), domain=DOMAIN)
+            with ServerThread(eng, client_inflight=1) as st:
+                with ServeClient(st.host, st.port) as c:
+                    c.send_only({"id": 1, "kind": "window",
+                                 "fingerprint": fp, "rect": [0, 0, 9, 9]})
+                    assert poll(lambda: eng.snapshot()["pending_probes"] >= 1)
+                    c.send_only({"id": 2, "kind": "window",
+                                 "fingerprint": fp, "rect": [0, 0, 9, 9]})
+                    resp = c.recv()
+                    assert resp["id"] == 2
+                    assert resp["status"] == 429
+                    assert resp["reason"] == "client_inflight"
+                    assert resp["retry_after_ms"] >= 1
+                    # introspection bypasses admission even while capped
+                    c.send_only({"id": 3, "kind": "health"})
+                    health = c.recv()
+                    assert health["status"] == 200
+                    inflight = health["result"]["server"]["admission"]
+                    assert inflight["inflight"] == 1
+
+    def test_global_inflight_brownout_503(self):
+        with SpatialQueryEngine(workers=2, max_batch=1024,
+                                max_wait=30.0) as eng:
+            fp = eng.register(segments(), domain=DOMAIN)
+            with ServerThread(eng, max_inflight=1) as st:
+                hog = ServeClient(st.host, st.port)
+                polite = ServeClient(st.host, st.port)
+                try:
+                    hog.send_only({"id": 1, "kind": "window",
+                                   "fingerprint": fp, "rect": [0, 0, 9, 9]})
+                    assert poll(lambda: eng.snapshot()["pending_probes"] >= 1)
+                    resp = polite.window(fp, [0, 0, 9, 9])
+                    assert resp["status"] == 503
+                    assert resp["reason"] == "brownout"
+                finally:
+                    hog.close()
+                    polite.close()
+
+    def test_rate_limited_429(self, engine):
+        fp = engine.register(segments(), domain=DOMAIN)
+        with ServerThread(engine, client_rate=0.5, client_burst=1.0) as st:
+            with ServeClient(st.host, st.port) as c:
+                assert c.window(fp, [0, 0, 9, 9])["status"] == 200
+                resp = c.window(fp, [0, 0, 9, 9])
+                assert resp["status"] == 429
+                assert resp["reason"] == "rate_limited"
+                assert resp["retry_after_ms"] >= 1
+
+    def test_connection_cap_sheds_with_503_frame(self, engine):
+        engine.register(segments(), domain=DOMAIN)
+        with ServerThread(engine, max_connections=1) as st:
+            with ServeClient(st.host, st.port) as first:
+                first.health()   # the slot is definitely taken
+                shed = socket.create_connection((st.host, st.port), timeout=5)
+                try:
+                    header = shed.recv(4)
+                    (n,) = struct.unpack(">I", header)
+                    body = shed.recv(n)
+                    assert b'"status":503' in body
+                    assert b"max_connections" in body
+                    assert shed.recv(1) == b""
+                finally:
+                    shed.close()
+                # the admitted connection still serves
+                assert first.health()["status"] == 200
+
+
+class TestClientDisconnect:
+    def test_dropped_client_never_stalls_or_poisons_the_batch(self):
+        """The cancelled-future path: probe of a dead connection is
+        cancelled; the batch it rode in still answers everyone else."""
+        lines = segments(seed=9)
+        rect = [10.0, 10.0, 300.0, 300.0]
+        with SpatialQueryEngine(workers=2, max_batch=8,
+                                max_wait=0.002) as ref:
+            truth = ref.window(ref.register(lines, domain=DOMAIN),
+                               rect).tolist()
+        with SpatialQueryEngine(workers=2, max_batch=2,
+                                max_wait=30.0) as eng:
+            fp = eng.register(lines, domain=DOMAIN)
+            want = None
+            with ServerThread(eng) as st:
+                doomed = ServeClient(st.host, st.port)
+                doomed.send_only({"id": 1, "kind": "window",
+                                  "fingerprint": fp, "rect": rect})
+                # the probe is parked in the coalescer (batch of 2)
+                assert poll(lambda: eng.snapshot()["pending_probes"] >= 1)
+                doomed.close()   # vanish with the probe in flight
+                with ServeClient(st.host, st.port) as survivor:
+                    # wait until the server noticed the disconnect
+                    assert poll(lambda: survivor.health()["result"]["server"]
+                                ["disconnects_inflight"] >= 1)
+                    # this probe completes the batch and flushes it
+                    resp = survivor.window(fp, rect)
+                    assert resp["status"] == 200
+                    want = resp["result"]
+                    health = survivor.health()["result"]
+                    assert health["server"]["cancelled_inflight"] >= 1
+                    assert health["server"]["admission"]["inflight"] == 0
+            # the shared batch produced the exact answer
+            assert want == truth
+
+    def test_disconnect_storm_leaves_server_serving(self, served):
+        st, eng, fp, lines = served
+        for _ in range(8):
+            c = ServeClient(st.host, st.port)
+            c.send_only({"id": 1, "kind": "window", "fingerprint": fp,
+                         "rect": [0, 0, 50, 50]})
+            c.close()
+        with ServeClient(st.host, st.port) as c:
+            assert poll(lambda: c.health()["result"]["server"]
+                        ["connections_open"] == 1)
+            resp = c.window(fp, [0, 0, 50, 50])
+            assert resp["status"] == 200
+            assert resp["result"] == eng.window(fp, [0, 0, 50, 50]).tolist()
+
+    def test_server_shutdown_rejects_then_closes_cleanly(self, engine):
+        fp = engine.register(segments(), domain=DOMAIN)
+        st = ServerThread(engine)
+        client = ServeClient(st.host, st.port)
+        assert client.window(fp, [0, 0, 50, 50])["status"] == 200
+        st.stop()
+        with pytest.raises(ServeConnectionError):
+            for _ in range(3):   # racing the in-flight close
+                client.window(fp, [0, 0, 50, 50])
+        client.close()

@@ -87,7 +87,7 @@ class TestJoin:
 
 class TestServe:
     def test_serve_reports_stats(self, capsys):
-        code, out = run(capsys, "serve", "--n", "200", "--domain", "256",
+        code, out = run(capsys, "serve", "--demo", "--n", "200", "--domain", "256",
                         "--probes", "120", "--clients", "2", "--workers", "2")
         assert code == 0
         assert "repro.engine serving stats" in out
@@ -98,7 +98,7 @@ class TestServe:
         assert lines and lines[0].strip().endswith("0")
 
     def test_serve_rtree(self, capsys):
-        code, out = run(capsys, "serve", "--structure", "rtree", "--n", "150",
+        code, out = run(capsys, "serve", "--demo", "--structure", "rtree", "--n", "150",
                         "--domain", "256", "--probes", "60", "--clients", "1")
         assert code == 0
         assert "rtree" in out
@@ -124,7 +124,7 @@ class TestStore:
 
     def test_prefetch_seeds_engine_warm_start(self, capsys, tmp_path):
         self.prefetch(capsys, tmp_path)
-        code, out = run(capsys, "serve", "--n", "150", "--domain", "256",
+        code, out = run(capsys, "serve", "--demo", "--n", "150", "--domain", "256",
                         "--probes", "60", "--clients", "1",
                         "--cache-dir", str(tmp_path))
         assert code == 0
