@@ -1,0 +1,188 @@
+"""Incremental shard repair vs. full rebuild under batched mutations.
+
+The MVCC tentpole's performance claim: committing a small, spatially
+localized mutation batch against a sharded index by repairing only the
+touched shards (:func:`repro.structures.repair_sharded`) beats
+rebuilding the whole index from scratch -- by >= 5x for batches of
+<= 1% of a 10k-segment map.
+
+Localization matters and the bench is honest about it: mutations are
+drawn as a contiguous window of space-filling-curve ranks (deletes)
+plus a spatial cluster (inserts), the shape of real update feeds --
+edits arrive in a neighborhood, not scattered uniformly.  A scattered
+control row is reported too: batches touching every shard fall back to
+a full rebuild by design (the skew/touched-majority guards), so their
+"speedup" is ~1x and the JSON says so.
+
+Each cell verifies the differential invariant before timing counts:
+the repaired index must answer a window probe set exactly like the
+fresh rebuild.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mutation.py --pretty
+
+Writes ``BENCH_mutation.json`` (``--out`` to change).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines.brute import brute_window_query
+from repro.geometry import random_segments
+from repro.machine import Machine, use_machine
+from repro.structures import build_sharded, repair_sharded
+from repro.structures.sharded import shard_keys
+
+DOMAIN = 4096
+
+
+def curve_ranks(lines, domain):
+    """Ids sorted by midpoint curve key (the shard cut order)."""
+    with use_machine(Machine()):
+        keys = shard_keys(lines, domain)
+    return np.argsort(keys, kind="stable")
+
+
+def localized_batch(lines, frac, rng, domain):
+    """Deletes: one contiguous curve-rank window; inserts: one cluster."""
+    n = lines.shape[0]
+    m = max(1, int(n * frac))
+    order = curve_ranks(lines, domain)
+    start = int(rng.integers(0, n - m))
+    dels = np.sort(order[start:start + m])
+    cx, cy = lines[dels[0], 0:2]
+    p = np.clip(rng.normal((cx, cy), 60, (m, 2)), 0, domain - 1)
+    q = np.clip(p + rng.uniform(-80, 80, (m, 2)), 0, domain - 1)
+    return np.hstack([p, q]).round(), dels
+
+
+def scattered_batch(lines, frac, rng, domain):
+    """The control: uniformly scattered deletes + inserts."""
+    n = lines.shape[0]
+    m = max(1, int(n * frac))
+    dels = np.sort(rng.choice(n, size=m, replace=False))
+    p = rng.uniform(0, domain * 0.95, (m, 2))
+    q = np.clip(p + rng.uniform(1, 120, (m, 2)), 0, domain - 1)
+    return np.hstack([p, q]).round(), dels
+
+
+def apply_batch(lines, ins, dels):
+    keep = np.ones(lines.shape[0], dtype=bool)
+    keep[dels] = False
+    return np.vstack([lines[keep], ins])
+
+
+def best_of(repeats, fn):
+    best = None
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return best, out
+
+
+def run_cell(lines, structure, shards, frac, shape, seed, repeats, domain):
+    rng = np.random.default_rng(seed)
+    make = localized_batch if shape == "localized" else scattered_batch
+    ins, dels = make(lines, frac, rng, domain)
+    new_lines = apply_batch(lines, ins, dels)
+    base = build_sharded(lines, domain, structure, shards=shards)
+
+    repair_s, (repaired, stats) = best_of(
+        repeats, lambda: repair_sharded(base, new_lines, dels,
+                                        ins.shape[0], shards=shards))
+    rebuild_s, fresh = best_of(
+        repeats, lambda: build_sharded(new_lines, domain, structure,
+                                       shards=shards))
+    # differential sanity: the timed artifacts answer identically
+    probe_rng = np.random.default_rng(seed + 1)
+    lo = probe_rng.uniform(0, domain * 0.8, (8, 2))
+    rects = np.hstack([lo, lo + probe_rng.uniform(16, domain * 0.3, (8, 2))])
+    for rect in rects:
+        want = brute_window_query(new_lines, rect)
+        assert np.array_equal(repaired.window_query(rect), want)
+        assert np.array_equal(fresh.window_query(rect), want)
+    return {
+        "structure": structure,
+        "shards": shards,
+        "batch_fraction": frac,
+        "batch_rows": int(dels.size + ins.shape[0]),
+        "batch_shape": shape,
+        "repair_s": round(repair_s, 6),
+        "full_rebuild_s": round(rebuild_s, 6),
+        "speedup": round(rebuild_s / repair_s, 2),
+        "full_rebuild_fallback": bool(stats["full_rebuild"]),
+        "shards_reused": int(stats["shards_reused"]),
+        "shards_rebuilt": int(stats["shards_rebuilt"]),
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=10_000)
+    ap.add_argument("--domain", type=int, default=DOMAIN)
+    ap.add_argument("--shards", type=int, default=16)
+    ap.add_argument("--structure", choices=("pmr", "rtree"), default="pmr")
+    ap.add_argument("--fractions", type=float, nargs="+",
+                    default=[0.001, 0.005, 0.01])
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_mutation.json")
+    ap.add_argument("--pretty", action="store_true")
+    args = ap.parse_args(argv)
+
+    lines = random_segments(args.n, args.domain, 96, seed=args.seed)
+    rows = []
+    for frac in args.fractions:
+        for shape in ("localized", "scattered"):
+            row = run_cell(lines, args.structure, args.shards, frac, shape,
+                           args.seed + int(frac * 1e4), args.repeats,
+                           args.domain)
+            rows.append(row)
+            print(f"# {shape} {frac:.1%} ({row['batch_rows']} rows): "
+                  f"repair {row['repair_s']}s vs rebuild "
+                  f"{row['full_rebuild_s']}s -> {row['speedup']}x "
+                  f"({row['shards_rebuilt']}/{args.shards} shards rebuilt"
+                  f"{', FULL' if row['full_rebuild_fallback'] else ''})",
+                  file=sys.stderr)
+
+    localized = [r for r in rows if r["batch_shape"] == "localized"
+                 and r["batch_fraction"] <= 0.01]
+    min_speedup = min(r["speedup"] for r in localized)
+    report = {
+        "benchmark": "mutation_repair_vs_full_rebuild",
+        "map": {"kind": "uniform", "segments": args.n,
+                "domain": args.domain},
+        "shards": args.shards,
+        "structure": args.structure,
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "min_localized_speedup": min_speedup,
+        "claim": "localized mutation batches of <= 1% commit >= 5x "
+                 "faster via shard repair than by full rebuild",
+        "claim_met": bool(min_speedup >= 5.0),
+        "note": "scattered batches touch most shards and fall back to "
+                "a full rebuild by design; their ~1x rows are the "
+                "control, not a regression",
+        "results": rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"# report -> {args.out}", file=sys.stderr)
+    json.dump(report, sys.stdout, indent=2 if args.pretty else None)
+    print()
+    return 0 if report["claim_met"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

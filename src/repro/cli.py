@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the everyday entry points:
+Nine subcommands cover the everyday entry points:
 
 ``build``
     Generate (or take the paper's) map, run one of the data-parallel
@@ -30,6 +30,12 @@ Eight subcommands cover the everyday entry points:
     ``serve --listen`` server: drives a qps ramp, prints the overload
     curve (sustained qps, p50/p99, throttle/shed/error rates), and
     writes ``BENCH_serving.json``.
+``mutate``
+    Send an insert/delete batch to a running ``serve --listen``
+    server.  The engine commits it as a new dataset version (MVCC):
+    in-flight reads finish against the snapshot they were admitted
+    under, and the response echoes the committed version and
+    fingerprint.
 ``health``
     Scrape a running server's ``health`` request kind -- engine,
     executor, breaker, and server-edge state; ``--json`` emits the
@@ -269,7 +275,9 @@ def _serve_engine(args: argparse.Namespace):
                               shards=args.shards,
                               ordering=args.ordering,
                               cache_dir=args.cache_dir,
-                              disk_budget_bytes=args.disk_budget_bytes)
+                              disk_budget_bytes=args.disk_budget_bytes,
+                              versions_retained=getattr(
+                                  args, "versions_retained", 2))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -608,6 +616,74 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    """Send one insert and/or delete batch to a running network server."""
+    from .net import ServeClient
+    from .net.client import ServeConnectionError
+
+    if not args.insert and not args.delete:
+        raise SystemExit("mutate: nothing to do -- pass --insert N "
+                         "and/or --delete IDS")
+    host, port = _parse_hostport(args.connect)
+    rows = []
+    try:
+        with ServeClient(host, port, timeout=args.timeout) as client:
+            fp = args.fingerprint
+            num_lines = None
+            if fp is None or (args.delete or "").startswith("random:"):
+                datasets = client.datasets().get("result") or []
+                if fp is None:
+                    if not datasets:
+                        raise SystemExit("mutate: the server has no datasets")
+                    fp = datasets[0]["fingerprint"]
+                for row in datasets:
+                    if row["fingerprint"] == fp:
+                        num_lines = row.get("num_lines")
+            if args.delete:
+                if args.delete.startswith("random:"):
+                    n = int(args.delete.split(":", 1)[1])
+                    if not num_lines:
+                        raise SystemExit(f"mutate: cannot pick random rows: "
+                                         f"no num_lines for {fp}")
+                    rng = np.random.default_rng(args.seed)
+                    ids = rng.choice(num_lines, size=min(n, num_lines),
+                                     replace=False)
+                else:
+                    try:
+                        ids = [int(v) for v in args.delete.split(",")]
+                    except ValueError:
+                        raise SystemExit(f"mutate: bad --delete "
+                                         f"{args.delete!r}")
+                resp = client.delete(fp, sorted(int(i) for i in ids))
+                rows.append(["delete", len(ids), resp])
+                if resp.get("status") == 200:
+                    fp = resp["result"]["fingerprint"]
+            if args.insert:
+                lines = _make_map("uniform", args.insert, args.domain,
+                                  args.seed + 1)
+                resp = client.insert(fp, lines.tolist())
+                rows.append(["insert", args.insert, resp])
+    except ServeConnectionError as exc:
+        raise SystemExit(f"mutate: {exc}")
+    failed = False
+    table = []
+    for op, count, resp in rows:
+        if resp.get("status") == 200:
+            res = resp["result"]
+            table.append([op, count, resp["status"],
+                          resp.get("version", "-"), res["fingerprint"][:12],
+                          res["num_lines"]])
+        else:
+            failed = True
+            table.append([op, count, resp.get("status"),
+                          resp.get("reason", "-"),
+                          resp.get("error", "")[:40], "-"])
+    print(format_table(
+        ["op", "rows", "status", "version", "fingerprint", "segments"],
+        table, title=f"mutations against {host}:{port}"))
+    return 1 if failed else 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .net.loadgen import DEFAULT_MIX, run_loadgen
 
@@ -835,8 +911,31 @@ def _parser() -> argparse.ArgumentParser:
                    help="persistent index store directory (spill + warm start)")
     s.add_argument("--disk-budget-bytes", type=int, default=None,
                    help="store byte budget (requires --cache-dir)")
+    s.add_argument("--versions-retained", type=int, default=2,
+                   help="dataset versions kept warm for in-flight reads "
+                        "after a mutation commits (MVCC)")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_serve)
+
+    m = sub.add_parser("mutate",
+                       help="send an insert/delete batch to a running "
+                            "serve --listen server")
+    m.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="server address")
+    m.add_argument("--fingerprint", default=None,
+                   help="dataset fingerprint (default: the server's "
+                        "first dataset)")
+    m.add_argument("--insert", type=int, default=0, metavar="N",
+                   help="append N seeded random segments")
+    m.add_argument("--delete", default=None, metavar="IDS",
+                   help="comma list of row ids, or random:N for N seeded "
+                        "random rows of the current version")
+    m.add_argument("--domain", type=int, default=1024,
+                   help="coordinate domain for generated inserts")
+    m.add_argument("--seed", type=int, default=0)
+    m.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request timeout (seconds)")
+    m.set_defaults(fn=_cmd_mutate)
 
     lg = sub.add_parser("loadgen",
                         help="open-loop multi-process load generator "

@@ -64,7 +64,7 @@ from .stats import EngineStats
 from .worker import FAMILY as _FAMILY
 from .worker import IndexRef, JobSpec, WorkerResult, batch_kernel
 
-__all__ = ["EngineConfig", "SpatialQueryEngine"]
+__all__ = ["EngineConfig", "MutationResult", "SpatialQueryEngine"]
 
 #: executor backend names accepted by :class:`EngineConfig`
 EXECUTORS = ("thread", "process")
@@ -88,6 +88,24 @@ def _reject(fut: Future, exc: BaseException) -> None:
 
 
 @dataclass(frozen=True)
+class MutationResult:
+    """Outcome of one committed mutation batch (a future's value).
+
+    ``repair`` carries the shard-repair stats of the warm build when
+    the new version was repaired incrementally from its parent
+    (``None``: the index was built canonically).
+    """
+
+    root: str            # version-0 fingerprint: the stable client handle
+    fingerprint: str     # content fingerprint of the committed version
+    version: int         # chain position the batch committed as
+    num_lines: int
+    inserted: int
+    deleted: int
+    repair: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Tunables of the serving stack (see class docstrings for roles)."""
 
@@ -105,6 +123,7 @@ class EngineConfig:
     default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
     shards: int = 1               # >1: space-sorted sharded indexes
     ordering: str = "morton"      # shard cut order: morton | hilbert
+    versions_retained: int = 2    # dataset versions kept warm (MVCC)
     cache_dir: Optional[str] = None   # persistent index store directory
     disk_budget_bytes: Optional[int] = None  # store byte budget (None: unbounded)
     # -- resilience -------------------------------------------------------
@@ -132,6 +151,8 @@ class EngineConfig:
         if self.ordering not in ORDERINGS:
             raise ValueError(f"unknown ordering {self.ordering!r}; "
                              f"choose from {ORDERINGS}")
+        if self.versions_retained < 1:
+            raise ValueError("versions_retained must be >= 1")
         if self.disk_budget_bytes is not None:
             if self.cache_dir is None:
                 raise ValueError("disk_budget_bytes requires cache_dir")
@@ -172,9 +193,19 @@ class SpatialQueryEngine:
                                     budget_bytes=config.disk_budget_bytes,
                                     observer=self.stats.record_store_event,
                                     retry=self._retry, injector=self.faults)
-        self.registry = IndexRegistry(capacity=config.cache_capacity,
-                                      store=self.store, injector=self.faults)
+        self.registry = IndexRegistry(
+            capacity=config.cache_capacity, store=self.store,
+            injector=self.faults,
+            versions_retained=config.versions_retained)
         self._is_process = config.executor == "process"
+        # workers materialise indexes canonically (store bytes or a
+        # deterministic rebuild); a parent-side incremental repair could
+        # disagree with their shard cuts, so the fast path is gated to
+        # the in-process backend where one tree object serves the batch
+        self.registry.repair_enabled = not self._is_process
+        self._mutation_lock = threading.Lock()
+        self._mutation_root_locks: Dict[str, threading.Lock] = {}
+        self._mutation_threads: List[threading.Thread] = []
         if self._is_process:
             self._executor = ProcessBackend(
                 workers=config.workers, queue_depth=config.queue_depth,
@@ -202,13 +233,55 @@ class SpatialQueryEngine:
         """Register a segment map; returns the fingerprint probes use."""
         return self.registry.register(lines, domain=domain)
 
-    def insert_lines(self, fingerprint: str, new_lines) -> str:
-        """Dynamic insert: new fingerprint, stale indexes invalidated."""
-        return self.registry.insert_lines(fingerprint, new_lines)
+    def submit_insert(self, fingerprint: str, new_lines) -> Future:
+        """Asynchronously append segments to a registered map.
 
-    def delete_lines(self, fingerprint: str, ids) -> str:
-        """Dynamic delete: new fingerprint, stale indexes invalidated."""
-        return self.registry.delete_lines(fingerprint, ids)
+        Mutations coalesce per dataset *root* like probes coalesce per
+        index: every insert/delete submitted within the batch window
+        commits as **one** new version (deletes first, then inserts
+        appended in submission order).  The future resolves to a
+        :class:`MutationResult` once the new version's default index is
+        warm and reads have flipped to it; reads admitted before the
+        flip finish against the snapshot they resolved at submit time.
+        """
+        arr = np.asarray(new_lines, dtype=np.float64).reshape(-1, 4)
+        return self._submit_mutation("insert", fingerprint, arr)
+
+    def submit_delete(self, fingerprint: str, ids) -> Future:
+        """Asynchronously remove segments by current-version row id.
+
+        Ids are validated against the version the batch commits over;
+        a probe with out-of-range ids fails alone, without poisoning
+        the rest of its batch.  See :meth:`submit_insert`.
+        """
+        arr = np.asarray(ids, dtype=np.int64).reshape(-1)
+        return self._submit_mutation("delete", fingerprint, arr)
+
+    def _submit_mutation(self, op: str, fingerprint: str,
+                         payload: np.ndarray) -> Future:
+        info = self.registry.resolve(fingerprint)   # KeyError: unknown map
+        self.stats.record_submitted(op)
+        probe = Probe((op, payload))
+        try:
+            self._coalescer.submit(("mutate", info.root), probe)
+        except RejectedError as exc:
+            self.stats.record_rejected(exc.reason)
+            probe.future.set_exception(exc)
+        return probe.future
+
+    def insert_lines(self, fingerprint: str, new_lines,
+                     timeout: Optional[float] = None) -> str:
+        """Blocking insert; returns the committed version's fingerprint."""
+        fut = self.submit_insert(fingerprint, new_lines)
+        self.flush()
+        return self._await(fut, timeout).fingerprint
+
+    def delete_lines(self, fingerprint: str, ids,
+                     timeout: Optional[float] = None) -> str:
+        """Blocking delete; returns the committed version's fingerprint."""
+        fut = self.submit_delete(fingerprint, ids)
+        self.flush()
+        return self._await(fut, timeout).fingerprint
 
     def datasets_info(self) -> List[Dict[str, object]]:
         """One row per registered dataset (fingerprint, size, domain).
@@ -229,7 +302,8 @@ class SpatialQueryEngine:
         store the warm jobs ship the dataset snapshot instead, which
         still spares the first real batch the cold build.
         """
-        key = self._index_key(fingerprint, structure)
+        key = self._index_key(self.registry.resolve(fingerprint).fingerprint,
+                              structure)
         entry = self.registry.get(key.fingerprint, key.structure,
                                   **dict(key.params))
         if not self._is_process:
@@ -273,7 +347,8 @@ class SpatialQueryEngine:
         pt = np.asarray(point, dtype=float).reshape(2)
         structure = structure or self.config.structure
         if _FAMILY[structure] == "quadtree":
-            dom = self.registry.domain(fingerprint)
+            dom = self.registry.domain(
+                self.registry.resolve(fingerprint).fingerprint)
             if not (0 <= pt[0] <= dom and 0 <= pt[1] <= dom):
                 # mirror the scalar query's error without failing the batch
                 fut: Future = Future()
@@ -305,12 +380,20 @@ class SpatialQueryEngine:
         if structure not in _FAMILY:
             raise ValueError(f"unknown structure {structure!r}")
         self.stats.record_submitted("join")
-        fps = (fingerprint_a, fingerprint_b)
+        infos = (self.registry.resolve(fingerprint_a),
+                 self.registry.resolve(fingerprint_b))
+        fps = tuple(i.fingerprint for i in infos)
         if not all(self.breakers.allow(fp) for fp in fps):
             if not self.config.brute_fallback:
                 return self._fail_fast("join", fps)
             return self._submit_brute_join(fps)
         probe = Probe(fps)
+        probe.future.version = max(i.version for i in infos)
+        probe.future.versions = tuple(i.version for i in infos)
+        for fp in fps:
+            self.registry.pin(fp)
+        probe.future.add_done_callback(
+            lambda _f, pair=fps: [self.registry.unpin(fp) for fp in pair])
         try:
             self._coalescer.submit(("join", structure), probe)
         except RejectedError as exc:
@@ -381,8 +464,17 @@ class SpatialQueryEngine:
     # -- lifecycle / introspection ---------------------------------------
 
     def flush(self) -> None:
-        """Dispatch all pending probes now (deterministic batching in tests)."""
+        """Dispatch all pending probes now (deterministic batching in
+        tests) and wait for in-flight mutation commits to settle."""
         self._coalescer.flush()
+        while True:
+            with self._mutation_lock:
+                alive = [t for t in self._mutation_threads if t.is_alive()]
+                self._mutation_threads = alive
+            if not alive:
+                return
+            for t in alive:
+                t.join()
 
     def snapshot(self) -> Dict[str, object]:
         """Engine counters + cache stats + current queue/pending gauges."""
@@ -434,6 +526,10 @@ class SpatialQueryEngine:
             "shards_dropped": s.shards_dropped,
             "fallbacks": s.fallbacks,
             "cancels": s.cancels,
+            "mutation_batches": s.mutation_batches,
+            "mutation_failures": s.mutation_failures,
+            "versions_committed": self.registry.versions_committed,
+            "versions_collected": self.registry.versions_collected,
             "queue_depth": self._executor.queue_depth,
             "pending_probes": self._coalescer.pending,
             "fault_injection": (self.faults.snapshot()
@@ -445,6 +541,10 @@ class SpatialQueryEngine:
             return
         self._closed = True
         self._coalescer.close()
+        with self._mutation_lock:
+            pending = list(self._mutation_threads)
+        for t in pending:
+            t.join()
         self._executor.shutdown(wait=True)
         # warm shutdown: with a store attached, persist the in-memory
         # tier so the next process starts from disk hits, not rebuilds
@@ -499,8 +599,12 @@ class SpatialQueryEngine:
     def _submit(self, kind: str, fingerprint: str, payload: np.ndarray,
                 structure: Optional[str], exact: bool,
                 deadline: Optional[float] = None) -> Future:
-        if fingerprint not in self.registry._datasets:
-            raise KeyError(f"unknown dataset fingerprint {fingerprint!r}")
+        # snapshot isolation: the probe binds to the version that is
+        # current *now* -- a mutation committing after this line cannot
+        # redirect it, because the group key carries the resolved
+        # content fingerprint, not the client's chain handle
+        info = self.registry.resolve(fingerprint)
+        fingerprint = info.fingerprint
         key = (self._index_key(fingerprint, structure), kind, bool(exact))
         self.stats.record_submitted(kind)
         if not self.breakers.allow(fingerprint):
@@ -510,6 +614,12 @@ class SpatialQueryEngine:
         probe = Probe(payload,
                       deadline_at=(time.monotonic() + deadline
                                    if deadline is not None else None))
+        probe.future.version = info.version
+        # pin the snapshot: retention GC may not reclaim this version's
+        # dataset (the brute fallback needs it) until the read settles
+        self.registry.pin(fingerprint)
+        probe.future.add_done_callback(
+            lambda _f, fp=fingerprint: self.registry.unpin(fp))
         try:
             self._coalescer.submit(key, probe)
         except RejectedError as exc:
@@ -641,6 +751,18 @@ class SpatialQueryEngine:
         if group_key[0] == "join":
             self._dispatch_join(group_key[1], probes)
             return
+        if group_key[0] == "mutate":
+            # commits run off the dispatch thread: the new version's
+            # index build must not stall read batches behind it
+            t = threading.Thread(target=self._run_mutation_batch,
+                                 args=(group_key[1], probes), daemon=True,
+                                 name="repro-mutate")
+            with self._mutation_lock:
+                self._mutation_threads = [x for x in self._mutation_threads
+                                          if x.is_alive()]
+                self._mutation_threads.append(t)
+            t.start()
+            return
         index_key, kind, exact = group_key
         if int(dict(index_key.params).get("shards", 1)) > 1:
             self._dispatch_sharded(index_key, kind, exact, probes)
@@ -731,7 +853,8 @@ class SpatialQueryEngine:
                 return
         spec = JobSpec(op="batch", kind=kind,
                        index=self._index_ref(index_key),
-                       payloads=payloads, exact=exact)
+                       payloads=payloads, exact=exact,
+                       version=self.registry.version_of(fingerprint))
         try:
             fut = self._submit_job_with_retry(spec)
         except RejectedError as exc:
@@ -802,6 +925,115 @@ class SpatialQueryEngine:
         self.stats.record_failed(len(probes))
         for p in probes:
             _reject(p.future, exc)
+
+    # -- mutations -------------------------------------------------------
+
+    def _root_lock(self, root: str) -> threading.Lock:
+        with self._mutation_lock:
+            lock = self._mutation_root_locks.get(root)
+            if lock is None:
+                lock = self._mutation_root_locks[root] = threading.Lock()
+            return lock
+
+    def _run_mutation_batch(self, root: str, probes: List[Probe]) -> None:
+        """Commit one coalesced mutation group as one new version.
+
+        Stage (register the post-batch content), warm (build the
+        default-structure index -- repairing from the parent's shards
+        on the thread backend), then flip reads to the new version and
+        let retention GC collect versions beyond the window.  A failed
+        warm build abandons the staged version: the readable snapshot
+        is untouched and the breakers are *not* fed -- a broken write
+        must not trip readers onto the fail-fast path.
+        """
+        with self._root_lock(root):
+            started = time.monotonic()
+            try:
+                cur = self.registry.resolve(root)
+            except KeyError as exc:
+                self.stats.record_failed(len(probes))
+                for p in probes:
+                    _reject(p.future, exc)
+                return
+            n = cur.num_lines
+            live, del_parts, ins_parts = [], [], []
+            for p in probes:
+                op, payload = p.payload
+                if op == "delete" and payload.size and (
+                        payload.min() < 0 or payload.max() >= n):
+                    self.stats.record_failed()
+                    _reject(p.future, IndexError(
+                        f"delete ids out of range for {n} lines "
+                        f"(version {cur.version})"))
+                    continue
+                (del_parts if op == "delete" else ins_parts).append(payload)
+                live.append(p)
+            if not live:
+                return
+            del_ids = (np.unique(np.concatenate(del_parts)) if del_parts
+                       else np.zeros(0, dtype=np.int64))
+            ins = (np.concatenate(ins_parts) if ins_parts
+                   else np.zeros((0, 4)))
+            old = self.registry.dataset(cur.fingerprint)
+            keep = np.ones(n, dtype=bool)
+            keep[del_ids] = False
+            new_lines = np.vstack([old[keep], ins])
+            staged = self.registry.stage_version(
+                root, new_lines, delete_ids=del_ids,
+                n_inserted=ins.shape[0])
+            if staged.fingerprint == cur.fingerprint:
+                # no-op batch (empty, or it recreated the same content)
+                result = MutationResult(
+                    root=cur.root, fingerprint=cur.fingerprint,
+                    version=cur.version, num_lines=cur.num_lines,
+                    inserted=int(ins.shape[0]), deleted=int(del_ids.size))
+                self._settle_mutations(live, result)
+                return
+            key = self._index_key(staged.fingerprint, None)
+            try:
+                entry = self.registry.get(key.fingerprint, key.structure,
+                                          **dict(key.params))
+            except Exception as exc:  # noqa: BLE001 - any failed warm build
+                self.registry.abandon_version(staged.fingerprint)
+                self.stats.record_failed(len(live))
+                self.stats.record_mutation(len(live), int(del_ids.size),
+                                           int(ins.shape[0]), failed=True)
+                for p in live:
+                    _reject(p.future, exc)
+                return
+            info = self.registry.activate_version(staged.fingerprint)
+            if self._is_process and self.store is not None \
+                    and not self.store.contains(key):
+                # workers take the warm path to the *same bytes* the
+                # parent just built, instead of a per-worker rebuild
+                try:
+                    self.store.put(key, entry.tree,
+                                   build_steps=entry.build_steps,
+                                   build_primitives=entry.build_primitives,
+                                   num_lines=entry.num_lines)
+                except OSError:
+                    pass
+            repaired = bool(entry.repair
+                            and not entry.repair.get("full_rebuild"))
+            self.stats.record_mutation(len(live), int(del_ids.size),
+                                       int(ins.shape[0]), repaired=repaired)
+            self.stats.record_batch(f"{key.structure}:mutate", len(live),
+                                    entry.build_steps,
+                                    entry.build_primitives,
+                                    time.monotonic() - started)
+            result = MutationResult(
+                root=info.root, fingerprint=info.fingerprint,
+                version=info.version, num_lines=info.num_lines,
+                inserted=int(ins.shape[0]), deleted=int(del_ids.size),
+                repair=entry.repair)
+            self._settle_mutations(live, result)
+
+    @staticmethod
+    def _settle_mutations(probes: List[Probe],
+                          result: MutationResult) -> None:
+        for p in probes:
+            p.future.version = result.version
+            _resolve(p.future, result)
 
     # -- joins -----------------------------------------------------------
 
@@ -990,7 +1222,8 @@ class SpatialQueryEngine:
                               started, name, fingerprint,
                               deadline=min(deadlines) if deadlines else None,
                               index_ref=(self._index_ref(index_key)
-                                         if self._is_process else None))
+                                         if self._is_process else None),
+                              version=self.registry.version_of(fingerprint))
         if kind == "nearest":
             merge.start_nearest()
         else:
@@ -1054,7 +1287,8 @@ class _ShardedMerge:
                  payloads: np.ndarray, started: float, name: str,
                  fingerprint: str,
                  deadline: Optional[float] = None,
-                 index_ref: Optional[IndexRef] = None) -> None:
+                 index_ref: Optional[IndexRef] = None,
+                 version: int = -1) -> None:
         self.engine = engine
         self.sharded = sharded
         self.index_ref = index_ref    # set iff the backend is a process pool
@@ -1065,6 +1299,7 @@ class _ShardedMerge:
         self.started = started
         self.name = name
         self.fingerprint = fingerprint
+        self.version = version
         self.lock = threading.Lock()
         self.failed = False
         self.done = False
@@ -1149,7 +1384,8 @@ class _ShardedMerge:
                 work = JobSpec(op="shard", kind=self.kind,
                                index=self.index_ref,
                                payloads=self.payloads[sel],
-                               exact=self.exact, shard=k)
+                               exact=self.exact, shard=k,
+                               version=self.version)
             else:
                 work = self._make_job(k, sel)
             try:

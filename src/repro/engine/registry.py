@@ -22,12 +22,30 @@ a rebuild (the disk hit restores the original build accounting from
 the entry's manifest), and a corrupted store file is quarantined and
 rebuilt transparently.
 
-Dynamic updates (:mod:`repro.structures.dynamic`) go through
-:meth:`IndexRegistry.apply_update`, which registers the new dataset and
-*invalidates* every cached index of the old fingerprint -- the explicit
-hook the engine uses so stale trees are never served after an insert or
-delete.  Invalidation covers both tiers: the fingerprint's store
-entries are deleted along with its in-memory indexes.
+Dynamic updates are **versioned** (MVCC for indexes).  Every dataset
+fingerprint belongs to a *chain* anchored at its root (the fingerprint
+of version 0); :meth:`IndexRegistry.mutate` commits a delete-then-insert
+batch as a new chain entry whose content fingerprint is computed the
+usual way, so snapshot isolation falls out of content addressing: a
+reader that resolved the chain before the commit keeps querying the old
+content fingerprint and cannot observe the new version.  Any
+fingerprint in a chain :meth:`resolve`\\ s to the chain's *latest*
+version -- clients keep using the handle they first registered and
+always read their writes.
+
+Commits are **lazy**: no index is built and no cached tree is touched
+at mutation time.  The first read of the new version either *repairs*
+the previous version's sharded index (:func:`repair_sharded`, rebuilding
+only the curve ranges the mutation touched) when the parent tree is
+still in the memory tier and ``repair_enabled`` is set, or pays one
+canonical build.  The last ``versions_retained`` versions stay warm in
+both tiers; older versions are collected -- datasets, cached indexes,
+and store entries -- unless :meth:`pin`\\ ned by an in-flight read, in
+which case collection is deferred to the last :meth:`unpin`.
+
+:meth:`apply_update` keeps the legacy eager semantics (register the new
+dataset, invalidate the old fingerprint's indexes in both tiers) for
+callers that bypass the version chain.
 """
 
 from __future__ import annotations
@@ -37,14 +55,17 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..machine import Machine, use_machine
-from ..structures import build_bucket_pmr, build_pm1, build_rtree, build_sharded
+from ..structures import (build_bucket_pmr, build_pm1, build_rtree,
+                          build_sharded)
+from ..structures.sharded import ShardedIndex, repair_sharded
 
-__all__ = ["dataset_fingerprint", "IndexKey", "BuiltIndex", "IndexRegistry"]
+__all__ = ["dataset_fingerprint", "IndexKey", "BuiltIndex", "VersionInfo",
+           "IndexRegistry"]
 
 
 def dataset_fingerprint(lines: np.ndarray) -> str:
@@ -75,12 +96,30 @@ class IndexKey:
 
 @dataclass
 class BuiltIndex:
-    """A cached immutable index plus its build accounting."""
+    """A cached immutable index plus its build accounting.
+
+    ``repaired_from``/``repair`` record provenance when the tree came
+    from an incremental shard repair of the named parent version rather
+    than a canonical build (answers are identical either way -- the
+    differential invariant).
+    """
 
     key: IndexKey
     tree: object
     build_steps: float
     build_primitives: int
+    num_lines: int
+    repaired_from: Optional[str] = None
+    repair: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """One resolved position in a dataset's version chain."""
+
+    root: str          # the chain's handle: version 0's fingerprint
+    version: int       # 0-based position in the chain
+    fingerprint: str   # content fingerprint of this version
     num_lines: int
 
 
@@ -113,12 +152,21 @@ class IndexRegistry:
     #: structure name -> builder(lines, domain, **params) -> tree
     BUILDERS: Dict[str, Callable] = {}
 
-    def __init__(self, capacity: int = 8, store=None, injector=None):
+    def __init__(self, capacity: int = 8, store=None, injector=None,
+                 versions_retained: int = 2):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if versions_retained < 1:
+            raise ValueError("versions_retained must be >= 1")
         self.capacity = capacity
         self.store = store
         self.injector = injector
+        self.versions_retained = versions_retained
+        #: incremental shard repair on first read of a new version; the
+        #: engine clears it under the process backend, where workers
+        #: materialise indexes canonically and must agree with the
+        #: parent's decomposition shard for shard
+        self.repair_enabled = True
         self._lock = threading.RLock()
         self._datasets: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._domains: Dict[str, int] = {}
@@ -126,12 +174,23 @@ class IndexRegistry:
         #: id(array) -> (weakref, fingerprint): skips re-hashing when the
         #: same (now read-only) array object is registered repeatedly
         self._fp_cache: Dict[int, Tuple[weakref.ref, str]] = {}
+        # -- version chains (MVCC) ----------------------------------------
+        self._roots: Dict[str, str] = {}          # any chain fp -> root fp
+        self._chains: Dict[str, List[str]] = {}   # root -> fps, idx = version
+        self._pins: Dict[str, int] = {}           # fp -> in-flight readers
+        self._doomed: set = set()                 # retired fps awaiting unpin
+        #: child fp -> (parent fp, deleted old ids, inserted row count)
+        self._repair_hints: Dict[str, Tuple[str, np.ndarray, int]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
         self.spills = 0
         self.disk_hits = 0
+        self.repairs = 0
+        self.repair_full_rebuilds = 0
+        self.versions_committed = 0
+        self.versions_collected = 0
 
     # -- datasets --------------------------------------------------------
 
@@ -175,6 +234,10 @@ class IndexRegistry:
         with self._lock:
             self._datasets[fp] = arr
             self._domains[fp] = int(domain)
+            if fp not in self._roots:
+                # a fresh dataset anchors its own version chain
+                self._roots[fp] = fp
+                self._chains[fp] = [fp]
         return fp
 
     def dataset(self, fingerprint: str) -> np.ndarray:
@@ -205,16 +268,217 @@ class IndexRegistry:
         """Registration order, one row per dataset -- what a network
         client needs to address probes (the ``datasets`` request kind)."""
         with self._lock:
-            return [{"fingerprint": fp, "num_lines": int(arr.shape[0]),
-                     "domain": int(self._domains[fp])}
-                    for fp, arr in self._datasets.items()]
+            rows = []
+            for fp, arr in self._datasets.items():
+                root = self._roots.get(fp, fp)
+                chain = self._chains.get(root, [fp])
+                version = chain.index(fp) if fp in chain else -1
+                rows.append({"fingerprint": fp,
+                             "num_lines": int(arr.shape[0]),
+                             "domain": int(self._domains[fp]),
+                             "root": root, "version": version,
+                             "latest": chain[-1] == fp})
+            return rows
 
     def forget(self, fingerprint: str) -> None:
-        """Drop a dataset and every index built from it."""
+        """Drop a dataset, every index built from it, and its chain slot."""
         with self._lock:
             self._datasets.pop(fingerprint, None)
             self._domains.pop(fingerprint, None)
+            self._repair_hints.pop(fingerprint, None)
+            root = self._roots.pop(fingerprint, None)
+            chain = self._chains.get(root) if root is not None else None
+            if chain is not None:
+                if fingerprint in chain:
+                    chain.remove(fingerprint)
+                if not chain:
+                    self._chains.pop(root, None)
         self.invalidate(fingerprint)
+
+    # -- version chains (MVCC) -------------------------------------------
+
+    def resolve(self, fingerprint: str) -> VersionInfo:
+        """The *latest* version of the chain ``fingerprint`` belongs to.
+
+        Any fingerprint ever part of the chain -- including retired
+        versions whose data was collected -- resolves, so a client can
+        keep addressing probes by the handle it first registered
+        (read-your-writes across mutations).
+        """
+        with self._lock:
+            root = self._roots.get(fingerprint)
+            if root is None:
+                raise KeyError(
+                    f"unknown dataset fingerprint {fingerprint!r}")
+            chain = self._chains[root]
+            cur = chain[-1]
+            return VersionInfo(root, len(chain) - 1, cur,
+                               int(self._datasets[cur].shape[0]))
+
+    def version_of(self, fingerprint: str) -> int:
+        """Chain position of this exact content fingerprint (-1: unknown)."""
+        with self._lock:
+            root = self._roots.get(fingerprint)
+            if root is None:
+                return -1
+            try:
+                return self._chains[root].index(fingerprint)
+            except ValueError:
+                return -1   # staged but never activated
+
+    def pin(self, fingerprint: str) -> None:
+        """Hold a version's data live for an in-flight read."""
+        with self._lock:
+            self._pins[fingerprint] = self._pins.get(fingerprint, 0) + 1
+
+    def unpin(self, fingerprint: str) -> None:
+        """Release one pin; collects the version if retirement waited."""
+        reap = False
+        with self._lock:
+            n = self._pins.get(fingerprint, 0) - 1
+            if n > 0:
+                self._pins[fingerprint] = n
+            else:
+                self._pins.pop(fingerprint, None)
+                if fingerprint in self._doomed:
+                    self._doomed.discard(fingerprint)
+                    reap = True
+        if reap:
+            self._collect(fingerprint)
+
+    def stage_version(self, fingerprint: str, new_lines: np.ndarray,
+                      delete_ids=None, n_inserted: int = 0) -> VersionInfo:
+        """Register a mutated dataset as the chain's *candidate* next
+        version without flipping reads to it.
+
+        The new content is registered (and its repair hint recorded)
+        but the chain is not extended: :meth:`resolve` keeps returning
+        the old version until :meth:`activate_version`, so the engine
+        can warm the new index first and a failed build leaves the
+        readable snapshot untouched (:meth:`abandon_version`).  Returns
+        the prospective :class:`VersionInfo`; a no-op mutation (content
+        unchanged) returns the current version instead.
+        """
+        cur = self.resolve(fingerprint)
+        new_lines = np.ascontiguousarray(
+            np.asarray(new_lines, dtype=np.float64).reshape(-1, 4))
+        # the domain can only grow: an insert outside the old space
+        # re-covers it with the next power of two (triggering one full
+        # rebuild); staying put keeps decompositions comparable
+        old_dom = self.domain(cur.fingerprint)
+        top = float(new_lines.max()) if new_lines.size else 1.0
+        new_fp = self.register(new_lines,
+                               domain=max(old_dom, _next_pow2(max(top, 1.0))))
+        with self._lock:
+            if new_fp == cur.fingerprint:
+                return cur
+            chain = self._chains[cur.root]
+            if self._roots.get(new_fp) == new_fp \
+                    and self._chains.get(new_fp) == [new_fp] \
+                    and new_fp not in chain:
+                # fresh content: re-anchor it from its own singleton
+                # chain onto this dataset's chain
+                self._chains.pop(new_fp)
+                self._roots[new_fp] = cur.root
+            del_ids = (np.unique(np.asarray(delete_ids,
+                                            dtype=np.int64).reshape(-1))
+                       if delete_ids is not None
+                       else np.zeros(0, dtype=np.int64))
+            self._repair_hints[new_fp] = (cur.fingerprint, del_ids,
+                                          int(n_inserted))
+            return VersionInfo(cur.root, cur.version + 1, new_fp,
+                               int(new_lines.shape[0]))
+
+    def activate_version(self, fingerprint: str) -> VersionInfo:
+        """Flip the chain's latest version to a staged fingerprint.
+
+        New :meth:`resolve` calls see the new version from here on.
+        Versions older than the retention window are collected from
+        both tiers -- deferred per-version while :meth:`pin`\\ s hold
+        them for in-flight reads.
+        """
+        with self._lock:
+            root = self._roots.get(fingerprint)
+            if root is None:
+                raise KeyError(f"unknown staged fingerprint {fingerprint!r}")
+            chain = self._chains[root]
+            if fingerprint not in chain:
+                chain.append(fingerprint)
+                self.versions_committed += 1
+            retired = [fp for fp in chain[:-self.versions_retained]
+                       if fp in self._datasets]
+            pinned = [fp for fp in retired if self._pins.get(fp, 0) > 0]
+            self._doomed.update(pinned)
+        for fp in retired:
+            if fp not in pinned:
+                self._collect(fp)
+        return self.resolve(fingerprint)
+
+    def abandon_version(self, fingerprint: str) -> None:
+        """Discard a staged version whose index build failed.
+
+        Never touches an *activated* version: the readable snapshot and
+        the chain stay exactly as they were before the staging.
+        """
+        with self._lock:
+            root = self._roots.get(fingerprint)
+            if root is None or fingerprint in self._chains.get(root, ()):
+                return
+            self._roots.pop(fingerprint, None)
+            self._repair_hints.pop(fingerprint, None)
+            self._datasets.pop(fingerprint, None)
+            self._domains.pop(fingerprint, None)
+
+    def _collect(self, fingerprint: str) -> None:
+        """Reclaim a retired version: dataset, cached indexes, store
+        entries, and any repair hint that names it as a parent."""
+        with self._lock:
+            self._datasets.pop(fingerprint, None)
+            self._domains.pop(fingerprint, None)
+            self._repair_hints.pop(fingerprint, None)
+            for child in [c for c, h in self._repair_hints.items()
+                          if h[0] == fingerprint]:
+                del self._repair_hints[child]
+            for key in [k for k in self._cache
+                        if k.fingerprint == fingerprint]:
+                del self._cache[key]
+            self.versions_collected += 1
+        if self.store is not None:
+            self.store.delete_fingerprint(fingerprint)
+
+    def mutate(self, fingerprint: str, insert=None,
+               delete_ids=None) -> VersionInfo:
+        """Commit one delete-then-insert batch as the new active version.
+
+        Deletes name row ids of the *current* version and are applied
+        first; inserted rows are appended after the survivors.  Lazy:
+        no index is built here -- the first read pays a repair or one
+        canonical build -- and the previous version stays readable
+        until the retention window pushes it out.
+        """
+        cur = self.resolve(fingerprint)
+        old = self.dataset(cur.fingerprint)
+        del_ids = (np.unique(np.asarray(delete_ids,
+                                        dtype=np.int64).reshape(-1))
+                   if delete_ids is not None
+                   else np.zeros(0, dtype=np.int64))
+        if del_ids.size and (del_ids[0] < 0
+                             or del_ids[-1] >= old.shape[0]):
+            raise IndexError(
+                f"delete ids out of range for {old.shape[0]} lines")
+        ins = (np.asarray(insert, dtype=np.float64).reshape(-1, 4)
+               if insert is not None else np.zeros((0, 4)))
+        if not del_ids.size and not ins.shape[0]:
+            return cur
+        keep = np.ones(old.shape[0], dtype=bool)
+        keep[del_ids] = False
+        new_lines = np.vstack([old[keep], ins])
+        staged = self.stage_version(fingerprint, new_lines,
+                                    delete_ids=del_ids,
+                                    n_inserted=ins.shape[0])
+        if staged.fingerprint == cur.fingerprint:
+            return cur
+        return self.activate_version(staged.fingerprint)
 
     # -- indexes ---------------------------------------------------------
 
@@ -259,13 +523,58 @@ class IndexRegistry:
                     self.disk_hits += 1
                 self._insert(entry)
                 return entry
-        machine = Machine()
-        with use_machine(machine):
-            tree = self.BUILDERS[structure](lines, dom, **params)
-        entry = BuiltIndex(key, tree, machine.steps, machine.total_primitives,
-                           int(lines.shape[0]))
+        entry = self._repair_from_parent(key, lines, dom, params)
+        if entry is None:
+            machine = Machine()
+            with use_machine(machine):
+                tree = self.BUILDERS[structure](lines, dom, **params)
+            entry = BuiltIndex(key, tree, machine.steps,
+                               machine.total_primitives,
+                               int(lines.shape[0]))
         self._insert(entry)
         return entry
+
+    def _repair_from_parent(self, key: IndexKey, lines: np.ndarray,
+                            dom: int, params: Dict) -> Optional[BuiltIndex]:
+        """Incremental build from the parent version's cached shards.
+
+        Applies only when this fingerprint is a committed mutation of a
+        parent whose *same-key* sharded index is still in the memory
+        tier -- then only the curve ranges the mutation touched are
+        rebuilt.  Any miss in that chain of conditions (no hint, parent
+        evicted, unsharded key, repair disabled) returns ``None`` and
+        the caller pays the canonical build.
+        """
+        if not self.repair_enabled or int(params.get("shards", 1)) <= 1:
+            return None
+        with self._lock:
+            hint = self._repair_hints.get(key.fingerprint)
+            if hint is None:
+                return None
+            parent_fp, del_ids, n_inserted = hint
+            parent = self._cache.get(
+                IndexKey.make(parent_fp, key.structure, **params))
+        if parent is None or not isinstance(parent.tree, ShardedIndex):
+            return None
+        machine = Machine()
+        try:
+            with use_machine(machine):
+                tree, rstats = repair_sharded(
+                    parent.tree, lines, del_ids, n_inserted,
+                    shards=int(params["shards"]),
+                    capacity=int(params.get("capacity", 8)),
+                    min_fill=int(params.get("min_fill", 2)),
+                    max_depth=params.get("max_depth"),
+                    domain=float(dom))
+        except Exception:
+            return None   # any surprise falls back to the canonical build
+        with self._lock:
+            self.repairs += 1
+            if rstats["full_rebuild"]:
+                self.repair_full_rebuilds += 1
+        return BuiltIndex(key, tree, machine.steps,
+                          machine.total_primitives, int(lines.shape[0]),
+                          repaired_from=parent_fp, repair=rstats)
 
     def _insert(self, entry: BuiltIndex) -> None:
         """Admit one entry to the memory tier, spilling any evictees.
@@ -373,17 +682,17 @@ class IndexRegistry:
         return new_fp
 
     def insert_lines(self, fingerprint: str, new_lines: np.ndarray) -> str:
-        """Convenience :meth:`apply_update` for appending segments."""
-        new_lines = np.asarray(new_lines, dtype=np.float64).reshape(-1, 4)
-        return self.apply_update(
-            fingerprint,
-            lambda old: np.vstack([old, new_lines]) if old.size else new_lines)
+        """Append segments as a new chain version; returns its fingerprint.
+
+        Lazy (:meth:`mutate`): nothing is built or invalidated here,
+        and the previous version keeps serving until retention GC.
+        """
+        return self.mutate(fingerprint, insert=new_lines).fingerprint
 
     def delete_lines(self, fingerprint: str, ids) -> str:
-        """Convenience :meth:`apply_update` for removing segments by id."""
-        ids = np.asarray(ids, dtype=np.int64)
-        return self.apply_update(
-            fingerprint, lambda old: np.delete(old, ids, axis=0))
+        """Remove segments by current-version id; returns the new
+        chain version's fingerprint (lazy, like :meth:`insert_lines`)."""
+        return self.mutate(fingerprint, delete_ids=ids).fingerprint
 
     # -- stats -----------------------------------------------------------
 
@@ -401,6 +710,12 @@ class IndexRegistry:
                 "invalidations": float(self.invalidations),
                 "spills": float(self.spills),
                 "disk_hits": float(self.disk_hits),
+                "repairs": float(self.repairs),
+                "repair_full_rebuilds": float(self.repair_full_rebuilds),
+                "versions_committed": float(self.versions_committed),
+                "versions_collected": float(self.versions_collected),
+                "versions_retained": float(self.versions_retained),
+                "pinned_versions": float(len(self._pins)),
             }
         if self.store is not None:
             out["store"] = self.store.snapshot()

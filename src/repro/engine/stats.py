@@ -82,6 +82,13 @@ class EngineStats:
         self.fallbacks = 0           # probes served by brute force
         self.cancels = 0             # timed-out futures cancelled in time
         self.cancel_failures = 0     # ... that had already started
+        # -- mutations (MVCC commits) -------------------------------------
+        self.mutation_batches = 0    # coalesced groups committed
+        self.mutation_failures = 0   # groups whose warm build failed
+        self.mutations_applied = 0   # insert/delete probes committed
+        self.lines_inserted = 0
+        self.lines_deleted = 0
+        self.repaired_builds = 0     # warm builds served by shard repair
         # -- process backend ----------------------------------------------
         self.worker_restarts = 0     # broken pools replaced
         self.ipc_bytes_sent = 0      # pickled job-spec bytes to workers
@@ -149,6 +156,20 @@ class EngineStats:
         """Probes served by the engine-level brute-force fallback."""
         with self._lock:
             self.fallbacks += n
+
+    def record_mutation(self, probes: int, deleted: int, inserted: int,
+                        repaired: bool = False, failed: bool = False) -> None:
+        """One coalesced mutation group: its commit (or failed warm)."""
+        with self._lock:
+            if failed:
+                self.mutation_failures += 1
+                return
+            self.mutation_batches += 1
+            self.mutations_applied += probes
+            self.lines_deleted += deleted
+            self.lines_inserted += inserted
+            if repaired:
+                self.repaired_builds += 1
 
     def record_restart(self, n: int = 1) -> None:
         """One broken process pool replaced after a worker crash."""
@@ -273,6 +294,12 @@ class EngineStats:
                 "fallbacks": self.fallbacks,
                 "cancels": self.cancels,
                 "cancel_failures": self.cancel_failures,
+                "mutation_batches": self.mutation_batches,
+                "mutation_failures": self.mutation_failures,
+                "mutations_applied": self.mutations_applied,
+                "lines_inserted": self.lines_inserted,
+                "lines_deleted": self.lines_deleted,
+                "repaired_builds": self.repaired_builds,
                 "worker_restarts": self.worker_restarts,
                 "ipc_bytes_sent": self.ipc_bytes_sent,
                 "ipc_bytes_received": self.ipc_bytes_received,

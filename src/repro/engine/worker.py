@@ -131,6 +131,10 @@ class JobSpec:
     datasets: Tuple[Tuple[str, np.ndarray, int], ...] = ()
     crash: bool = False
     brute: bool = False
+    #: dataset chain version the job's index fingerprint was resolved
+    #: at -- pinned so a worker's accounting and any future
+    #: version-aware materialisation can name the snapshot it served
+    version: int = -1
 
 
 @dataclass(frozen=True)

@@ -121,6 +121,16 @@ class ServeClient:
         return self.request("join", fingerprint=fingerprint,
                             fingerprint_b=fingerprint_b, structure=structure)
 
+    def insert(self, fingerprint: str, lines) -> dict:
+        """Append segments; ``lines`` is rows of ``[x0, y0, x1, y1]``."""
+        rows = [[float(v) for v in row] for row in lines]
+        return self.request("insert", fingerprint=fingerprint, lines=rows)
+
+    def delete(self, fingerprint: str, ids) -> dict:
+        """Delete segments by current-version row ids."""
+        return self.request("delete", fingerprint=fingerprint,
+                            ids=[int(v) for v in ids])
+
     def health(self) -> dict:
         return self.request("health")
 

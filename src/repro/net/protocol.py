@@ -18,6 +18,8 @@ Request::
 ``point``      ``fingerprint``, ``point`` ``[x, y]``
 ``nearest``    ``fingerprint``, ``point`` ``[x, y]``
 ``join``       ``fingerprint``, ``fingerprint_b``
+``insert``     ``fingerprint``, ``lines`` (list of ``[x0, y0, x1, y1]``)
+``delete``     ``fingerprint``, ``ids`` (list of non-negative ints)
 ``health``     no fields (never admission-controlled)
 ``datasets``   no fields (never admission-controlled)
 =============  =====================================================
@@ -26,6 +28,18 @@ Probe kinds accept optional ``structure`` (``pmr``/``pm1``/``rtree``),
 ``exact`` (window/point, default true) and ``deadline_ms`` (a relative
 per-request budget; on a sharded index an expired deadline degrades to
 a partial answer instead of failing).
+
+Mutation kinds (:data:`MUTATION_KINDS`) address a dataset by any
+fingerprint in its version chain; the engine applies the batch to the
+latest version and answers with the committed snapshot::
+
+    {"id": 9, "status": 200, "version": 3,
+     "result": {"fingerprint": "c4d5...", "num_lines": 1005,
+                "inserted": 5, "deleted": 0}}
+
+Every probe and mutation response carries ``version`` -- the dataset
+version the answer was computed against (joins carry ``versions``, one
+per side) -- so a client can tell which snapshot served it.
 
 Response::
 
@@ -55,9 +69,11 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["MAX_FRAME", "OK", "PARTIAL", "BAD_REQUEST", "NOT_FOUND",
+__all__ = ["MAX_FRAME", "MAX_MUTATION_BATCH",
+           "OK", "PARTIAL", "BAD_REQUEST", "NOT_FOUND",
            "RETRY_AFTER", "INTERNAL", "SHED", "REQUEST_KINDS",
-           "PROBE_KINDS", "ProtocolError", "encode_frame", "jsonable",
+           "PROBE_KINDS", "MUTATION_KINDS",
+           "ProtocolError", "encode_frame", "jsonable",
            "parse_request", "read_frame", "write_frame",
            "recv_frame_sock", "send_frame_sock"]
 
@@ -76,7 +92,11 @@ INTERNAL = 500       #: the engine failed on this request
 SHED = 503           #: brownout: the server is over capacity, try later
 
 PROBE_KINDS = ("window", "point", "nearest", "join")
-REQUEST_KINDS = PROBE_KINDS + ("health", "datasets")
+MUTATION_KINDS = ("insert", "delete")
+REQUEST_KINDS = PROBE_KINDS + MUTATION_KINDS + ("health", "datasets")
+
+#: cap on one mutation batch (keeps a frame well under MAX_FRAME)
+MAX_MUTATION_BATCH = 100_000
 
 
 class ProtocolError(ValueError):
@@ -263,12 +283,48 @@ def parse_request(obj: dict) -> dict:
         out["point"] = _coords(obj, "point", 2)
         if kind == "point":
             out["exact"] = _flag(obj, "exact", True)
+    elif kind == "insert":
+        out["lines"] = _lines(obj)
+    elif kind == "delete":
+        out["ids"] = _ids(obj)
     else:  # join
         fp_b = obj.get("fingerprint_b")
         if not isinstance(fp_b, str) or not fp_b:
             raise ProtocolError("'fingerprint_b' must be a non-empty string")
         out["fingerprint_b"] = fp_b
     return out
+
+
+def _lines(obj: dict) -> list:
+    val = obj.get("lines")
+    if not isinstance(val, (list, tuple)) or not val:
+        raise ProtocolError("'lines' must be a non-empty list of "
+                            "[x0, y0, x1, y1] rows")
+    if len(val) > MAX_MUTATION_BATCH:
+        raise ProtocolError(f"'lines' exceeds the {MAX_MUTATION_BATCH}-row "
+                            f"batch cap")
+    rows = []
+    for i, row in enumerate(val):
+        if (not isinstance(row, (list, tuple)) or len(row) != 4
+                or not all(isinstance(v, (int, float))
+                           and not isinstance(v, bool) for v in row)):
+            raise ProtocolError(f"'lines'[{i}] must be a list of 4 numbers")
+        rows.append([float(v) for v in row])
+    return rows
+
+
+def _ids(obj: dict) -> list:
+    val = obj.get("ids")
+    if not isinstance(val, (list, tuple)) or not val:
+        raise ProtocolError("'ids' must be a non-empty list of "
+                            "non-negative integers")
+    if len(val) > MAX_MUTATION_BATCH:
+        raise ProtocolError(f"'ids' exceeds the {MAX_MUTATION_BATCH}-row "
+                            f"batch cap")
+    for i, v in enumerate(val):
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            raise ProtocolError(f"'ids'[{i}] must be a non-negative integer")
+    return [int(v) for v in val]
 
 
 def _flag(obj: dict, field: str, default: bool) -> bool:

@@ -24,6 +24,11 @@ What the wire adds on top of the engine:
   deadline's :class:`~repro.resilience.PartialResult` is a 206 carrying
   ``shards_dropped``, unknown fingerprints are 404, schema errors 400,
   engine faults 500;
+* **dynamic updates** -- ``insert``/``delete`` request kinds route
+  into the engine's MVCC mutation path; they are admission-controlled
+  like probes, and every probe/mutation response echoes the dataset
+  ``version`` it was computed against (joins echo ``versions``), so a
+  client can correlate answers with snapshots;
 * **observability** -- :class:`ServerStats` counts connections,
   requests per kind, responses per status, bytes both ways, and
   mid-flight disconnects; the ``health`` request kind (never
@@ -46,9 +51,9 @@ from ..resilience import CircuitOpenError, PartialResult
 from ..errors import EngineError
 from ..engine.executor import RejectedError
 from .admission import AdmissionController
-from .protocol import (BAD_REQUEST, INTERNAL, NOT_FOUND, OK, PARTIAL,
-                       RETRY_AFTER, SHED, ProtocolError, jsonable,
-                       parse_request, read_frame, write_frame)
+from .protocol import (BAD_REQUEST, INTERNAL, MUTATION_KINDS, NOT_FOUND,
+                       OK, PARTIAL, RETRY_AFTER, SHED, ProtocolError,
+                       jsonable, parse_request, read_frame, write_frame)
 
 __all__ = ["ServerStats", "SpatialServer", "ServerThread"]
 
@@ -272,15 +277,24 @@ class SpatialServer:
             return self.engine.submit_nearest(
                 req["fingerprint"], req["point"], structure=req["structure"],
                 deadline=req["deadline"])
+        if kind == "insert":
+            return self.engine.submit_insert(
+                req["fingerprint"],
+                np.asarray(req["lines"], dtype=np.int64).reshape(-1, 4))
+        if kind == "delete":
+            return self.engine.submit_delete(
+                req["fingerprint"], np.asarray(req["ids"], dtype=np.int64))
         return self.engine.submit_join(req["fingerprint"],
                                        req["fingerprint_b"],
                                        structure=req["structure"])
 
     async def _run_probe(self, req: dict, conn_id: int, writer,
                          write_lock) -> None:
+        engine_fut = None
         try:
             try:
-                fut = asyncio.wrap_future(self._submit(req))
+                engine_fut = self._submit(req)
+                fut = asyncio.wrap_future(engine_fut)
                 if self.request_timeout is not None:
                     result = await asyncio.wait_for(fut, self.request_timeout)
                 else:
@@ -299,12 +313,12 @@ class SpatialServer:
             except BaseException as exc:  # noqa: BLE001 - mapped to statuses
                 resp = self._error_response(req, exc)
             else:
-                resp = self._ok_response(req, result)
+                resp = self._ok_response(req, result, engine_fut)
             await self._respond(writer, write_lock, resp)
         finally:
             self.admission.release(conn_id)
 
-    def _ok_response(self, req: dict, result) -> dict:
+    def _ok_response(self, req: dict, result, engine_fut=None) -> dict:
         resp = {"id": req["id"], "status": OK}
         if isinstance(result, PartialResult):
             resp["status"] = PARTIAL
@@ -312,6 +326,13 @@ class SpatialServer:
             resp["shards_completed"] = result.shards_completed
             result = result.value
         resp["result"] = _encode_result(req["kind"], result)
+        # snapshot provenance: which dataset version answered (MVCC)
+        version = getattr(engine_fut, "version", None)
+        if version is not None:
+            resp["version"] = int(version)
+        versions = getattr(engine_fut, "versions", None)
+        if versions is not None:
+            resp["versions"] = [int(v) for v in versions]
         return resp
 
     def _error_response(self, req: dict, exc: BaseException) -> dict:
@@ -329,7 +350,8 @@ class SpatialServer:
         elif isinstance(exc, KeyError):
             resp["status"] = NOT_FOUND
             resp["reason"] = "unknown_fingerprint"
-        elif isinstance(exc, (ValueError, TypeError)):
+        elif isinstance(exc, (ValueError, TypeError, IndexError)):
+            # IndexError: a mutation naming delete ids out of range
             resp["status"] = BAD_REQUEST
             resp["reason"] = "invalid_argument"
         else:
@@ -353,6 +375,13 @@ def _encode_result(kind: str, result):
     if kind == "nearest":
         gid, dist = result
         return [int(gid), float(dist)]
+    if kind in MUTATION_KINDS:
+        # MutationResult: the committed snapshot's identity and size
+        return {"fingerprint": result.fingerprint,
+                "root": result.root,
+                "num_lines": int(result.num_lines),
+                "inserted": int(result.inserted),
+                "deleted": int(result.deleted)}
     # join: (N, 2) id pairs
     return np.asarray(result, dtype=np.int64).reshape(-1, 2).tolist()
 

@@ -23,7 +23,8 @@ from .pr_quadtree import PRQuadtree, build_pr_quadtree
 from .quadblock import CHILD_NAMES, NodeTable, Quadtree, child_box
 from .region import RegionQuadtree, build_region_quadtree
 from .rtree import RTree, build_rtree
-from .sharded import Shard, ShardedIndex, build_sharded, shard_keys, sharded_join
+from .sharded import (Shard, ShardedIndex, build_sharded, repair_sharded,
+                      shard_keys, sharded_join)
 from .str_pack import build_rtree_str
 
 __all__ = [
@@ -77,6 +78,7 @@ __all__ = [
     "Shard",
     "ShardedIndex",
     "build_sharded",
+    "repair_sharded",
     "shard_keys",
     "sharded_join",
 ]

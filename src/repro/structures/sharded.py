@@ -57,8 +57,8 @@ from .pm1 import build_pm1
 from .quadblock import Quadtree
 from .rtree import RTree, build_rtree
 
-__all__ = ["Shard", "ShardedIndex", "build_sharded", "shard_keys",
-           "sharded_join", "ORDERINGS"]
+__all__ = ["Shard", "ShardedIndex", "build_sharded", "repair_sharded",
+           "shard_keys", "sharded_join", "ORDERINGS"]
 
 ORDERINGS = ("morton", "hilbert")
 
@@ -371,6 +371,132 @@ def build_sharded(lines: np.ndarray, domain: float, structure: str = "pmr",
             built.append(Shard(ids=ids, mbr=_segment_mbr(segs), tree=tree))
     return ShardedIndex(lines=lines, domain=float(domain), structure=structure,
                         ordering=ordering, shards=built)
+
+
+def _build_shard_tree(segs: np.ndarray, domain: float, structure: str,
+                      capacity: int, min_fill: int, max_depth):
+    if structure == "pmr":
+        tree, _ = build_bucket_pmr(segs, domain, capacity, max_depth=max_depth)
+    elif structure == "pm1":
+        tree, _ = build_pm1(segs, domain, max_depth=max_depth)
+    else:
+        tree, _ = build_rtree(segs, min_fill, capacity)
+    return tree
+
+
+def repair_sharded(index: ShardedIndex, new_lines: np.ndarray,
+                   delete_ids, n_inserted: int,
+                   shards: Optional[int] = None,
+                   capacity: int = 8, min_fill: int = 2,
+                   max_depth=None, domain: Optional[float] = None,
+                   skew_factor: float = 4.0
+                   ) -> Tuple[ShardedIndex, dict]:
+    """Incrementally rebuild a sharded index after a mutation batch.
+
+    ``new_lines`` must be the post-mutation segment array laid out as
+    the survivors of ``index.lines`` (original order, rows named by
+    ``delete_ids`` removed) followed by ``n_inserted`` appended rows --
+    exactly the canonical delete-then-insert layout the registry's
+    version commits produce.
+
+    Untouched shards (no deleted segment, no insert routed into their
+    curve range) are *reused*: the per-shard tree is shared with the
+    old index and only the global-id array is remapped (the survivor
+    remap is monotone, so ids stay ascending and the nearest tie-break
+    invariant holds).  Shards with deletions, plus the shards whose
+    curve range receives an inserted segment, are rebuilt from their
+    surviving and incoming segments.  Answers are decomposition-
+    independent (the PR-2 differential invariant), so a repaired index
+    answers bit-identically to ``build_sharded`` on ``new_lines`` even
+    though its cut points may differ.
+
+    Falls back to one full :func:`build_sharded` -- returned with
+    ``stats["full_rebuild"] = True`` -- when the repair cannot stay
+    incremental: an empty old or new index, a domain change (inserted
+    coordinates outside the old power-of-two space), a majority of
+    shards touched, or post-repair skew (largest shard exceeding
+    ``skew_factor`` times the balanced size) that would erode the
+    fan-out's balance.
+
+    Returns ``(repaired ShardedIndex, stats dict)``.
+    """
+    new_lines = np.asarray(new_lines, dtype=np.float64).reshape(-1, 4)
+    n_old = index.num_lines
+    n_new = new_lines.shape[0]
+    n_inserted = int(n_inserted)
+    del_ids = np.unique(np.asarray(delete_ids, dtype=np.int64).reshape(-1))
+    if del_ids.size and (del_ids[0] < 0 or del_ids[-1] >= n_old):
+        raise IndexError(f"delete ids out of range for {n_old} lines")
+    if n_new != n_old - del_ids.size + n_inserted:
+        raise ValueError(
+            f"new_lines has {n_new} rows; expected "
+            f"{n_old} - {del_ids.size} deleted + {n_inserted} inserted")
+    K = int(shards) if shards is not None else max(index.num_shards, 1)
+    dom = float(domain) if domain is not None else index.domain
+    stats = {"full_rebuild": False, "shards_reused": 0, "shards_rebuilt": 0,
+             "deleted": int(del_ids.size), "inserted": n_inserted}
+
+    def full() -> Tuple[ShardedIndex, dict]:
+        stats.update(full_rebuild=True, shards_reused=0, shards_rebuilt=0)
+        rebuilt = build_sharded(new_lines, dom, structure=index.structure,
+                                shards=K, ordering=index.ordering,
+                                capacity=capacity, min_fill=min_fill,
+                                max_depth=max_depth)
+        return rebuilt, stats
+
+    if index.num_shards == 0 or n_new == 0 or dom != index.domain:
+        return full()
+
+    # monotone survivor remap: old global id -> new global id (-1: deleted)
+    keep = np.ones(n_old, dtype=bool)
+    keep[del_ids] = False
+    remap = np.cumsum(keep, dtype=np.int64) - 1
+    remap[~keep] = -1
+
+    # route each inserted segment to the shard whose curve range holds
+    # its key; shard ranges are contiguous and ascending along the
+    # curve, so the per-shard max key is a sorted routing table
+    routed: List[List[int]] = [[] for _ in range(index.num_shards)]
+    if n_inserted:
+        old_keys = shard_keys(index.lines, dom, index.ordering)
+        max_keys = np.array([old_keys[s.ids].max() for s in index.shards])
+        ins_keys = shard_keys(new_lines[n_new - n_inserted:], dom,
+                              index.ordering)
+        target = np.minimum(np.searchsorted(max_keys, ins_keys, side="left"),
+                            index.num_shards - 1)
+        for j, k in enumerate(target):
+            routed[int(k)].append(n_new - n_inserted + j)
+
+    touched = [bool(np.any(~keep[s.ids])) or bool(routed[k])
+               for k, s in enumerate(index.shards)]
+    if sum(touched) > max(index.num_shards // 2, 1) \
+            and index.num_shards > 1:
+        return full()
+
+    built: List[Shard] = []
+    for k, s in enumerate(index.shards):
+        if not touched[k]:
+            built.append(Shard(ids=remap[s.ids], mbr=s.mbr, tree=s.tree))
+            stats["shards_reused"] += 1
+            continue
+        ids = np.sort(np.concatenate([
+            remap[s.ids][keep[s.ids]],
+            np.asarray(routed[k], dtype=np.int64)]))
+        if ids.size == 0:
+            continue   # fully emptied range: drop, never materialise
+        segs = new_lines[ids]
+        tree = _build_shard_tree(segs, dom, index.structure,
+                                 capacity, min_fill, max_depth)
+        built.append(Shard(ids=ids, mbr=_segment_mbr(segs), tree=tree))
+        stats["shards_rebuilt"] += 1
+    if not built:
+        return full()
+    balanced = max(-(-n_new // K), 1)
+    if n_new > K and max(s.ids.size for s in built) > skew_factor * balanced:
+        return full()
+    return (ShardedIndex(lines=new_lines, domain=dom,
+                         structure=index.structure, ordering=index.ordering,
+                         shards=built), stats)
 
 
 # -- join -----------------------------------------------------------------

@@ -124,7 +124,7 @@ def test_cache_hits_across_batches():
     assert snap["cache"]["misses"] == 1
 
 
-def test_invalidation_after_dynamic_insert_serves_fresh_results():
+def test_versioning_after_dynamic_insert_serves_fresh_results():
     lines = random_segments(60, DOMAIN, 48, seed=11)
     extra = np.array([[5.0, 5.0, 60.0, 60.0]])
     rect = np.array([0.0, 0.0, 80.0, 80.0])
@@ -133,7 +133,9 @@ def test_invalidation_after_dynamic_insert_serves_fresh_results():
         before = eng.window(fp, rect, timeout=30)
         fp2 = eng.insert_lines(fp, extra)
         after = eng.window(fp2, rect, timeout=30)
-        assert all(k.fingerprint != fp for k in eng.registry.cached_keys())
+        # MVCC: new reads through the OLD handle also serve the latest
+        assert np.array_equal(eng.window(fp, rect, timeout=30), after)
+        assert eng.registry.resolve(fp).fingerprint == fp2
     combined = np.vstack([lines, extra])
     tree = scalar_tree("pmr", combined)
     assert np.array_equal(after, np.unique(tree.window_query(rect)))

@@ -125,21 +125,26 @@ class TestInvalidation:
         assert reg.invalidate() == 1
         assert reg.cached_keys() == []
 
-    def test_cache_invalidated_after_dynamic_insert(self):
-        """The dynamic-update hook: stale indexes must never be served."""
+    def test_cache_survives_dynamic_insert_mvcc(self):
+        """The dynamic-update hook is lazy MVCC: the old version's index
+        stays cached (in-flight reads may still bind to it) while the
+        chain advances to the new fingerprint."""
         reg = IndexRegistry(capacity=8)
         lines = segs(7)
         fp = reg.register(lines, domain=DOMAIN)
-        stale = reg.get(fp, "pmr", capacity=8).tree
+        old = reg.get(fp, "pmr", capacity=8).tree
         extra = np.array([[1.0, 1.0, 40.0, 40.0]])
         new_fp = reg.insert_lines(fp, extra)
-        # old fingerprint's indexes are gone from the cache
-        assert all(k.fingerprint != fp for k in reg.cached_keys())
         assert new_fp != fp
+        # MVCC: the old version's index is retained, not evicted
+        assert any(k.fingerprint == fp for k in reg.cached_keys())
+        # the chain resolves the old handle to the new version
+        assert reg.resolve(fp).fingerprint == new_fp
+        assert reg.resolve(fp).version == 1
         # the new index equals the canonical rebuild semantics of
         # structures.dynamic: insert == fresh build on the union
         fresh = reg.get(new_fp, "pmr", capacity=8).tree
-        rebuilt, _ = insert_lines(stale, extra, capacity=8)
+        rebuilt, _ = insert_lines(old, extra, capacity=8)
         assert fresh.decomposition_key() == rebuilt.decomposition_key()
 
     def test_delete_lines_hook(self):
@@ -148,9 +153,41 @@ class TestInvalidation:
         fp = reg.register(lines, domain=DOMAIN)
         reg.get(fp, "pmr", capacity=8)
         new_fp = reg.delete_lines(fp, [0, 3])
-        assert all(k.fingerprint != fp for k in reg.cached_keys())
+        # old version retained (MVCC); the chain points at the new one
+        assert any(k.fingerprint == fp for k in reg.cached_keys())
+        assert reg.resolve(fp).fingerprint == new_fp
         assert np.array_equal(reg.dataset(new_fp),
                               np.delete(lines, [0, 3], axis=0))
+
+    def test_mutations_are_lazy_no_eager_rebuild(self, monkeypatch):
+        """Regression: committing a mutation must not build anything --
+        the first read of the new version pays for exactly one build."""
+        counts = {}
+
+        def wrap(name, fn):
+            def counting(*args, **kwargs):
+                counts[name] = counts.get(name, 0) + 1
+                return fn(*args, **kwargs)
+            return counting
+
+        monkeypatch.setattr(IndexRegistry, "BUILDERS",
+                            {name: wrap(name, fn)
+                             for name, fn in IndexRegistry.BUILDERS.items()})
+        reg = IndexRegistry(capacity=8)
+        fp = reg.register(segs(11), domain=DOMAIN)
+        reg.get(fp, "pmr", capacity=8)
+        assert counts == {"pmr": 1}
+        # three chained mutations: zero builds until somebody reads
+        fp1 = reg.insert_lines(fp, [[1.0, 2.0, 30.0, 40.0]])
+        fp2 = reg.delete_lines(fp1, [0, 5])
+        fp3 = reg.insert_lines(fp2, [[9.0, 9.0, 90.0, 90.0]])
+        assert counts == {"pmr": 1}
+        reg.get(fp3, "pmr", capacity=8)
+        assert counts == {"pmr": 2}
+        # intermediate versions were never built and never will be
+        # unless read; reading latest again is a cache hit
+        reg.get(fp3, "pmr", capacity=8)
+        assert counts == {"pmr": 2}
 
     def test_forget_drops_dataset_and_indexes(self):
         reg = IndexRegistry()

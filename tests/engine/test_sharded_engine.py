@@ -150,7 +150,7 @@ def test_concurrent_clients_each_see_oracle_results():
 
 
 @pytest.mark.parametrize("update", ["insert", "delete"])
-def test_dynamic_updates_evict_sharded_entries(update):
+def test_dynamic_updates_version_sharded_entries(update):
     lines = make_lines(10, n=80)
     with sharded_engine("pmr", 4) as eng:
         fp = eng.register(lines, domain=DOMAIN)
@@ -164,12 +164,15 @@ def test_dynamic_updates_evict_sharded_entries(update):
             new_fp = eng.delete_lines(fp, [0])
             new_lines = lines[1:]
         assert new_fp != fp
-        # the old fingerprint's sharded tree is gone from the cache
-        assert all(k.fingerprint != fp for k in eng.registry.cached_keys())
-        # serving the new fingerprint reflects the update
+        # MVCC: the old version's sharded tree is retained, not evicted
+        assert any(k.fingerprint == fp for k in eng.registry.cached_keys())
         rect = np.array([0, 0, DOMAIN, DOMAIN], float)
+        # serving the new fingerprint reflects the update
         got = eng.window(new_fp, rect)
         assert np.array_equal(got, brute_window_query(new_lines, rect))
+        # the old handle resolves to the latest version at submit time
+        got_old = eng.window(fp, rect)
+        assert np.array_equal(got_old, brute_window_query(new_lines, rect))
 
 
 def test_empty_dataset_sharded_serving():

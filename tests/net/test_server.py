@@ -115,7 +115,8 @@ class TestIntrospection:
         with ServeClient(st.host, st.port) as c:
             rows = c.datasets()["result"]
         assert rows == [{"fingerprint": fp, "num_lines": len(lines),
-                         "domain": DOMAIN}]
+                         "domain": DOMAIN, "root": fp, "version": 0,
+                         "latest": True}]
 
     def test_health_carries_server_and_engine_sections(self, served):
         st, eng, fp, lines = served

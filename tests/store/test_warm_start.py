@@ -170,12 +170,17 @@ class TestInvalidationCoversBothTiers:
                                                          counting_builders):
         store, reg, fps = self.seeded(tmp_path, n_datasets=1)
         new_fp = reg.insert_lines(fps[0], [[1.0, 1.0, 40.0, 40.0]])
-        # the old fingerprint's archives are gone from the disk tier
-        assert all(e.fingerprint != fps[0] for e in store.entries())
-        # and the new dataset builds fresh (disk probe misses)
+        # MVCC: the old version's archives are retained on disk (it is
+        # still a readable snapshot) but keyed by the OLD fingerprint,
+        # so a probe for the new fingerprint can never hit them
+        assert all(e.fingerprint in (fps[0], new_fp)
+                   for e in store.entries())
+        # the new dataset builds fresh (disk probe misses)
         builds = counting_builders.get("pmr", 0)
-        reg.get(new_fp, "pmr", capacity=8)
+        got = reg.get(new_fp, "pmr", capacity=8)
         assert counting_builders["pmr"] == builds + 1
+        # and what it serves is the new version's tree, not the stale one
+        assert got.num_lines == reg.dataset(new_fp).shape[0]
 
 
 class TestCorruptionRecovery:
