@@ -48,6 +48,16 @@ and the process backend's IPC accounting.  Rows land in
 ``BENCH_parallel.json`` (``--parallel-json``) together with
 ``cpu_count``, because the process-vs-thread ratio only means
 something relative to the cores available.
+
+A sixth section proves the shared-memory data plane
+(:mod:`repro.shm`): the process backend over a sweep of dataset sizes
+(``--shm-sizes``, default 10k and 100k segments), arena on vs. arena
+off (``shm_budget_bytes=0``).  With the arena on, datasets and
+prebuilt index payloads cross as fixed-size handles, so per-job IPC
+bytes and cold-start pipe bytes must stay **near-flat in dataset
+size**; the section computes the largest/smallest ratios and a
+pass/fail gate (``shm_gate_max_ratio``, default 1.5x) that CI asserts
+from ``BENCH_parallel.json``.
 """
 
 from __future__ import annotations
@@ -461,6 +471,102 @@ def bench_parallel(structure: str, lines: np.ndarray, domain: int,
     return rows
 
 
+def bench_shm_sweep(structure: str, domain: int, sizes, probes: int,
+                    repeats: int, shards: int, ordering: str, seed: int,
+                    workers: int = 2) -> list:
+    """Process-backend IPC bytes vs. dataset size, arena on vs. off.
+
+    One row per (segment count, arena) cell.  ``cold_ipc_bytes`` is
+    everything that crossed the pipe from engine construction through
+    the first resolved batch (job specs + resubmits + shipped dataset
+    snapshots); ``per_job_ipc_bytes`` is the steady-state first-submit
+    bytes per job.  With the arena on both must be flat in dataset
+    size -- handles don't grow with the data -- while the arena-off
+    rows show ``dataset_ship_bytes`` scaling linearly.
+    """
+    rects_by_n = {}
+    rows = []
+    for n in sizes:
+        lines = random_segments(n, domain=domain,
+                                max_len=max(domain // 42, 2), seed=seed + n)
+        rects = rects_by_n.setdefault(n, make_windows(probes, domain,
+                                                      seed + 41))
+        for arena_on in (True, False):
+            t0 = time.perf_counter()
+            with SpatialQueryEngine(
+                    structure=structure, shards=shards, ordering=ordering,
+                    executor="process", workers=workers,
+                    max_batch=probes + 1, max_wait=0.5,
+                    queue_depth=max(64, 4 * shards * workers),
+                    shm_budget_bytes=None if arena_on else 0) as engine:
+                fp = engine.register(lines, domain=domain)
+                engine.warm(fp)
+
+                def serve():
+                    futures = [engine.submit_window(fp, r) for r in rects]
+                    engine.flush()
+                    for f in futures:
+                        f.result(timeout=300)
+                    return None
+
+                serve()
+                cold_s = time.perf_counter() - t0
+                h = engine.health()["executor"]
+                cold_ipc = (h["ipc_bytes_sent"] + h["ipc_bytes_resent"]
+                            + h["dataset_ship_bytes"])
+                for _ in range(max(repeats, 2)):
+                    serve()
+                h = engine.health()["executor"]
+                row = {
+                    "structure": structure, "backend": "process",
+                    "workers": workers, "shards": shards,
+                    "segments": int(n), "probes": int(probes),
+                    "arena": bool(arena_on),
+                    "cold_start_s": round(cold_s, 3),
+                    "cold_ipc_bytes": int(cold_ipc),
+                    "per_job_ipc_bytes": round(
+                        h["ipc_bytes_sent"] / max(h["ipc_jobs"], 1), 1),
+                    "ipc_jobs": h["ipc_jobs"],
+                    "ipc_bytes_sent": h["ipc_bytes_sent"],
+                    "ipc_bytes_resent": h["ipc_bytes_resent"],
+                    "datasets_shipped": h["datasets_shipped"],
+                    "dataset_ship_bytes": h["dataset_ship_bytes"],
+                    "worker_warm_loads": h["worker_warm_loads"],
+                    "worker_cold_builds": h["worker_cold_builds"],
+                }
+                if arena_on:
+                    shm = h["shm"]
+                    row["shm_blocks"] = shm["blocks"]
+                    row["shm_bytes"] = shm["bytes"]
+                    row["shm_attach_total"] = shm["attach_total"]
+            rows.append(row)
+    return rows
+
+
+def shm_gate(rows, max_ratio: float = 1.5) -> dict:
+    """The CI gate over the arena rows of :func:`bench_shm_sweep`.
+
+    Per-job IPC bytes and cold-start pipe bytes must grow by at most
+    ``max_ratio`` from the smallest to the largest dataset, and no
+    arena row may have shipped a dataset snapshot over the pipe.
+    """
+    arena = sorted((r for r in rows if r["arena"]),
+                   key=lambda r: r["segments"])
+    lo, hi = arena[0], arena[-1]
+    per_job = hi["per_job_ipc_bytes"] / max(lo["per_job_ipc_bytes"], 1.0)
+    cold = hi["cold_ipc_bytes"] / max(lo["cold_ipc_bytes"], 1)
+    shipped = sum(r["dataset_ship_bytes"] for r in arena)
+    return {
+        "segments_lo": lo["segments"], "segments_hi": hi["segments"],
+        "per_job_ipc_ratio": round(per_job, 3),
+        "cold_ipc_ratio": round(cold, 3),
+        "arena_dataset_ship_bytes": int(shipped),
+        "max_ratio": max_ratio,
+        "passed": bool(per_job <= max_ratio and cold <= max_ratio
+                       and shipped == 0),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--n", type=int, default=2000, help="segment count")
@@ -501,6 +607,15 @@ def main(argv=None) -> int:
                     help="shard count of the parallel sweep's index")
     ap.add_argument("--parallel-json", default="BENCH_parallel.json",
                     help="where to write the parallel section's rows")
+    ap.add_argument("--skip-shm", action="store_true")
+    ap.add_argument("--shm-sizes", type=int, nargs="+",
+                    default=[10000, 100000],
+                    help="dataset sizes of the shared-memory sweep")
+    ap.add_argument("--shm-probes", type=int, default=256,
+                    help="window probes per batch in the shm sweep")
+    ap.add_argument("--shm-gate-max-ratio", type=float, default=1.5,
+                    help="largest allowed growth of per-job / cold-start "
+                         "IPC bytes across --shm-sizes with the arena on")
     ap.add_argument("--pretty", action="store_true")
     args = ap.parse_args(argv)
 
@@ -596,6 +711,15 @@ def main(argv=None) -> int:
                        "results": report["resilience"]}, fh, indent=2)
             fh.write("\n")
         print(f"# resilience rows -> {args.resilience_json}", file=sys.stderr)
+    parallel_doc = {"benchmark": "thread_vs_process_executor",
+                    "cpu_count": os.cpu_count(),
+                    "note": "process-vs-thread speedup scales with "
+                            "available cores; on a single-CPU host the "
+                            "process backend pays the IPC tax with no "
+                            "parallelism to buy, so expect <= 1x there "
+                            "and >= 2x only with >= 4 cores",
+                    "map": dict(report["map"], segments=args.sharded_n),
+                    "repeats": args.repeats}
     if not args.skip_parallel:
         structure = args.structures[0]
         big = random_segments(args.sharded_n, domain=args.domain,
@@ -621,18 +745,34 @@ def main(argv=None) -> int:
                             / by[("thread", w_hi)]["window_qps"], 2)
             print(f"# process x{w_hi} vs thread x{w_hi} (window): "
                   f"{speedup}x on {os.cpu_count()} cpu(s)", file=sys.stderr)
+        parallel_doc["process_vs_thread_window"] = speedup
+        parallel_doc["results"] = rows
+    if not args.skip_shm:
+        structure = args.structures[0]
+        rows = bench_shm_sweep(structure, args.domain, args.shm_sizes,
+                               args.shm_probes, args.repeats,
+                               args.parallel_shards, args.ordering,
+                               args.seed)
+        gate = shm_gate(rows, args.shm_gate_max_ratio)
+        report["shm_sweep"] = rows
+        report["shm_gate"] = gate
+        parallel_doc["shm_sweep"] = rows
+        parallel_doc["shm_gate"] = gate
+        for row in rows:
+            tag = "arena" if row["arena"] else "pipe"
+            print(f"# {structure} shm {tag} n={row['segments']:,}: "
+                  f"per-job {row['per_job_ipc_bytes']:,} B, cold "
+                  f"{row['cold_ipc_bytes']:,} B ({row['cold_start_s']}s), "
+                  f"shipped {row['dataset_ship_bytes']:,} B",
+                  file=sys.stderr)
+        print(f"# shm gate: per-job {gate['per_job_ipc_ratio']}x, cold "
+              f"{gate['cold_ipc_ratio']}x across "
+              f"{gate['segments_lo']:,} -> {gate['segments_hi']:,} segments "
+              f"(limit {gate['max_ratio']}x) -> "
+              f"{'PASS' if gate['passed'] else 'FAIL'}", file=sys.stderr)
+    if not args.skip_parallel or not args.skip_shm:
         with open(args.parallel_json, "w") as fh:
-            json.dump({"benchmark": "thread_vs_process_executor",
-                       "cpu_count": os.cpu_count(),
-                       "note": "process-vs-thread speedup scales with "
-                               "available cores; on a single-CPU host the "
-                               "process backend pays the IPC tax with no "
-                               "parallelism to buy, so expect <= 1x there "
-                               "and >= 2x only with >= 4 cores",
-                       "map": dict(report["map"], segments=args.sharded_n),
-                       "repeats": args.repeats,
-                       "process_vs_thread_window": speedup,
-                       "results": rows}, fh, indent=2)
+            json.dump(parallel_doc, fh, indent=2)
             fh.write("\n")
         print(f"# parallel rows -> {args.parallel_json}", file=sys.stderr)
     json.dump(report, sys.stdout, indent=2 if args.pretty else None)

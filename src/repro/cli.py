@@ -110,6 +110,24 @@ def _build_report(args: argparse.Namespace) -> str:
     """
     domain = 8 if args.map == "paper" else args.domain
     lines = _make_map(args.map, args.n, domain, args.seed)
+    return _build_report_for(args, lines, domain)
+
+
+def _build_report_from_handle(args: argparse.Namespace, handle) -> str:
+    """Worker side of the zero-copy build: map the parent's published
+    segment array (no pipe bytes, no regeneration) and build from it."""
+    from .shm import attach_array
+
+    att = attach_array(handle)
+    try:
+        return _build_report_for(args, att.value,
+                                 int(float(handle.meta_dict()["domain"])))
+    finally:
+        att.close()
+
+
+def _build_report_for(args: argparse.Namespace, lines: np.ndarray,
+                      domain: int) -> str:
     m = Machine(cost_model=args.cost_model, processors=args.processors)
     out: List[str] = []
     with use_machine(m):
@@ -189,8 +207,33 @@ def _cmd_build(args: argparse.Namespace) -> int:
         methods = _mp.get_all_start_methods()
         ctx = _mp.get_context("forkserver" if "forkserver" in methods
                               else "spawn")
-        with _cf.ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
-            print(pool.submit(_build_report, args).result())
+        budget = getattr(args, "shm_budget_bytes", None)
+        arena = None
+        if budget is None or budget > 0:
+            from .shm import DATASET_PREFIX, ShmArena
+            try:
+                arena = ShmArena(budget_bytes=budget)
+            except Exception:   # no usable shm: ship args, build remotely
+                arena = None
+        try:
+            task = None
+            if arena is not None:
+                # publish the generated map once; the worker maps the
+                # same pages instead of regenerating or unpickling it
+                domain = 8 if args.map == "paper" else args.domain
+                lines = _make_map(args.map, args.n, domain, args.seed)
+                handle = arena.publish_array(DATASET_PREFIX + "build", lines,
+                                             meta={"domain": str(domain)})
+                if handle is not None:
+                    task = (_build_report_from_handle, args, handle)
+            if task is None:
+                task = (_build_report, args)
+            with _cf.ProcessPoolExecutor(max_workers=1,
+                                         mp_context=ctx) as pool:
+                print(pool.submit(*task).result())
+        finally:
+            if arena is not None:
+                arena.close()
     else:
         print(_build_report(args))
     return 0
@@ -276,6 +319,8 @@ def _serve_engine(args: argparse.Namespace):
                               ordering=args.ordering,
                               cache_dir=args.cache_dir,
                               disk_budget_bytes=args.disk_budget_bytes,
+                              shm_budget_bytes=getattr(
+                                  args, "shm_budget_bytes", None),
                               versions_retained=getattr(
                                   args, "versions_retained", 2))
 
@@ -486,6 +531,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                                 max_batch=args.max_batch,
                                 max_wait=0.001,
                                 executor=args.backend,
+                                shm_budget_bytes=getattr(
+                                    args, "shm_budget_bytes", None),
                                 breaker_threshold=args.breaker_threshold,
                                 breaker_reset=args.breaker_reset,
                                 brute_fallback=args.brute_fallback,
@@ -842,6 +889,9 @@ def _parser() -> argparse.ArgumentParser:
     b.add_argument("--backend", choices=("thread", "process"),
                    default="thread",
                    help="process: run the build in a worker process")
+    b.add_argument("--shm-budget-bytes", type=int, default=None,
+                   help="shared-memory arena budget for --backend process "
+                        "(default: unbounded; 0 disables the arena)")
     b.set_defaults(fn=_cmd_build)
 
     f = sub.add_parser("figures", help="replay the paper's worked examples")
@@ -911,6 +961,9 @@ def _parser() -> argparse.ArgumentParser:
                    help="persistent index store directory (spill + warm start)")
     s.add_argument("--disk-budget-bytes", type=int, default=None,
                    help="store byte budget (requires --cache-dir)")
+    s.add_argument("--shm-budget-bytes", type=int, default=None,
+                   help="shared-memory arena budget for --backend process "
+                        "(default: unbounded; 0 disables the arena)")
     s.add_argument("--versions-retained", type=int, default=2,
                    help="dataset versions kept warm for in-flight reads "
                         "after a mutation commits (MVCC)")
@@ -989,6 +1042,9 @@ def _parser() -> argparse.ArgumentParser:
                    default="thread",
                    help="executor backend (crash faults kill real "
                         "workers under process)")
+    c.add_argument("--shm-budget-bytes", type=int, default=None,
+                   help="shared-memory arena budget for --backend process "
+                        "(default: unbounded; 0 disables the arena)")
     c.add_argument("--max-batch", type=int, default=8)
     c.add_argument("--probes", type=int, default=48,
                    help="probes in the chaos wave")

@@ -57,6 +57,9 @@ from ..resilience import (OPEN, BreakerBoard, CircuitOpenError, FaultInjector,
 from ..structures.join import brute_join, quadtree_join, rtree_join
 from ..structures.nearest import brute_nearest
 from ..structures.sharded import ORDERINGS, ShardedIndex, sharded_join
+from ..shm import DATASET_PREFIX, INDEX_PREFIX, ShmArena
+from ..store import store_key_id
+from ..structures.io import structure_payload
 from .coalescer import Coalescer, Probe
 from .executor import BoundedExecutor, ProcessBackend, RejectedError
 from .registry import IndexKey, IndexRegistry
@@ -119,6 +122,11 @@ class EngineConfig:
     queue_depth: int = 64         # bounded executor queue
     mp_start: Optional[str] = None    # process start method (None: auto)
     job_timeout: Optional[float] = None  # per-job wall cap, process backend
+    #: shared-memory arena byte budget for the process backend.
+    #: ``None`` (default): arena enabled, unbounded; ``0``: arena
+    #: disabled (every dataset ships over the pipe); ``> 0``: publishes
+    #: beyond the budget are refused and fall back to pipe shipping.
+    shm_budget_bytes: Optional[int] = None
     cache_capacity: int = 8       # LRU-cached built indexes
     default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
     shards: int = 1               # >1: space-sorted sharded indexes
@@ -146,6 +154,8 @@ class EngineConfig:
             raise ValueError(f"unknown mp_start {self.mp_start!r}")
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise ValueError("job_timeout must be > 0")
+        if self.shm_budget_bytes is not None and self.shm_budget_bytes < 0:
+            raise ValueError("shm_budget_bytes must be >= 0")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         if self.ordering not in ORDERINGS:
@@ -206,12 +216,25 @@ class SpatialQueryEngine:
         self._mutation_lock = threading.Lock()
         self._mutation_root_locks: Dict[str, threading.Lock] = {}
         self._mutation_threads: List[threading.Thread] = []
+        # shared-memory data plane: on by default for the process
+        # backend (shm_budget_bytes=0 disables it); datasets and
+        # prebuilt index payloads cross as handles, not pipe bytes
+        self._arena: Optional[ShmArena] = None
+        if self._is_process and (config.shm_budget_bytes is None
+                                 or config.shm_budget_bytes > 0):
+            try:
+                self._arena = ShmArena(budget_bytes=config.shm_budget_bytes)
+            except Exception:   # no usable shm: degrade to pipe shipping
+                self._arena = None
+        self.registry.arena = self._arena
         if self._is_process:
             self._executor = ProcessBackend(
                 workers=config.workers, queue_depth=config.queue_depth,
                 injector=self.faults, cache_dir=config.cache_dir,
                 fault_plan=config.fault_plan,
                 dataset_provider=self.registry.dataset_snapshot,
+                handle_provider=(self._job_handles
+                                 if self._arena is not None else None),
                 on_event=self._on_executor_event, retry=self._retry,
                 mp_start=config.mp_start, job_timeout=config.job_timeout)
         else:
@@ -296,11 +319,14 @@ class SpatialQueryEngine:
         """Build (or touch) the index ahead of traffic.
 
         Under the process backend this also warms the *workers*: the
-        built index is persisted to the store (when one is attached) so
-        workers take the disk warm path, and one best-effort warm job
-        per worker pre-materialises it off the serving path.  Without a
-        store the warm jobs ship the dataset snapshot instead, which
-        still spares the first real batch the cold build.
+        built payload is published **once** into the shared-memory
+        arena (one block per fingerprint, every worker maps the same
+        pages zero-copy) and persisted to the store (when one is
+        attached) as the fallback warm path, then one best-effort warm
+        job per worker pre-materialises it off the serving path.  Only
+        with neither arena nor store do the warm jobs ship the dataset
+        snapshot, which still spares the first real batch the cold
+        build.
         """
         key = self._index_key(self.registry.resolve(fingerprint).fingerprint,
                               structure)
@@ -316,6 +342,7 @@ class SpatialQueryEngine:
                                num_lines=entry.num_lines)
             except OSError:
                 pass   # disk full: workers will cold-build instead
+        self._publish_index(key, entry.tree)
         ref = self._index_ref(key)
         futs = []
         for _ in range(self.config.workers):
@@ -482,6 +509,8 @@ class SpatialQueryEngine:
         out["cache"] = self.registry.snapshot()
         out["queue_depth"] = self._executor.queue_depth
         out["pending_probes"] = self._coalescer.pending
+        if self._arena is not None:
+            out["shm"] = self._arena.snapshot()
         return out
 
     def health(self) -> Dict[str, object]:
@@ -504,11 +533,17 @@ class SpatialQueryEngine:
                 "start_method": self._executor.start_method,
                 "restarts": s.worker_restarts,
                 "datasets_shipped": s.datasets_shipped,
+                "dataset_ship_bytes": s.dataset_ship_bytes,
                 "ipc_bytes_sent": s.ipc_bytes_sent,
+                "ipc_bytes_resent": s.ipc_bytes_resent,
                 "ipc_bytes_received": s.ipc_bytes_received,
+                "ipc_jobs": s.ipc_jobs,
                 "worker_warm_loads": s.worker_warm_loads,
                 "worker_cold_builds": s.worker_cold_builds,
+                "shm_attaches": s.shm_attaches,
                 "workers_seen": sorted(s.workers),
+                "shm": (self._arena.snapshot() if self._arena is not None
+                        else {"enabled": False}),
             })
         return {
             "status": "degraded" if not_closed else "ok",
@@ -550,6 +585,10 @@ class SpatialQueryEngine:
         # tier so the next process starts from disk hits, not rebuilds
         if self.store is not None:
             self.registry.spill_all()
+        # unlink every published block only after the workers are gone
+        if self._arena is not None:
+            self.registry.arena = None
+            self._arena.close()
 
     def __enter__(self) -> "SpatialQueryEngine":
         return self
@@ -563,18 +602,29 @@ class SpatialQueryEngine:
         """Process-backend telemetry -> the stats layer (and fault replay)."""
         if name == "restart":
             self.stats.record_restart()
+            if self._arena is not None:
+                # the blocks survive (the parent owns them) but every
+                # worker mapping died with the pool
+                self._arena.reset_live_attachments()
         elif name == "crash_retry":
             self.stats.record_retry("executor.crash")
         elif name == "dataset_shipped":
             self.stats.record_dataset_shipped(int(value))
+        elif name == "dataset_ship_bytes":
+            self.stats.record_dataset_shipped(0, nbytes=int(value))
         elif name == "ipc_sent":
             self.stats.record_ipc(sent=int(value))
+        elif name == "ipc_resent":
+            self.stats.record_ipc(resent=int(value))
         elif name == "ipc_received":
             self.stats.record_ipc(received=int(value))
         elif name == "worker_result":
             wr: WorkerResult = value
             self.stats.record_worker(wr.pid, wr.jobs, wr.warm_loads,
-                                     wr.cold_builds, wr.cached_trees)
+                                     wr.cold_builds, wr.cached_trees,
+                                     shm_attaches=len(wr.shm_attached))
+            if self._arena is not None and wr.shm_attached:
+                self._arena.note_attaches(wr.shm_attached)
             for site, kind in wr.faults:
                 # latency/stall specs fired inside the worker; replay
                 # them here so `faults_injected` covers both sides
@@ -831,6 +881,85 @@ class SpatialQueryEngine:
         return IndexRef(key.fingerprint, key.structure, key.params,
                         int(self.registry.domain(key.fingerprint)))
 
+    # -- shared-memory data plane ----------------------------------------
+
+    def _job_handles(self, spec: JobSpec) -> Tuple[object, ...]:
+        """The arena handles one job should carry (the executor's
+        ``handle_provider``).
+
+        For every index the spec references: the dataset's ``ds:``
+        block (published on first demand -- a handful of bytes per job
+        thereafter, however large the dataset) and, if one was
+        published by :meth:`warm` or a mutation commit, the prebuilt
+        ``ix:`` payload block.
+        """
+        arena = self._arena
+        if arena is None:
+            return ()
+        refs: List[IndexRef] = []
+        if spec.index is not None:
+            refs.append(spec.index)
+        for ref_a, ref_b in spec.pairs:
+            refs.append(ref_a)
+            refs.append(ref_b)
+        handles: List[object] = []
+        seen: set = set()
+        for ref in refs:
+            handle = self._dataset_handle(ref)
+            if handle is not None and handle.tag not in seen:
+                seen.add(handle.tag)
+                handles.append(handle)
+            handle = arena.handle(INDEX_PREFIX + store_key_id(ref))
+            if handle is not None and handle.tag not in seen:
+                seen.add(handle.tag)
+                handles.append(handle)
+        return tuple(handles)
+
+    def _dataset_handle(self, ref: IndexRef):
+        """The ``ds:`` handle for one fingerprint, publishing on demand.
+
+        A budget refusal (or a collected version) returns ``None`` and
+        the job simply carries no handle -- the worker falls back to
+        the store / ``NeedDataset`` ship path unchanged.
+        """
+        arena = self._arena
+        tag = DATASET_PREFIX + ref.fingerprint
+        handle = arena.handle(tag)
+        if handle is not None:
+            return handle
+        try:
+            lines, domain = self.registry.dataset_snapshot(ref.fingerprint)
+        except KeyError:
+            return None
+        return arena.publish_array(
+            tag, lines, meta={"fingerprint": ref.fingerprint,
+                              "domain": str(int(domain))})
+
+    def _publish_index(self, key: IndexKey, tree=None) -> None:
+        """Publish one built index payload into the arena, best effort.
+
+        Prefers mapping the store's ``.npz`` entries straight into the
+        block (:meth:`~repro.store.IndexStore.payload_arrays` -- the
+        disk warm path feeds the shared pages directly); falls back to
+        flattening the in-memory ``tree``.  Idempotent per store key,
+        silent on budget refusal.
+        """
+        arena = self._arena
+        if arena is None:
+            return
+        tag = INDEX_PREFIX + store_key_id(key)
+        if arena.handle(tag) is not None:
+            return
+        arrays = None
+        if self.store is not None:
+            arrays = self.store.payload_arrays(key)
+        if arrays is None:
+            if tree is None:
+                return
+            arrays = structure_payload(tree, dict(key.params))
+        arena.publish_payload(tag, arrays,
+                              meta={"fingerprint": key.fingerprint})
+
     def _dispatch_process(self, index_key: IndexKey, kind: str, exact: bool,
                           probes: List[Probe]) -> None:
         """One coalesced group as one :class:`JobSpec` to the pool.
@@ -1013,6 +1142,10 @@ class SpatialQueryEngine:
                                    num_lines=entry.num_lines)
                 except OSError:
                     pass
+            if self._is_process:
+                # same idea, zero-copy tier: the committed version's
+                # payload is published once and mapped by every worker
+                self._publish_index(key, entry.tree)
             repaired = bool(entry.repair
                             and not entry.repair.get("full_rebuild"))
             self.stats.record_mutation(len(live), int(del_ids.size),

@@ -29,6 +29,16 @@ On top of the raw pool it adds what serving needs:
   (:class:`~repro.engine.worker.NeedDataset`) gets the registry
   snapshot attached to its spec and the job resubmitted, at no cost to
   the retry budget;
+* **shared-memory handles** -- an optional ``handle_provider`` stamps
+  each launch with the arena's current :class:`~repro.shm.ShmHandle`
+  tuple (re-queried per attempt, so a resubmitted job sees blocks
+  published since), keeping datasets and prebuilt indexes off the pipe
+  entirely;
+* **honest IPC accounting** -- first submissions count into
+  ``ipc_sent``; crash resubmissions and post-\\ ``NeedDataset``
+  relaunches count into ``ipc_resent`` (and shipped snapshot payloads
+  into ``dataset_ship_bytes``), so per-job pipe-byte gauges are not
+  double-counted across pool restarts or bounded resubmits;
 * **fault-site parity** -- ``error``/``crash``/``corrupt`` specs of the
   fault plan are evaluated here at submit time (one global,
   deterministic schedule; a ``crash`` marks the spec so its worker
@@ -224,9 +234,12 @@ class ProcessBackend(ExecutorBackend):
     seed each worker's read-only store and latency/stall injector;
     ``dataset_provider(fingerprint) -> (lines, domain)`` answers
     :class:`~repro.engine.worker.NeedDataset` round trips;
+    ``handle_provider(spec) -> tuple`` (optional) returns the
+    shared-memory handles to stamp onto each launch;
     ``on_event(name, value)`` streams backend telemetry (``restart``,
-    ``crash_retry``, ``dataset_shipped``, ``ipc_sent``,
-    ``ipc_received``, ``worker_result``) to the engine's stats layer;
+    ``crash_retry``, ``dataset_shipped``, ``dataset_ship_bytes``,
+    ``ipc_sent``, ``ipc_resent``, ``ipc_received``, ``worker_result``)
+    to the engine's stats layer;
     ``retry`` budgets crash resubmissions; ``mp_start`` picks the
     multiprocessing start method (default: ``forkserver`` where
     available, else ``spawn`` -- never ``fork``, the parent runs
@@ -237,7 +250,8 @@ class ProcessBackend(ExecutorBackend):
 
     def __init__(self, workers: int = 4, queue_depth: int = 64,
                  injector=None, cache_dir: Optional[str] = None,
-                 fault_plan=None, dataset_provider=None, on_event=None,
+                 fault_plan=None, dataset_provider=None,
+                 handle_provider=None, on_event=None,
                  retry=None, mp_start: Optional[str] = None,
                  job_timeout: Optional[float] = None):
         if workers < 1:
@@ -252,6 +266,7 @@ class ProcessBackend(ExecutorBackend):
         self._cache_dir = cache_dir
         self._fault_plan = fault_plan
         self._dataset_provider = dataset_provider
+        self._handle_provider = handle_provider
         self._on_event = on_event
         self._retry = retry
         self._rng = random.Random(0xC3A5)  # deterministic crash backoff
@@ -318,11 +333,28 @@ class ProcessBackend(ExecutorBackend):
         with self._lock:
             self._inflight -= 1
 
-    def _launch(self, spec: JobSpec, outer: Future, attempt: int) -> None:
-        """One pool submission; ``spec`` stays pristine across retries."""
+    def _launch(self, spec: JobSpec, outer: Future, attempt: int,
+                first: bool = True) -> None:
+        """One pool submission; ``spec`` stays pristine across retries.
+
+        ``first`` marks the job's initial submission -- its pickled
+        size counts into ``ipc_sent``.  Crash resubmits and
+        post-:class:`NeedDataset` relaunches pass ``first=False`` and
+        count into ``ipc_resent`` instead, so the per-job
+        ``ipc_sent / jobs`` gauge is not inflated by retries.
+        """
         if outer.done():   # timed out / cancelled while backing off
             return
         run = spec
+        if self._handle_provider is not None:
+            # re-queried per attempt: a resubmit sees blocks published
+            # (or released) since the previous launch
+            try:
+                handles = tuple(self._handle_provider(spec))
+            except Exception:  # pragma: no cover - provider must not kill
+                handles = ()
+            if handles != run.handles:
+                run = replace(run, handles=handles)
         if self._injector is not None:
             # parent-side evaluation keeps error/crash schedules global
             # and deterministic across workers and pool restarts
@@ -333,7 +365,7 @@ class ProcessBackend(ExecutorBackend):
                 self._injector.fire(site, only_kinds=PARENT_FAULT_KINDS,
                                     **ctx)
             except InjectedWorkerCrash:
-                run = replace(spec, crash=True)
+                run = replace(run, crash=True)
             except InjectedFault as exc:
                 _set_exception(outer, exc)
                 return
@@ -352,7 +384,7 @@ class ProcessBackend(ExecutorBackend):
         except RuntimeError as exc:   # pool shut down under us
             _set_exception(outer, RejectedError(str(exc), reason="shutdown"))
             return
-        self._event("ipc_sent", _nbytes(run))
+        self._event("ipc_sent" if first else "ipc_resent", _nbytes(run))
         inner.add_done_callback(
             lambda f: self._on_inner(f, spec, outer, attempt, gen))
 
@@ -399,8 +431,11 @@ class ProcessBackend(ExecutorBackend):
                 return
             shipped.append((fp, lines, int(domain)))
         self._event("dataset_shipped", len(shipped))
+        self._event("dataset_ship_bytes",
+                    sum(int(getattr(lines, "nbytes", 0))
+                        for _, lines, _ in shipped))
         self._launch(replace(spec, datasets=spec.datasets + tuple(shipped)),
-                     outer, attempt)
+                     outer, attempt, first=False)
 
     def _crashed(self, spec: JobSpec, outer: Future, attempt: int,
                  gen: int, exc: BaseException) -> None:
@@ -418,7 +453,8 @@ class ProcessBackend(ExecutorBackend):
         delay = (self._retry.delay(attempt, self._rng)
                  if self._retry is not None else 0.0)
         timer = threading.Timer(delay, self._launch,
-                                args=(spec, outer, attempt + 1))
+                                args=(spec, outer, attempt + 1),
+                                kwargs={"first": False})
         timer.daemon = True
         timer.start()
 

@@ -162,6 +162,11 @@ class IndexRegistry:
         self.store = store
         self.injector = injector
         self.versions_retained = versions_retained
+        #: optional :class:`~repro.shm.ShmArena` -- when the engine
+        #: attaches one, retiring a fingerprint also unlinks its
+        #: published shared-memory blocks so workers cannot map stale
+        #: datasets or index payloads
+        self.arena = None
         #: incremental shard repair on first read of a new version; the
         #: engine clears it under the process backend, where workers
         #: materialise indexes canonically and must agree with the
@@ -294,6 +299,8 @@ class IndexRegistry:
                 if not chain:
                     self._chains.pop(root, None)
         self.invalidate(fingerprint)
+        if self.arena is not None:
+            self.arena.release_fingerprint(fingerprint)
 
     # -- version chains (MVCC) -------------------------------------------
 
@@ -445,6 +452,8 @@ class IndexRegistry:
             self.versions_collected += 1
         if self.store is not None:
             self.store.delete_fingerprint(fingerprint)
+        if self.arena is not None:
+            self.arena.release_fingerprint(fingerprint)
 
     def mutate(self, fingerprint: str, insert=None,
                delete_ids=None) -> VersionInfo:
@@ -665,6 +674,10 @@ class IndexRegistry:
                     self.store.clear()
                 else:
                     self.store.delete_fingerprint(fingerprint)
+            if self.arena is not None:
+                # stale index payloads must never be mapped again; the
+                # dataset block (if any) is handled by _collect/forget
+                self.arena.release_indexes(fingerprint)
             return n
 
     def apply_update(self, fingerprint: str,

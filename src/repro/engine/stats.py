@@ -91,11 +91,15 @@ class EngineStats:
         self.repaired_builds = 0     # warm builds served by shard repair
         # -- process backend ----------------------------------------------
         self.worker_restarts = 0     # broken pools replaced
-        self.ipc_bytes_sent = 0      # pickled job-spec bytes to workers
+        self.ipc_bytes_sent = 0      # pickled bytes of first submissions
+        self.ipc_bytes_resent = 0    # ... of crash/NeedDataset resubmits
         self.ipc_bytes_received = 0  # pickled result bytes back
+        self.ipc_jobs = 0            # first submissions (per-job divisor)
         self.datasets_shipped = 0    # NeedDataset round trips served
+        self.dataset_ship_bytes = 0  # snapshot bytes those trips carried
         self.worker_warm_loads = 0   # worker index loads from the store
         self.worker_cold_builds = 0  # worker index rebuilds from snapshots
+        self.shm_attaches = 0        # worker attachments to arena blocks
         #: pid -> that worker's latest self-reported totals
         self.workers: Dict[int, Dict[str, int]] = {}
         self.latency = LatencyReservoir(reservoir_size)
@@ -176,35 +180,51 @@ class EngineStats:
         with self._lock:
             self.worker_restarts += n
 
-    def record_ipc(self, sent: int = 0, received: int = 0) -> None:
-        """Bytes pickled across the process boundary (either way)."""
+    def record_ipc(self, sent: int = 0, received: int = 0,
+                   resent: int = 0) -> None:
+        """Bytes pickled across the process boundary.
+
+        ``sent`` counts a job's *first* submission (and bumps the
+        ``ipc_jobs`` divisor); ``resent`` counts crash resubmissions
+        and post-``NeedDataset`` relaunches separately, so
+        ``ipc_bytes_sent / ipc_jobs`` stays an honest per-job gauge
+        across pool restarts and bounded resubmits.
+        """
         with self._lock:
             self.ipc_bytes_sent += sent
+            self.ipc_bytes_resent += resent
             self.ipc_bytes_received += received
+            if sent:
+                self.ipc_jobs += 1
 
-    def record_dataset_shipped(self, n: int = 1) -> None:
+    def record_dataset_shipped(self, n: int = 1, nbytes: int = 0) -> None:
         """Dataset snapshots attached after ``NeedDataset`` round trips."""
         with self._lock:
             self.datasets_shipped += n
+            self.dataset_ship_bytes += nbytes
 
     def record_worker(self, pid: int, jobs: int, warm_loads: int,
-                      cold_builds: int, cached_trees: int) -> None:
+                      cold_builds: int, cached_trees: int,
+                      shm_attaches: int = 0) -> None:
         """Fold one :class:`WorkerResult`'s accounting into the stats.
 
-        ``warm_loads``/``cold_builds`` are per-job deltas (summed);
-        ``jobs``/``cached_trees`` are the worker's own running totals
-        (latest wins), keyed by pid so restarts show up as new rows.
+        ``warm_loads``/``cold_builds``/``shm_attaches`` are per-job
+        deltas (summed); ``jobs``/``cached_trees`` are the worker's own
+        running totals (latest wins), keyed by pid so restarts show up
+        as new rows.
         """
         with self._lock:
             self.worker_warm_loads += warm_loads
             self.worker_cold_builds += cold_builds
+            self.shm_attaches += shm_attaches
             row = self.workers.setdefault(
                 pid, {"jobs": 0, "warm_loads": 0, "cold_builds": 0,
-                      "cached_trees": 0})
+                      "cached_trees": 0, "shm_attaches": 0})
             row["jobs"] = jobs
             row["warm_loads"] += warm_loads
             row["cold_builds"] += cold_builds
             row["cached_trees"] = cached_trees
+            row["shm_attaches"] += shm_attaches
 
     def record_cancel(self, succeeded: bool, n: int = 1) -> None:
         """A timed-out future we tried to cancel (freeing its slot)."""
@@ -302,10 +322,14 @@ class EngineStats:
                 "repaired_builds": self.repaired_builds,
                 "worker_restarts": self.worker_restarts,
                 "ipc_bytes_sent": self.ipc_bytes_sent,
+                "ipc_bytes_resent": self.ipc_bytes_resent,
                 "ipc_bytes_received": self.ipc_bytes_received,
+                "ipc_jobs": self.ipc_jobs,
                 "datasets_shipped": self.datasets_shipped,
+                "dataset_ship_bytes": self.dataset_ship_bytes,
                 "worker_warm_loads": self.worker_warm_loads,
                 "worker_cold_builds": self.worker_cold_builds,
+                "shm_attaches": self.shm_attaches,
                 "workers": {pid: dict(row)
                             for pid, row in self.workers.items()},
                 "shard_batches": self.shard_batches,

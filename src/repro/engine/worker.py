@@ -2,19 +2,26 @@
 
 The process backend never ships a built tree across the process
 boundary.  A job crosses as a :class:`JobSpec` -- fingerprint-addressed
-:class:`IndexRef`\\ s plus a small query array -- and each worker
-process lazily **materialises** the indexes it is asked about, in
-priority order:
+:class:`IndexRef`\\ s plus a small query array and (with the
+shared-memory data plane enabled) a tuple of picklable
+:class:`~repro.shm.ShmHandle`\\ s -- and each worker process lazily
+**materialises** the indexes it is asked about, in priority order:
 
 1. its own in-process cache (keyed by :func:`repro.store.store_key_id`,
    the same stem the disk store uses),
-2. the persistent :class:`~repro.store.IndexStore` opened *read-only*
+2. a published index payload block named by a ``ix:`` handle on the
+   spec: the worker maps the parent's prebuilt payload zero-copy and
+   rebuilds the tree *in place* over the shared pages,
+3. the persistent :class:`~repro.store.IndexStore` opened *read-only*
    (the warm path: the parent engine spilled or prefetched the index),
-3. a deterministic rebuild from the dataset snapshot -- and if the
-   worker has never seen that dataset it raises :class:`NeedDataset`,
-   the parent attaches ``(fingerprint, lines, domain)`` to the spec and
-   resubmits, so a dataset is shipped **at most once per (worker,
-   fingerprint)** and only when the disk store cannot serve it.
+4. a deterministic rebuild from the dataset -- preferentially the
+   zero-copy array mapped from a ``ds:`` handle (attached once per
+   worker, shared pages, no pipe bytes), else a shipped snapshot; if
+   the worker has neither it raises :class:`NeedDataset`, the parent
+   attaches ``(fingerprint, lines, domain)`` to the spec and resubmits,
+   so a dataset crosses the pipe **at most once per (worker,
+   fingerprint)** and only when neither the arena nor the disk store
+   can serve it.
 
 Builds are pure functions of ``(dataset, structure, params)`` (the
 registry invariant), so a worker-built tree is bit-identical to the
@@ -45,7 +52,10 @@ import numpy as np
 from ..baselines.brute import brute_point_query, brute_window_query
 from ..machine import Machine, use_machine
 from ..resilience import FaultInjector, FaultPlan
+from ..shm import (DATASET_PREFIX, INDEX_PREFIX, Attachment, ShmHandle,
+                   attach_array, attach_payload)
 from ..store import IndexStore, store_key_id
+from ..structures.io import payload_to_tree
 from ..structures.batch import (
     batch_nearest_quadtree,
     batch_nearest_rtree,
@@ -117,8 +127,11 @@ class JobSpec:
     ``brute`` (degraded window/point/nearest batch), ``warm``
     (materialise only).  ``datasets`` carries ``(fingerprint, lines,
     domain)`` snapshots attached by the parent after a
-    :class:`NeedDataset` round trip; ``crash=True`` is the injected
-    worker-kill used by chaos tests.
+    :class:`NeedDataset` round trip; ``handles`` carries the arena's
+    shared-memory handles (``ds:`` dataset arrays and ``ix:`` index
+    payloads -- a few hundred bytes each, mapped zero-copy in the
+    worker); ``crash=True`` is the injected worker-kill used by chaos
+    tests.
     """
 
     op: str
@@ -129,6 +142,7 @@ class JobSpec:
     exact: bool = True
     shard: int = -1
     datasets: Tuple[Tuple[str, np.ndarray, int], ...] = ()
+    handles: Tuple[ShmHandle, ...] = ()
     crash: bool = False
     brute: bool = False
     #: dataset chain version the job's index fingerprint was resolved
@@ -144,8 +158,10 @@ class WorkerResult:
     ``faults`` lists the (site, kind) pairs the worker-side injector
     fired during this job (the parent replays them into its stats);
     ``warm_loads``/``cold_builds`` count index materialisations done
-    *for this job*; ``jobs``/``cached_trees`` are the worker's running
-    totals, keyed by ``pid`` in the parent's per-worker map.
+    *for this job*; ``shm_attached`` names the arena tags this job
+    newly mapped (the parent folds them into per-block attach counts);
+    ``jobs``/``cached_trees`` are the worker's running totals, keyed
+    by ``pid`` in the parent's per-worker map.
     """
 
     values: object
@@ -157,6 +173,7 @@ class WorkerResult:
     cold_builds: int = 0
     jobs: int = 0
     cached_trees: int = 0
+    shm_attached: Tuple[str, ...] = ()
 
 
 class NeedDataset(Exception):
@@ -185,6 +202,13 @@ class _WorkerState:
     injector: Optional[FaultInjector]
     trees: Dict[str, object] = field(default_factory=dict)
     datasets: Dict[str, Tuple[np.ndarray, int]] = field(default_factory=dict)
+    #: live shared-memory mappings by arena tag -- held for the worker's
+    #: lifetime so the views handed to kernels stay valid
+    attachments: Dict[str, Attachment] = field(default_factory=dict)
+    #: index payload handles seen on specs, by store key id
+    payload_handles: Dict[str, ShmHandle] = field(default_factory=dict)
+    #: arena tags newly attached during the current job
+    job_attached: List[str] = field(default_factory=list)
     fired: List[Tuple[str, str]] = field(default_factory=list)
     jobs: int = 0
     job_warm: int = 0
@@ -214,12 +238,65 @@ def _init_worker(cache_dir: Optional[str],
     _STATE = state
 
 
+def _register_handle(state: _WorkerState, handle: ShmHandle) -> None:
+    """Note one arena handle: map ``ds:`` blocks now, ``ix:`` lazily.
+
+    Dataset arrays are attached eagerly (one mapping per worker, reused
+    by every later job); index payloads are only recorded here and
+    mapped on first use in :func:`_materialize`.  Any attach failure --
+    the parent released the block between pickling the spec and the
+    worker opening it -- falls through silently to the store / rebuild
+    / :class:`NeedDataset` paths, which remain correct without shm.
+    """
+    if handle.tag.startswith(DATASET_PREFIX):
+        fingerprint = handle.tag[len(DATASET_PREFIX):]
+        if fingerprint in state.datasets:
+            return
+        try:
+            att = attach_array(handle)
+        except Exception:  # noqa: BLE001 - degrade to the ship path
+            return
+        state.attachments[handle.tag] = att
+        domain = int(float(handle.meta_dict().get("domain", "0")))
+        state.datasets[fingerprint] = (att.value, domain)
+        state.job_attached.append(handle.tag)
+    elif handle.tag.startswith(INDEX_PREFIX):
+        state.payload_handles.setdefault(
+            handle.tag[len(INDEX_PREFIX):], handle)
+
+
+def _attach_tree(state: _WorkerState, key_id: str,
+                 handle: ShmHandle):
+    """Map an ``ix:`` payload block and rebuild its tree in place.
+
+    The tree's arrays alias the shared pages -- a warm load with zero
+    copies and zero pipe bytes.  Returns ``None`` (and forgets the
+    handle) if the block is gone or fails verification.
+    """
+    try:
+        att = attach_payload(handle)
+        tree = payload_to_tree(att.value)
+    except Exception:  # noqa: BLE001 - degrade to store/rebuild
+        state.payload_handles.pop(key_id, None)
+        return None
+    state.attachments[handle.tag] = att
+    state.job_attached.append(handle.tag)
+    return tree
+
+
 def _materialize(state: _WorkerState, ref: IndexRef):
-    """Cache -> read-only store -> rebuild-from-snapshot, in that order."""
+    """Cache -> shm payload -> read-only store -> rebuild, in that order."""
     key_id = store_key_id(ref)
     tree = state.trees.get(key_id)
     if tree is not None:
         return tree
+    handle = state.payload_handles.get(key_id)
+    if handle is not None:
+        tree = _attach_tree(state, key_id, handle)
+        if tree is not None:
+            state.trees[key_id] = tree
+            state.job_warm += 1
+            return tree
     if state.store is not None:
         probe = state.store.get(ref)
         if probe is not None:
@@ -254,7 +331,10 @@ def _preflight(state: _WorkerState, spec: JobSpec) -> None:
     missing: List[str] = []
 
     def need_tree(ref: IndexRef) -> None:
-        if store_key_id(ref) in state.trees:
+        key_id = store_key_id(ref)
+        if key_id in state.trees:
+            return
+        if key_id in state.payload_handles:
             return
         if state.store is not None and state.store.contains(ref):
             return
@@ -357,15 +437,18 @@ def run_job(spec: JobSpec) -> WorkerResult:
         # injected worker kill: a real dead process, not an exception.
         # _exit skips atexit/finalizers exactly like a SIGKILL would.
         os._exit(1)
+    state.jobs += 1
+    state.job_warm = state.job_cold = 0
+    state.fired = []
+    state.job_attached = []
+    for handle in spec.handles:
+        _register_handle(state, handle)
     for fp, lines, domain in spec.datasets:
         if fp not in state.datasets:
             arr = np.ascontiguousarray(
                 np.asarray(lines, dtype=np.float64).reshape(-1, 4))
             arr.setflags(write=False)
             state.datasets[fp] = (arr, int(domain))
-    state.jobs += 1
-    state.job_warm = state.job_cold = 0
-    state.fired = []
     _preflight(state, spec)
     machine = Machine()
     with use_machine(machine):
@@ -382,4 +465,5 @@ def run_job(spec: JobSpec) -> WorkerResult:
                         pid=os.getpid(), faults=tuple(state.fired),
                         warm_loads=state.job_warm,
                         cold_builds=state.job_cold,
-                        jobs=state.jobs, cached_trees=len(state.trees))
+                        jobs=state.jobs, cached_trees=len(state.trees),
+                        shm_attached=tuple(state.job_attached))

@@ -33,7 +33,8 @@ from .rtree import RTree
 from .sharded import Shard, ShardedIndex
 
 __all__ = ["save_structure", "load_structure", "payload_checksum",
-           "inspect_structure", "IntegrityError"]
+           "structure_payload", "payload_to_tree", "inspect_structure",
+           "IntegrityError"]
 
 _FORMAT_VERSION = 3
 
@@ -143,6 +144,44 @@ def _full_payload(tree, params: Optional[dict]) -> Dict[str, np.ndarray]:
     return payload
 
 
+def structure_payload(tree, params: Optional[dict] = None
+                      ) -> Dict[str, np.ndarray]:
+    """The archive payload of a tree as an in-memory dict of arrays.
+
+    Exactly what :func:`save_structure` would write (format tag,
+    params JSON, flattened tree arrays -- no checksum entry), so the
+    same entries can be published into a shared-memory arena instead of
+    a file and reconstructed with :func:`payload_to_tree`.
+    """
+    return _full_payload(tree, params)
+
+
+def payload_to_tree(data):
+    """Rebuild a structure from a payload mapping.
+
+    ``data`` maps archive entry names to arrays -- a loaded ``.npz``,
+    a :func:`structure_payload` dict, or the zero-copy views of an
+    attached shared-memory block (:func:`repro.shm.attach_payload`).
+    In the shared-memory case the returned tree's arrays alias the
+    mapped pages: the warm-load happens *in place*, no copy.
+    """
+    kind = str(data["kind"])
+    if kind == "sharded":
+        domain, num_shards = data["meta"]
+        mbrs = data["shard_mbrs"]
+        shards = [
+            Shard(ids=data[f"s{i}_ids"], mbr=mbrs[i],
+                  tree=_load_tree(data, prefix=f"s{i}_"))
+            for i in range(int(num_shards))
+        ]
+        return ShardedIndex(
+            lines=data["lines"], domain=float(domain),
+            structure=str(data["structure"]),
+            ordering=str(data["ordering"]), shards=shards,
+        )
+    return _load_tree(data)
+
+
 def save_structure(tree, path: PathLike,
                    params: Optional[dict] = None) -> str:
     """Serialise a :class:`Quadtree`, :class:`RTree`, or
@@ -182,21 +221,7 @@ def load_structure(path: PathLike, verify: bool = True):
                 raise IntegrityError(
                     f"archive checksum mismatch: stored {want[:12]}..., "
                     f"recomputed {got[:12]}...")
-        kind = str(data["kind"])
-        if kind == "sharded":
-            domain, num_shards = data["meta"]
-            mbrs = data["shard_mbrs"]
-            shards = [
-                Shard(ids=data[f"s{i}_ids"], mbr=mbrs[i],
-                      tree=_load_tree(data, prefix=f"s{i}_"))
-                for i in range(int(num_shards))
-            ]
-            return ShardedIndex(
-                lines=data["lines"], domain=float(domain),
-                structure=str(data["structure"]),
-                ordering=str(data["ordering"]), shards=shards,
-            )
-        return _load_tree(data)
+        return payload_to_tree(data)
 
 
 def inspect_structure(path: PathLike) -> Dict[str, object]:

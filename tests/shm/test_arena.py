@@ -1,0 +1,254 @@
+"""ShmArena unit cells: publish/attach, budget, lifecycle, crash sweep.
+
+All fast (tier-1): the arena is an in-process object; attaching from
+the same process exercises the identical mmap path workers take.  The
+cross-process stories (zero-copy serving, kill-mid-batch leak check)
+live in ``test_shm_engine.py`` behind the ``slow`` marker.
+"""
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.shm import (DATASET_PREFIX, INDEX_PREFIX, ShmArena, ShmHandle,
+                       ShmIntegrityError, attach_array, attach_payload,
+                       reconcile_stale_sessions)
+
+
+@pytest.fixture
+def arena(tmp_path):
+    a = ShmArena(registry_dir=str(tmp_path))
+    yield a
+    a.close()
+
+
+def gone(name):
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    seg.close()
+    return False
+
+
+class TestPublishAttach:
+    def test_array_roundtrip_is_zero_copy_and_checksummed(self, arena):
+        arr = np.arange(24, dtype=np.float64).reshape(6, 4)
+        handle = arena.publish_array("ds:fp1", arr, meta={"domain": "1024"})
+        assert handle.kind == "array"
+        assert handle.shape == (6, 4)
+        assert handle.meta_dict() == {"domain": "1024"}
+        att = attach_array(handle)
+        try:
+            np.testing.assert_array_equal(att.value, arr)
+            assert not att.value.flags.writeable
+            assert att.value.base is not None  # a view over the block
+        finally:
+            att.close()
+
+    def test_publish_is_idempotent_per_tag(self, arena):
+        arr = np.ones(8)
+        h1 = arena.publish_array("ds:fp1", arr)
+        h2 = arena.publish_array("ds:fp1", np.zeros(99))
+        assert h1 is h2
+        assert arena.snapshot()["blocks"] == 1
+        assert arena.handle("ds:fp1") == h1
+        assert arena.handle("ds:nope") is None
+
+    def test_payload_roundtrip_preserves_dtypes_and_0d(self, arena):
+        arrays = {
+            "edges": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "tag": np.array("bucket-pmr"),            # 0-d unicode
+            "empty": np.zeros((0, 2), dtype=np.float32),
+            "flags": np.array([True, False, True]),
+        }
+        handle = arena.publish_payload("ix:fp1-pmr-abc", arrays)
+        assert handle.kind == "payload"
+        att = attach_payload(handle)
+        try:
+            assert set(att.value) == set(arrays)
+            for key, want in arrays.items():
+                got = att.value[key]
+                assert got.dtype == np.asarray(want).dtype
+                assert got.shape == np.asarray(want).shape
+                np.testing.assert_array_equal(got, want)
+        finally:
+            att.close()
+
+    def test_handles_pickle_across_the_job_pipe(self, arena):
+        handle = arena.publish_array("ds:fp1", np.arange(4))
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone == handle
+        att = attach_array(clone)
+        try:
+            np.testing.assert_array_equal(att.value, np.arange(4))
+        finally:
+            att.close()
+
+    def test_corrupted_block_fails_the_checksum(self, arena):
+        handle = arena.publish_array("ds:fp1", np.arange(8, dtype=np.int64))
+        seg = shared_memory.SharedMemory(name=handle.name)
+        try:
+            seg.buf[0] = seg.buf[0] ^ 0xFF
+        finally:
+            seg.close()
+        with pytest.raises(ShmIntegrityError):
+            attach_array(handle)
+
+    def test_kind_mismatch_is_an_error(self, arena):
+        handle = arena.publish_array("ds:fp1", np.arange(4))
+        with pytest.raises(ValueError):
+            attach_payload(handle)
+
+
+class TestBudget:
+    def test_over_budget_publish_returns_none_not_error(self, tmp_path):
+        with ShmArena(budget_bytes=256, registry_dir=str(tmp_path)) as a:
+            assert a.publish_array("ds:small", np.zeros(16)) is not None
+            assert a.publish_array("ds:big", np.zeros(1024)) is None
+            snap = a.snapshot()
+            assert snap["publish_failures"] == 1
+            assert snap["blocks"] == 1
+
+    def test_zero_budget_refuses_everything(self, tmp_path):
+        with ShmArena(budget_bytes=0, registry_dir=str(tmp_path)) as a:
+            assert a.publish_array("ds:x", np.zeros(4)) is None
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShmArena(budget_bytes=-1, registry_dir=str(tmp_path))
+
+    def test_release_returns_bytes_to_the_budget(self, tmp_path):
+        with ShmArena(budget_bytes=1024, registry_dir=str(tmp_path)) as a:
+            assert a.publish_array("ds:a", np.zeros(100)) is not None
+            assert a.publish_array("ds:b", np.zeros(100)) is None
+            assert a.release("ds:a")
+            assert a.publish_array("ds:b", np.zeros(100)) is not None
+
+
+class TestRelease:
+    def test_release_fingerprint_takes_dataset_and_its_indexes(self, arena):
+        arena.publish_array(DATASET_PREFIX + "fp1", np.zeros(4))
+        arena.publish_payload(INDEX_PREFIX + "fp1-pmr-abc",
+                              {"a": np.zeros(2)})
+        arena.publish_payload(INDEX_PREFIX + "fp10-pmr-xyz",
+                              {"a": np.zeros(2)})
+        kept = arena.handle(INDEX_PREFIX + "fp10-pmr-xyz")
+        assert arena.release_fingerprint("fp1") == 2
+        assert arena.handle(DATASET_PREFIX + "fp1") is None
+        # fp10 is a distinct fingerprint, not a prefix match of fp1
+        assert arena.handle(INDEX_PREFIX + "fp10-pmr-xyz") == kept
+
+    def test_release_indexes_keeps_the_dataset_block(self, arena):
+        arena.publish_array(DATASET_PREFIX + "fp1", np.zeros(4))
+        arena.publish_payload(INDEX_PREFIX + "fp1-pmr-abc",
+                              {"a": np.zeros(2)})
+        assert arena.release_indexes("fp1") == 1
+        assert arena.handle(DATASET_PREFIX + "fp1") is not None
+
+    def test_release_unlinks_the_os_block(self, arena):
+        handle = arena.publish_array("ds:fp1", np.zeros(4))
+        assert arena.release("ds:fp1")
+        assert gone(handle.name)
+        assert not arena.release("ds:fp1")  # second release is a no-op
+
+
+class TestLifecycle:
+    def test_close_unlinks_everything_and_is_idempotent(self, tmp_path):
+        a = ShmArena(registry_dir=str(tmp_path))
+        h1 = a.publish_array("ds:a", np.zeros(8))
+        h2 = a.publish_payload("ix:a-pmr-x", {"k": np.ones(3)})
+        names = a.block_names()
+        assert len(names) == 2
+        a.close()
+        a.close()
+        assert all(gone(n) for n in (h1.name, h2.name))
+        # session file retired with the arena
+        assert not [f for f in os.listdir(tmp_path)
+                    if f.startswith("session-")]
+
+    def test_closed_arena_refuses_publishes(self, tmp_path):
+        a = ShmArena(registry_dir=str(tmp_path))
+        a.close()
+        assert a.publish_array("ds:x", np.zeros(4)) is None
+
+    def test_attach_accounting_and_pool_restart_reset(self, arena):
+        arena.publish_array("ds:fp1", np.zeros(4))
+        arena.note_attaches(["ds:fp1", "ds:fp1", "ds:gone"])
+        snap = arena.snapshot()
+        assert snap["attach_total"] == 3
+        assert snap["tags"]["ds:fp1"]["live_attached"] == 2
+        arena.reset_live_attachments()
+        snap = arena.snapshot()
+        assert snap["tags"]["ds:fp1"]["live_attached"] == 0
+        assert snap["tags"]["ds:fp1"]["attach_total"] == 2  # cumulative
+
+    def test_snapshot_shape(self, arena):
+        arena.publish_array("ds:fp1", np.zeros(16))
+        snap = arena.snapshot()
+        assert snap["enabled"] is True
+        assert snap["blocks"] == 1
+        assert snap["bytes"] >= 128
+        assert snap["budget_bytes"] is None
+        assert snap["publishes"] == 1
+        assert snap["tags"]["ds:fp1"]["kind"] == "array"
+
+
+class TestCrashReconciliation:
+    def test_dead_session_blocks_are_swept(self, tmp_path):
+        seg = shared_memory.SharedMemory(create=True, size=64,
+                                         name="repro-test-stale-blk")
+        seg.close()
+        # forge a session file for a pid that cannot be alive
+        with open(tmp_path / "session-999999999-dead.json", "w") as fh:
+            json.dump({"pid": 999999999,
+                       "names": ["repro-test-stale-blk"]}, fh)
+        try:
+            assert reconcile_stale_sessions(str(tmp_path)) == 1
+            assert gone("repro-test-stale-blk")
+            assert not os.listdir(tmp_path)
+        finally:
+            if not gone("repro-test-stale-blk"):
+                s = shared_memory.SharedMemory(name="repro-test-stale-blk")
+                s.unlink()
+                s.close()
+
+    def test_live_session_is_left_alone(self, tmp_path):
+        with ShmArena(registry_dir=str(tmp_path)) as a:
+            handle = a.publish_array("ds:x", np.zeros(4))
+            # a second arena in the same process reconciles on init but
+            # must not touch the live session's blocks
+            with ShmArena(registry_dir=str(tmp_path)) as b:
+                assert not gone(handle.name)
+                assert b.publish_array("ds:y", np.zeros(4)) is not None
+
+    def test_arena_init_sweeps_prior_dead_sessions(self, tmp_path):
+        seg = shared_memory.SharedMemory(create=True, size=64,
+                                         name="repro-test-stale-init")
+        seg.close()
+        with open(tmp_path / "session-999999998-dead.json", "w") as fh:
+            json.dump({"pid": 999999998,
+                       "names": ["repro-test-stale-init"]}, fh)
+        try:
+            with ShmArena(registry_dir=str(tmp_path)):
+                assert gone("repro-test-stale-init")
+        finally:
+            if not gone("repro-test-stale-init"):
+                s = shared_memory.SharedMemory(name="repro-test-stale-init")
+                s.unlink()
+                s.close()
+
+
+class TestHandleSurface:
+    def test_handle_is_frozen_and_hashable(self):
+        h = ShmHandle(name="n", tag="ds:x", kind="array", nbytes=4,
+                      checksum="c", shape=(1,), dtype="<f8")
+        with pytest.raises(AttributeError):
+            h.name = "other"
+        assert hash(h) == hash(ShmHandle(
+            name="n", tag="ds:x", kind="array", nbytes=4,
+            checksum="c", shape=(1,), dtype="<f8"))
