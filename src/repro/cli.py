@@ -322,7 +322,12 @@ def _serve_engine(args: argparse.Namespace):
                               shm_budget_bytes=getattr(
                                   args, "shm_budget_bytes", None),
                               versions_retained=getattr(
-                                  args, "versions_retained", 2))
+                                  args, "versions_retained", 2),
+                              journal_dir=getattr(args, "journal_dir", None),
+                              journal_fsync=getattr(
+                                  args, "fsync_policy", "commit"),
+                              checkpoint_every=getattr(
+                                  args, "checkpoint_every", 0))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -337,8 +342,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _serve_listen(args: argparse.Namespace) -> int:
-    """Networked serving: the asyncio front-end over one warm engine."""
+    """Networked serving: the asyncio front-end over one warm engine.
+
+    With ``--journal-dir`` the startup replays any crash-consistent
+    journals found there before listening, and SIGTERM/SIGINT trigger a
+    graceful drain: new work is refused with a structured 503
+    (``shutting_down``), in-flight requests finish within
+    ``--drain-timeout``, and the engine shuts down warm (journal
+    fsync'd, index store spilled).
+    """
     import asyncio
+    import signal
 
     from .net import SpatialServer
 
@@ -346,6 +360,12 @@ def _serve_listen(args: argparse.Namespace) -> int:
     lines = _make_map(args.map, args.n, args.domain, args.seed)
     engine = _serve_engine(args)
     with engine:
+        for rep in engine.recover():
+            print(f"recovered chain {rep.root}: {rep.records_replayed} "
+                  f"records replayed over checkpoint seq "
+                  f"{rep.checkpoint_seq} -> head {rep.fingerprint} "
+                  f"(version {rep.version}, {rep.num_lines} lines)",
+                  flush=True)
         fp = engine.register(lines, domain=args.domain)
         engine.warm(fp)
         server = SpatialServer(engine, host, port,
@@ -363,13 +383,40 @@ def _serve_listen(args: argparse.Namespace) -> int:
                   f"on {h}:{p}", flush=True)
             print(f"dataset fingerprint {fp}", flush=True)
             print(f"try: python -m repro loadgen --connect {h}:{p}   "
-                  f"(ctrl-c stops the server)", flush=True)
-            await server.serve_forever()
+                  f"(ctrl-c or SIGTERM drains and stops the server)",
+                  flush=True)
+            loop = asyncio.get_running_loop()
+            stop = asyncio.Event()
+            handled = []
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                    handled.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass   # platform without loop signal handlers
+            serve = asyncio.ensure_future(server.serve_forever())
+            try:
+                await stop.wait()
+                print("drain: refusing new work, finishing in-flight "
+                      "requests", flush=True)
+                clean = await server.drain(args.drain_timeout)
+                if not clean:
+                    print(f"drain: {args.drain_timeout}s budget spent, "
+                          f"cancelled the stragglers", flush=True)
+            finally:
+                serve.cancel()
+                try:
+                    await serve
+                except (asyncio.CancelledError, Exception):
+                    pass
+                await server.close()
+                for sig in handled:
+                    loop.remove_signal_handler(sig)
 
         try:
             asyncio.run(main())
         except KeyboardInterrupt:
-            pass
+            pass   # signal handlers unavailable: plain ctrl-c still stops
         srv = server.stats.snapshot()
         adm = server.admission.snapshot()
         print()
@@ -383,6 +430,7 @@ def _serve_listen(args: argparse.Namespace) -> int:
               or "none"],
              ["throttled (429)", adm["requests_throttled"]],
              ["shed (503)", adm["requests_shed"]],
+             ["drained (503 shutting_down)", srv["requests_drained"]],
              ["cancelled in-flight", srv["cancelled_inflight"]],
              ["bytes in/out",
               f"{_fmt_bytes(srv['bytes_in'])} / "
@@ -862,6 +910,54 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Offline WAL inspection (do not point it at a live server's dir:
+    opening a journal truncates any torn tail, like recovery would)."""
+    import os as _os
+
+    from .durability import (MutationJournal, RecoveryError, journal_roots,
+                             replay_journal)
+
+    roots = journal_roots(args.journal_dir)
+    if not roots:
+        print(f"no journals under {args.journal_dir}")
+        return 0
+
+    if args.journal_cmd == "ls":
+        rows = []
+        for root in roots:
+            with MutationJournal(
+                    _os.path.join(args.journal_dir, root)) as j:
+                snap = j.snapshot()
+            rows.append([root, snap["segments"], snap["last_seq"],
+                         snap["checkpoint_seq"],
+                         snap["checkpoint_fingerprint"] or "-",
+                         snap["torn_tail_truncations"]])
+        print(format_table(
+            ["root", "segments", "last seq", "ckpt seq",
+             "ckpt fingerprint", "torn tails"],
+            rows, title=f"journals in {args.journal_dir}"))
+        return 0
+
+    # verify: replay into a scratch registry; fingerprint identity is
+    # the proof, exactly what server-startup recovery runs
+    from .engine import IndexRegistry
+
+    failed = 0
+    for root in roots:
+        with MutationJournal(_os.path.join(args.journal_dir, root)) as j:
+            try:
+                rep = replay_journal(j, IndexRegistry(capacity=1), root)
+            except RecoveryError as exc:
+                failed += 1
+                print(f"{root}: FAILED -- {exc}")
+            else:
+                print(f"{root}: ok -- {rep.records_replayed} records "
+                      f"replay over checkpoint seq {rep.checkpoint_seq} "
+                      f"to head {rep.fingerprint} ({rep.num_lines} lines)")
+    return 1 if failed else 0
+
+
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -967,6 +1063,22 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--versions-retained", type=int, default=2,
                    help="dataset versions kept warm for in-flight reads "
                         "after a mutation commits (MVCC)")
+    s.add_argument("--journal-dir", default=None,
+                   help="write-ahead mutation journal directory; commits "
+                        "are journaled before reads flip, and startup "
+                        "replays any journals found here (crash recovery)")
+    s.add_argument("--fsync-policy", choices=("commit", "none"),
+                   default="commit",
+                   help="WAL durability: commit fsyncs every append "
+                        "(survives power loss), none only flushes to the "
+                        "OS (survives a killed process)")
+    s.add_argument("--checkpoint-every", type=int, default=0,
+                   help="auto-checkpoint a chain every N commits, "
+                        "truncating the WAL prefix (0: never)")
+    s.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="graceful-shutdown budget: SIGTERM refuses new "
+                        "work (503 shutting_down) and waits this long for "
+                        "in-flight requests before exiting")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=_cmd_serve)
 
@@ -1029,7 +1141,8 @@ def _parser() -> argparse.ArgumentParser:
                        help="drive the engine under an injected fault plan")
     c.add_argument("--plan", default="examples",
                    help="built-in plan name (examples, stall, buildfail, "
-                        "corrupt, workercrash, none) or a JSON plan file")
+                        "corrupt, workercrash, walfail, none) or a JSON "
+                        "plan file")
     c.add_argument("--map", choices=MAPS, default="uniform")
     c.add_argument("--n", type=int, default=1500, help="segment count")
     c.add_argument("--domain", type=int, default=1024)
@@ -1090,6 +1203,19 @@ def _parser() -> argparse.ArgumentParser:
     pf.add_argument("--ordering", choices=("morton", "hilbert"),
                     default="morton")
     pf.add_argument("--seed", type=int, default=0)
+
+    jn = sub.add_parser("journal",
+                        help="inspect/verify a write-ahead mutation "
+                             "journal directory (offline)")
+    jn_sub = jn.add_subparsers(dest="journal_cmd", required=True)
+    for name, help_text in (
+            ("ls", "list journals: segments, sequences, checkpoint"),
+            ("verify", "replay every journal into a scratch registry "
+                       "and prove the heads by fingerprint identity")):
+        sp = jn_sub.add_parser(name, help=help_text)
+        sp.add_argument("--journal-dir", required=True,
+                        help="journal directory (serve --journal-dir)")
+        sp.set_defaults(fn=_cmd_journal)
     return p
 
 

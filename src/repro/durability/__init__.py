@@ -1,0 +1,27 @@
+"""Crash-consistent durability: write-ahead journal + replay recovery.
+
+The engine's MVCC commits (PR 7) become durable here: every committed
+mutation batch is appended to a per-chain :class:`MutationJournal`
+*before* the new version's index warms and reads flip, restart
+recovery (:func:`replay_journal`) re-applies the journal over the last
+checkpoint's dataset snapshot, and content addressing proves the
+recovered head bit-for-bit -- replay must reproduce the exact
+committed fingerprints or fail loudly.  See the module docstrings and
+README's "Durability & crash recovery".
+"""
+
+from .journal import (FSYNC_POLICIES, JournalError, JournalRecord,
+                      MutationJournal)
+from .recovery import (RecoveryError, RecoveryReport, journal_roots,
+                       replay_journal)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "JournalError",
+    "JournalRecord",
+    "MutationJournal",
+    "RecoveryError",
+    "RecoveryReport",
+    "journal_roots",
+    "replay_journal",
+]

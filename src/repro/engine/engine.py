@@ -41,6 +41,7 @@ Example::
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -52,8 +53,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..baselines.brute import brute_point_query, brute_window_query
+from ..durability import (FSYNC_POLICIES, JournalError, MutationJournal,
+                          RecoveryReport, journal_roots, replay_journal)
 from ..resilience import (OPEN, BreakerBoard, CircuitOpenError, FaultInjector,
-                          FaultPlan, PartialResult, RetryPolicy)
+                          FaultPlan, InjectedFault, PartialResult, RetryPolicy)
 from ..structures.join import brute_join, quadtree_join, rtree_join
 from ..structures.nearest import brute_nearest
 from ..structures.sharded import ORDERINGS, ShardedIndex, sharded_join
@@ -142,6 +145,11 @@ class EngineConfig:
     breaker_reset: float = 5.0    # open -> half-open probe delay (seconds)
     brute_fallback: bool = False  # serve brute-force while a breaker is open
     fault_plan: Optional[FaultPlan] = None  # chaos plan (None: no injection)
+    # -- durability -------------------------------------------------------
+    journal_dir: Optional[str] = None  # WAL directory (None: no journal)
+    journal_fsync: str = "commit"      # "commit": fsync per append | "none"
+    checkpoint_every: int = 0          # auto-checkpoint cadence (0: manual)
+    journal_segment_bytes: int = 4 << 20   # WAL segment rotation threshold
 
     def __post_init__(self) -> None:
         if self.structure not in _FAMILY:
@@ -176,6 +184,15 @@ class EngineConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.breaker_reset < 0:
             raise ValueError("breaker_reset must be >= 0")
+        if self.journal_fsync not in FSYNC_POLICIES:
+            raise ValueError(f"unknown journal_fsync {self.journal_fsync!r}; "
+                             f"choose from {FSYNC_POLICIES}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every and self.journal_dir is None:
+            raise ValueError("checkpoint_every requires journal_dir")
+        if self.journal_segment_bytes < 4096:
+            raise ValueError("journal_segment_bytes must be >= 4096")
 
 
 class SpatialQueryEngine:
@@ -216,6 +233,12 @@ class SpatialQueryEngine:
         self._mutation_lock = threading.Lock()
         self._mutation_root_locks: Dict[str, threading.Lock] = {}
         self._mutation_threads: List[threading.Thread] = []
+        # write-ahead journals, one per mutation chain, keyed by the
+        # chain's *current* anchor (after recovery that is the
+        # checkpoint fingerprint, not the original handle)
+        self._journal_dir = config.journal_dir
+        self._journals: Dict[str, MutationJournal] = {}
+        self._ckpt_counts: Dict[str, int] = {}
         # shared-memory data plane: on by default for the process
         # backend (shm_budget_bytes=0 disables it); datasets and
         # prebuilt index payloads cross as handles, not pipe bytes
@@ -340,7 +363,7 @@ class SpatialQueryEngine:
                                build_steps=entry.build_steps,
                                build_primitives=entry.build_primitives,
                                num_lines=entry.num_lines)
-            except OSError:
+            except (OSError, InjectedFault):
                 pass   # disk full: workers will cold-build instead
         self._publish_index(key, entry.tree)
         ref = self._index_ref(key)
@@ -488,6 +511,67 @@ class SpatialQueryEngine:
         return self._await(self.submit_join(fingerprint_a, fingerprint_b,
                                             structure), timeout)
 
+    # -- durability ------------------------------------------------------
+
+    def recover(self) -> List[RecoveryReport]:
+        """Replay every journal under ``journal_dir`` into this engine.
+
+        Call on a fresh engine after a crash (the serve CLI does this
+        before listening).  Each chain's journal is replayed over its
+        checkpoint snapshot with every step proven by fingerprint
+        identity (:func:`repro.durability.replay_journal`), the original
+        client handle is aliased onto the recovered chain so pre-crash
+        fingerprints keep resolving, and the journal is re-attached for
+        new commits.  Returns one :class:`RecoveryReport` per chain;
+        idempotent -- a second call skips already-active records.
+        """
+        if self._journal_dir is None:
+            return []
+        reports: List[RecoveryReport] = []
+        for name in journal_roots(self._journal_dir):
+            directory = os.path.join(self._journal_dir, name)
+            # an attached journal may be keyed by a different chain root
+            # than its directory name (a previous recover re-keyed it)
+            attached = next((k for k, j in self._journals.items()
+                             if j.directory == directory), None)
+            if attached is not None:
+                journal = self._journals[attached]
+            else:
+                journal = MutationJournal(
+                    directory,
+                    fsync=self.config.journal_fsync,
+                    segment_bytes=self.config.journal_segment_bytes,
+                    observer=self.stats.record_wal_event)
+            try:
+                report = replay_journal(journal, self.registry, name)
+            except BaseException:
+                if attached is None:
+                    journal.close()
+                raise
+            if report.chain_root != name:
+                self.registry.adopt_root(name, report.fingerprint)
+            if attached is not None:
+                self._journals.pop(attached, None)
+            self._journals[report.chain_root] = journal
+            self.stats.record_wal_event("recovery")
+            if report.records_replayed:
+                self.stats.record_wal_event("wal_replay",
+                                            report.records_replayed)
+            reports.append(report)
+        return reports
+
+    def checkpoint(self, fingerprint: str) -> Dict[str, object]:
+        """Checkpoint the chain's head snapshot; truncates the WAL prefix.
+
+        Persists the head's default index to the store first (when one
+        is attached), then atomically snapshots the dataset into the
+        journal directory and drops every fully-covered segment.
+        Returns the checkpoint manifest.
+        """
+        info = self.registry.resolve(fingerprint)
+        with self._root_lock(info.root):
+            return self._checkpoint_locked(info.root)
+
     # -- lifecycle / introspection ---------------------------------------
 
     def flush(self) -> None:
@@ -563,6 +647,23 @@ class SpatialQueryEngine:
             "cancels": s.cancels,
             "mutation_batches": s.mutation_batches,
             "mutation_failures": s.mutation_failures,
+            "wal": {
+                "enabled": self._journal_dir is not None,
+                "journal_dir": self._journal_dir,
+                "fsync_policy": self.config.journal_fsync,
+                "wal_appends": s.wal_appends,
+                "wal_append_failures": s.wal_append_failures,
+                "wal_bytes": s.wal_bytes,
+                "fsyncs": s.fsyncs,
+                "wal_abandons": s.wal_abandons,
+                "torn_tail_truncations": s.torn_tail_truncations,
+                "checkpoints": s.checkpoints,
+                "checkpoint_failures": s.checkpoint_failures,
+                "recoveries": s.recoveries,
+                "wal_records_replayed": s.wal_records_replayed,
+                "journals": {root: j.snapshot()
+                             for root, j in self._journals.items()},
+            },
             "versions_committed": self.registry.versions_committed,
             "versions_collected": self.registry.versions_collected,
             "queue_depth": self._executor.queue_depth,
@@ -581,6 +682,10 @@ class SpatialQueryEngine:
         for t in pending:
             t.join()
         self._executor.shutdown(wait=True)
+        # graceful-shutdown durability point: even under the "none"
+        # fsync policy the journals end fully flushed and fsync'd
+        for journal in self._journals.values():
+            journal.close()
         # warm shutdown: with a store attached, persist the in-memory
         # tier so the next process starts from disk hits, not rebuilds
         if self.store is not None:
@@ -1064,6 +1169,68 @@ class SpatialQueryEngine:
                 lock = self._mutation_root_locks[root] = threading.Lock()
             return lock
 
+    def _journal_for(self, cur) -> MutationJournal:
+        """The chain's journal, created (with its base checkpoint) lazily.
+
+        Caller holds the chain's root lock.  A pre-existing journal
+        whose newest record the registry has never seen is *ahead* of
+        this process -- appending would fork its history, so the append
+        path refuses until :meth:`recover` has replayed it.
+        """
+        journal = self._journals.get(cur.root)
+        if journal is None:
+            journal = MutationJournal(
+                os.path.join(self._journal_dir, cur.root),
+                fsync=self.config.journal_fsync,
+                segment_bytes=self.config.journal_segment_bytes,
+                observer=self.stats.record_wal_event)
+            try:
+                last_fp = journal.last_fingerprint
+                if last_fp is not None \
+                        and self.registry.version_of(last_fp) < 0:
+                    raise JournalError(
+                        f"journal for {cur.root} holds unreplayed records "
+                        f"(head {last_fp}); run recover() before mutating")
+                if journal.read_checkpoint_meta() is None:
+                    # base checkpoint: the chain head as of journal
+                    # creation, so replay is anchored by the journal
+                    # directory alone
+                    lines, domain = self.registry.dataset_snapshot(
+                        cur.fingerprint)
+                    journal.write_checkpoint(
+                        lines, fingerprint=cur.fingerprint,
+                        version=cur.version, domain=domain, seq=0)
+            except BaseException:
+                journal.close()
+                raise
+            self._journals[cur.root] = journal
+        return journal
+
+    def _checkpoint_locked(self, root: str) -> Dict[str, object]:
+        """Checkpoint a chain's head; caller holds the root lock.
+
+        With a store attached the head's default index is persisted
+        first -- a checkpoint only truncates WAL prefix once the index
+        it depends on is safely on disk; a failed persist aborts the
+        checkpoint and the journal keeps every record.
+        """
+        journal = self._journals.get(root)
+        if journal is None:
+            raise JournalError(f"no journal attached for chain {root!r}")
+        head = self.registry.resolve(root)
+        key = self._index_key(head.fingerprint, None)
+        if self.store is not None and not self.store.contains(key):
+            entry = self.registry.get(key.fingerprint, key.structure,
+                                      **dict(key.params))
+            self.store.put(key, entry.tree,
+                           build_steps=entry.build_steps,
+                           build_primitives=entry.build_primitives,
+                           num_lines=entry.num_lines)
+        lines, domain = self.registry.dataset_snapshot(head.fingerprint)
+        return journal.write_checkpoint(
+            lines, fingerprint=head.fingerprint, version=head.version,
+            domain=domain, seq=journal.last_seq)
+
     def _run_mutation_batch(self, root: str, probes: List[Probe]) -> None:
         """Commit one coalesced mutation group as one new version.
 
@@ -1118,11 +1285,42 @@ class SpatialQueryEngine:
                     inserted=int(ins.shape[0]), deleted=int(del_ids.size))
                 self._settle_mutations(live, result)
                 return
+            # write-ahead: the commit record must be durable *before*
+            # the index warms and reads flip, so an acked batch always
+            # replays after a crash.  A failed append aborts the whole
+            # commit -- staged version abandoned, ack withheld, readable
+            # snapshot untouched, breakers not fed (same contract as a
+            # failed warm build).
+            journal: Optional[MutationJournal] = None
+            seq = 0
+            if self._journal_dir is not None:
+                try:
+                    if self.faults is not None:
+                        self.faults.fire("wal.append", root=cur.root)
+                    journal = self._journal_for(cur)
+                    seq = journal.append(
+                        base=cur.fingerprint,
+                        fingerprint=staged.fingerprint,
+                        version=staged.version,
+                        num_lines=staged.num_lines,
+                        domain=self.registry.domain(staged.fingerprint),
+                        delete_ids=del_ids, insert_lines=ins)
+                except Exception as exc:  # noqa: BLE001 - any failed append
+                    self.registry.abandon_version(staged.fingerprint)
+                    self.stats.record_wal_event("wal_append_failure")
+                    self.stats.record_failed(len(live))
+                    self.stats.record_mutation(len(live), int(del_ids.size),
+                                               int(ins.shape[0]), failed=True)
+                    for p in live:
+                        _reject(p.future, exc)
+                    return
             key = self._index_key(staged.fingerprint, None)
             try:
                 entry = self.registry.get(key.fingerprint, key.structure,
                                           **dict(key.params))
             except Exception as exc:  # noqa: BLE001 - any failed warm build
+                if journal is not None:
+                    journal.abandon_last(seq)
                 self.registry.abandon_version(staged.fingerprint)
                 self.stats.record_failed(len(live))
                 self.stats.record_mutation(len(live), int(del_ids.size),
@@ -1140,7 +1338,7 @@ class SpatialQueryEngine:
                                    build_steps=entry.build_steps,
                                    build_primitives=entry.build_primitives,
                                    num_lines=entry.num_lines)
-                except OSError:
+                except (OSError, InjectedFault):
                     pass
             if self._is_process:
                 # same idea, zero-copy tier: the committed version's
@@ -1159,6 +1357,17 @@ class SpatialQueryEngine:
                 version=info.version, num_lines=info.num_lines,
                 inserted=int(ins.shape[0]), deleted=int(del_ids.size),
                 repair=entry.repair)
+            if journal is not None and self.config.checkpoint_every:
+                count = self._ckpt_counts.get(info.root, 0) + 1
+                if count >= self.config.checkpoint_every:
+                    count = 0
+                    try:
+                        self._checkpoint_locked(info.root)
+                    except Exception:  # noqa: BLE001 - checkpoint is advisory
+                        # the WAL keeps every record the checkpoint
+                        # would have truncated, so durability holds
+                        self.stats.record_wal_event("checkpoint_failure")
+                self._ckpt_counts[info.root] = count
             self._settle_mutations(live, result)
 
     @staticmethod

@@ -60,6 +60,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..machine import Machine, use_machine
+from ..resilience.faults import InjectedFault
 from ..structures import (build_bucket_pmr, build_pm1, build_rtree,
                           build_sharded)
 from ..structures.sharded import ShardedIndex, repair_sharded
@@ -421,6 +422,32 @@ class IndexRegistry:
                 self._collect(fp)
         return self.resolve(fingerprint)
 
+    def adopt_root(self, alias: str, fingerprint: str) -> None:
+        """Point an old chain handle at another (recovered) chain.
+
+        Crash recovery replays a journal onto the chain anchored at the
+        checkpoint's fingerprint, but clients keep addressing probes by
+        the handle they learned before the crash -- the journal
+        directory's root.  Aliasing re-routes :meth:`resolve` for the
+        old handle onto the recovered chain; an ``alias`` that already
+        anchors real history (a non-singleton chain) is refused, since
+        recovery must run before new mutations.
+        """
+        with self._lock:
+            root = self._roots.get(fingerprint)
+            if root is None:
+                raise KeyError(
+                    f"unknown dataset fingerprint {fingerprint!r}")
+            if self._roots.get(alias) == root:
+                return
+            chain = self._chains.get(alias)
+            if chain is not None and chain != [alias]:
+                raise ValueError(
+                    f"cannot alias {alias!r}: it anchors a chain with "
+                    f"{len(chain)} versions")
+            self._chains.pop(alias, None)
+            self._roots[alias] = root
+
     def abandon_version(self, fingerprint: str) -> None:
         """Discard a staged version whose index build failed.
 
@@ -605,7 +632,7 @@ class IndexRegistry:
                                        build_primitives=victim.build_primitives,
                                        num_lines=victim.num_lines)
                         self.spills += 1
-                    except OSError:
+                    except (OSError, InjectedFault):
                         pass   # disk full / unwritable: plain eviction
 
     def persist(self, fingerprint: str, structure: str, **params) -> str:
@@ -643,7 +670,7 @@ class IndexRegistry:
                                build_steps=entry.build_steps,
                                build_primitives=entry.build_primitives,
                                num_lines=entry.num_lines)
-            except OSError:
+            except (OSError, InjectedFault):
                 continue
             with self._lock:
                 self.spills += 1

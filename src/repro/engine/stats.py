@@ -89,6 +89,19 @@ class EngineStats:
         self.lines_inserted = 0
         self.lines_deleted = 0
         self.repaired_builds = 0     # warm builds served by shard repair
+        # -- durability (write-ahead journal) ------------------------------
+        self.wal_appends = 0         # records durably journaled
+        self.wal_append_failures = 0  # commits aborted at the append
+        self.wal_bytes = 0           # record bytes written
+        self.fsyncs = 0              # fsync calls (segments + checkpoints)
+        self.wal_abandons = 0        # tail records rolled back (failed warm)
+        self.wal_segments_rotated = 0
+        self.wal_segments_truncated = 0   # dropped by checkpoint prefix GC
+        self.torn_tail_truncations = 0    # torn records dropped on open
+        self.checkpoints = 0
+        self.checkpoint_failures = 0
+        self.recoveries = 0          # chains replayed by Engine.recover()
+        self.wal_records_replayed = 0
         # -- process backend ----------------------------------------------
         self.worker_restarts = 0     # broken pools replaced
         self.ipc_bytes_sent = 0      # pickled bytes of first submissions
@@ -260,6 +273,28 @@ class EngineStats:
             self.shards_probed += probed
             self.shards_skipped += total_shards - probed
 
+    #: MutationJournal / recovery event name -> EngineStats counter
+    _WAL_EVENTS = {"wal_append": "wal_appends",
+                   "wal_append_failure": "wal_append_failures",
+                   "wal_bytes": "wal_bytes",
+                   "fsync": "fsyncs",
+                   "wal_abandon": "wal_abandons",
+                   "wal_segment_rotated": "wal_segments_rotated",
+                   "wal_segment_truncated": "wal_segments_truncated",
+                   "torn_tail_truncation": "torn_tail_truncations",
+                   "checkpoint": "checkpoints",
+                   "checkpoint_failure": "checkpoint_failures",
+                   "recovery": "recoveries",
+                   "wal_replay": "wal_records_replayed"}
+
+    def record_wal_event(self, event: str, n: int = 1) -> None:
+        """One durability event (the :class:`MutationJournal` observer)."""
+        attr = self._WAL_EVENTS.get(event)
+        if attr is None:
+            return
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + n)
+
     #: IndexStore event name -> EngineStats counter attribute
     _STORE_EVENTS = {"disk_hit": "disk_hits", "disk_miss": "disk_misses",
                      "spill": "spills", "corrupt_eviction": "corrupt_evictions",
@@ -320,6 +355,18 @@ class EngineStats:
                 "lines_inserted": self.lines_inserted,
                 "lines_deleted": self.lines_deleted,
                 "repaired_builds": self.repaired_builds,
+                "wal_appends": self.wal_appends,
+                "wal_append_failures": self.wal_append_failures,
+                "wal_bytes": self.wal_bytes,
+                "fsyncs": self.fsyncs,
+                "wal_abandons": self.wal_abandons,
+                "wal_segments_rotated": self.wal_segments_rotated,
+                "wal_segments_truncated": self.wal_segments_truncated,
+                "torn_tail_truncations": self.torn_tail_truncations,
+                "checkpoints": self.checkpoints,
+                "checkpoint_failures": self.checkpoint_failures,
+                "recoveries": self.recoveries,
+                "wal_records_replayed": self.wal_records_replayed,
                 "worker_restarts": self.worker_restarts,
                 "ipc_bytes_sent": self.ipc_bytes_sent,
                 "ipc_bytes_resent": self.ipc_bytes_resent,

@@ -48,12 +48,34 @@ def connect_with_retry(host: str, port: int, timeout: float = 5.0,
 
 
 class ServeClient:
-    """One blocking protocol connection with sequential request/response."""
+    """One blocking protocol connection with sequential request/response.
+
+    A shed or restarting server closes connections; rather than raising
+    on the first closed socket, :meth:`request` redials up to
+    ``reconnect_attempts`` times with exponential backoff and resends
+    the request.  Requests are safe to resend: probes are read-only and
+    mutations are admission-refused or acked as a whole, so a retry
+    after a mid-exchange hangup can at worst re-apply an *acked* batch
+    -- which the server's MVCC chain answers idempotently for the
+    common localized workloads, and which callers needing exactly-once
+    semantics disable with ``reconnect_attempts=0`` (the raw
+    :meth:`send_only`/:meth:`recv` pair never reconnects).
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0,
-                 connect_timeout: float = 5.0):
+                 connect_timeout: float = 5.0, reconnect_attempts: int = 3,
+                 reconnect_backoff: float = 0.05):
+        if reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must be >= 0")
+        if reconnect_backoff < 0:
+            raise ValueError("reconnect_backoff must be >= 0")
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnects = 0
         self._sock = connect_with_retry(host, port, timeout=connect_timeout)
         self._sock.settimeout(timeout)
         self._next_id = 0
@@ -61,11 +83,41 @@ class ServeClient:
 
     # -- plumbing --------------------------------------------------------
 
+    def _reconnect(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = connect_with_retry(self.host, self.port,
+                                        timeout=self.connect_timeout)
+        self._sock.settimeout(self.timeout)
+        self.reconnects += 1
+
     def request(self, kind: str, **fields) -> dict:
-        """Send one request and block for its response."""
+        """Send one request and block for its response.
+
+        Transparently redials and resends on a closed/failed connection
+        (up to ``reconnect_attempts`` times, exponential backoff);
+        transport failure past the budget raises
+        :class:`ServeConnectionError`.
+        """
         self._next_id += 1
         req = {"id": self._next_id, "kind": kind, **{
             k: v for k, v in fields.items() if v is not None}}
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(req)
+            except ServeConnectionError:
+                if self._closed or attempt >= self.reconnect_attempts:
+                    raise
+                attempt += 1
+                if self.reconnect_backoff:
+                    time.sleep(min(
+                        self.reconnect_backoff * 2 ** (attempt - 1), 1.0))
+                self._reconnect()
+
+    def _exchange(self, req: dict) -> dict:
         try:
             send_frame_sock(self._sock, req)
             while True:
@@ -73,7 +125,7 @@ class ServeClient:
                 if resp is None:
                     raise ServeConnectionError(
                         "server closed the connection (shed or shutdown)")
-                if resp.get("id") in (self._next_id, None):
+                if resp.get("id") in (req["id"], None):
                     return resp
                 # a stale response from an earlier abandoned exchange
         except (OSError, ProtocolError) as exc:

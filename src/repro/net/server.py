@@ -71,6 +71,7 @@ class ServerStats:
         self.per_status: Dict[int, int] = {}
         self.cancelled_inflight = 0     # probe futures cancelled on disconnect
         self.request_timeouts = 0       # server-side wall cap expirations
+        self.requests_drained = 0       # refused with 503 shutting_down
         self.bad_frames = 0
         self.bytes_in = 0
         self.bytes_out = 0
@@ -94,6 +95,7 @@ class ServerStats:
                            for k, v in sorted(self.per_status.items())},
             "cancelled_inflight": self.cancelled_inflight,
             "request_timeouts": self.request_timeouts,
+            "requests_drained": self.requests_drained,
             "bad_frames": self.bad_frames,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
@@ -126,6 +128,8 @@ class SpatialServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._next_conn_id = 0
         self._conn_tasks: Set[asyncio.Task] = set()
+        self._probe_tasks: Set[asyncio.Task] = set()
+        self._draining = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -151,13 +155,57 @@ class SpatialServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
 
+    # -- graceful drain ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new work (structured 503 ``shutting_down``) from now on.
+
+        Connections stay open and introspection (``health``,
+        ``datasets``) keeps answering, so clients and load balancers can
+        observe the shutdown instead of hitting a closed port.
+        """
+        self._draining = True
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight work.
+
+        Stops accepting connections, lets every already-admitted probe
+        or mutation run to completion (bounded by ``timeout``; leftovers
+        are cancelled), then flushes the engine so pending mutation
+        commits -- and their journal records -- settle before the caller
+        exits.  Returns ``True`` when everything drained in time.
+        """
+        self.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {t for t in self._probe_tasks if not t.done()}
+        clean = True
+        if pending:
+            done, left = await asyncio.wait(pending, timeout=timeout)
+            for task in left:
+                clean = False
+                task.cancel()
+            if left:
+                await asyncio.gather(*left, return_exceptions=True)
+        # settle mutation commits (journal appends included) off-loop
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.engine.flush)
+        return clean
+
     # -- health ----------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
         """The ``health`` request body: server edge + engine internals."""
         engine_health = self.engine.health()
         return {
-            "status": engine_health["status"],
+            "status": ("draining" if self._draining
+                       else engine_health["status"]),
+            "draining": self._draining,
             "listen": {"host": self.host, "port": self.port},
             "server": {**self.stats.snapshot(),
                        "admission": self.admission.snapshot()},
@@ -234,9 +282,17 @@ class SpatialServer:
                 continue
             self.stats.record_request(req["kind"])
             if req["kind"] in ("health", "datasets"):
-                # introspection stays answerable during brownout
+                # introspection stays answerable during brownout & drain
                 await self._respond(writer, write_lock,
                                     self._introspect(req))
+                continue
+            if self._draining:
+                self.stats.requests_drained += 1
+                await self._respond(writer, write_lock, {
+                    "id": req["id"], "status": SHED,
+                    "reason": "shutting_down",
+                    "error": "server is draining for shutdown",
+                    "retry_after_ms": int(self.admission.retry_hint * 1e3)})
                 continue
             verdict = self.admission.admit(conn_id)
             if not verdict.ok:
@@ -250,6 +306,8 @@ class SpatialServer:
                 self._run_probe(req, conn_id, writer, write_lock))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
+            self._probe_tasks.add(task)
+            task.add_done_callback(self._probe_tasks.discard)
 
     def _count_in(self, n: int) -> None:
         self.stats.bytes_in += n
@@ -440,6 +498,14 @@ class ServerThread:
         except (asyncio.CancelledError, Exception):
             pass
         await self.server.close()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Run the server's graceful drain from the calling thread."""
+        if not self._thread.is_alive():
+            return True
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop)
+        return fut.result(timeout + 10)
 
     def stop(self) -> None:
         if self._thread.is_alive():

@@ -29,6 +29,17 @@ Sites (see the module docstrings of the instrumented components):
     One per-shard sub-batch of a sharded fan-out (context key
     ``shard``) -- ``stall`` holds a single shard past the batch
     deadline to force a partial result.
+``wal.append``
+    The write-ahead journal append inside a mutation commit -- an
+    ``error`` simulates a full or failing journal disk, exercising the
+    commit-abort path: the staged version is abandoned, the ack is
+    withheld, the readable snapshot stays untouched, and the breakers
+    are not fed (a broken write must not trip readers).
+``store.put``
+    An :class:`repro.store.IndexStore` write -- an ``error`` makes
+    spills, worker warm-path persists, and checkpoint index persists
+    fail like a full disk would: best-effort writers degrade silently,
+    a checkpoint aborts without truncating the journal.
 
 Everything is deterministic: each spec owns a ``random.Random`` seeded
 from ``(plan.seed, spec index)``, arrivals are counted per spec, and
@@ -61,7 +72,8 @@ __all__ = [
 ]
 
 #: the instrumented choke points
-SITES = ("registry.get", "store.load", "executor.job", "shard.query")
+SITES = ("registry.get", "store.load", "executor.job", "shard.query",
+         "wal.append", "store.put")
 
 #: what a spec can do when it fires
 KINDS = ("latency", "error", "corrupt", "stall", "crash")
@@ -296,6 +308,11 @@ EXAMPLE_PLANS: Dict[str, FaultPlan] = {
     # spent and the retried batches complete
     "workercrash": FaultPlan(specs=(
         FaultSpec(site="executor.job", kind="crash", times=2),
+    ), seed=7),
+    # durability: the first two mutation commits die at the journal
+    # append (aborted, unacked, snapshot untouched), later ones land
+    "walfail": FaultPlan(specs=(
+        FaultSpec(site="wal.append", kind="error", times=2),
     ), seed=7),
     "none": FaultPlan(),
 }

@@ -127,6 +127,12 @@ class IndexStore:
         self.corrupt_evictions = 0
         self.disk_evictions = 0
         self.load_retries = 0
+        self.orphan_temps_removed = 0
+        if not self.readonly:
+            # a writer that crashed mid-_atomic_* leaves a ``.tmp-``
+            # file that os.replace never claimed; sweep them on open so
+            # a kill -9 cannot leak disk forever
+            self._sweep_orphan_temps()
 
     # -- paths -----------------------------------------------------------
 
@@ -155,6 +161,8 @@ class IndexStore:
         if self.readonly:
             raise RuntimeError("IndexStore is read-only; put() refused")
         key_id = store_key_id(key)
+        if self._injector is not None:
+            self._injector.fire("store.put", key_id=key_id)
         final = os.path.join(self.cache_dir, key_id + ".npz")
         with self._lock:
             checksum = self._atomic_archive(final, tree, dict(key.params))
@@ -318,6 +326,8 @@ class IndexStore:
         if budget < 0:
             raise ValueError("budget_bytes must be >= 0")
         with self._lock:
+            if not self.readonly:
+                self._sweep_orphan_temps()
             return self._gc_locked(budget)
 
     # -- introspection ---------------------------------------------------
@@ -382,6 +392,7 @@ class IndexStore:
                 "corrupt_evictions": self.corrupt_evictions,
                 "disk_evictions": self.disk_evictions,
                 "load_retries": self.load_retries,
+                "orphan_temps_removed": self.orphan_temps_removed,
             }
 
     # -- internals -------------------------------------------------------
@@ -394,6 +405,20 @@ class IndexStore:
         return sorted(name for name in os.listdir(self.cache_dir)
                       if name.endswith(".npz")
                       and not name.startswith(".tmp-"))
+
+    def _sweep_orphan_temps(self) -> int:
+        """Delete ``.tmp-`` leftovers of crashed atomic writers."""
+        removed = 0
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if name.startswith(".tmp-"):
+                if _unlink(os.path.join(self.cache_dir, name)):
+                    removed += 1
+        self.orphan_temps_removed += removed
+        return removed
 
     def _atomic_archive(self, final: str, tree, params: dict) -> str:
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, prefix=".tmp-",

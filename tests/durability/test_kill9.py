@@ -1,0 +1,220 @@
+"""Whole-process kill chaos: SIGKILL mid-commit-storm, then prove recovery.
+
+The strongest durability claim the engine makes, tested the only honest
+way -- by actually killing the serving *process* (no atexit, no flush,
+no journal close) while mutation commits are in flight, restarting over
+the same journal directory, and checking three things:
+
+* **every acked write is present** -- each fingerprint the server acked
+  before the kill is on the recovered chain;
+* **no partial batch is visible** -- the recovered head's content hash
+  is in the closed set of legal outcomes (the acked shadow extended by
+  a prefix of the in-flight tail; inserts append in submission order,
+  so any coalescing of the tail yields exactly these contents);
+* **answers match the oracle** -- the recovered engine's window answers
+  equal brute force over the matching shadow array.
+
+Runs under both fsync policies: ``commit`` survives power loss by
+contract; ``none`` survives SIGKILL because flushed page-cache bytes
+outlive the process.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute import brute_window_query
+from repro.cli import _make_map
+from repro.engine import SpatialQueryEngine, dataset_fingerprint
+from repro.net.client import ServeClient
+
+pytestmark = pytest.mark.slow
+
+DOMAIN = 1024
+N = 400
+SEED = 11
+RECT = [100.0, 800.0, 100.0, 800.0]
+ACKED_COMMITS = 12
+TAIL_INSERTS = 8
+
+
+def canonical(arr):
+    a = np.ascontiguousarray(np.asarray(arr, dtype=np.float64).reshape(-1, 4))
+    a.setflags(write=False)
+    return a
+
+
+def start_server(tmp_path, fsync):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in (env.get("PYTHONPATH"),) if p]
+        + [os.path.join(os.path.dirname(__file__), "..", "..", "src")])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0",
+         "--n", str(N), "--domain", str(DOMAIN), "--seed", str(SEED),
+         "--journal-dir", str(tmp_path / "wal"), "--fsync-policy", fsync,
+         "--max-wait", "0.001"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    port = None
+    for line in proc.stdout:
+        m = re.search(r"on 127\.0\.0\.1:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+            break
+    assert port is not None, "server never printed its port"
+    return proc, port
+
+
+def seeded_batch(rng, i, shadow_len):
+    """One mutation op: mostly inserts, a delete every third commit."""
+    if i % 3 == 2 and shadow_len > 10:
+        return "delete", np.sort(rng.choice(shadow_len, size=3,
+                                            replace=False))
+    m = int(rng.integers(2, 6))
+    pts = rng.uniform(0, DOMAIN * 0.9, (m, 2))
+    return "insert", np.clip(
+        np.hstack([pts, pts + rng.uniform(1, 60, (m, 2))]),
+        0, DOMAIN - 1).round()
+
+
+def apply_op(shadow, op, payload):
+    if op == "delete":
+        keep = np.ones(shadow.shape[0], dtype=bool)
+        keep[payload] = False
+        return shadow[keep]
+    return np.vstack([shadow, payload])
+
+
+@pytest.mark.parametrize("fsync", ["commit", "none"])
+def test_sigkill_mid_commit_storm_recovers_every_acked_write(
+        tmp_path, fsync):
+    proc, port = start_server(tmp_path, fsync)
+    rng = np.random.default_rng(SEED * 7)
+    try:
+        client = ServeClient("127.0.0.1", port, reconnect_attempts=0)
+        fp = client.datasets()["result"][0]["fingerprint"]
+        shadow = canonical(_make_map("uniform", N, DOMAIN, SEED))
+        assert dataset_fingerprint(shadow) == fp
+
+        # phase 1: serial acked commits -- each blocking round trip is
+        # one journal record; the client-side shadow replays it exactly
+        acked = [fp]
+        for i in range(ACKED_COMMITS):
+            op, payload = seeded_batch(rng, i, shadow.shape[0])
+            if op == "delete":
+                resp = client.delete(fp, [int(v) for v in payload])
+            else:
+                resp = client.insert(fp, payload.tolist())
+            assert resp["status"] == 200, resp
+            shadow = canonical(apply_op(shadow, op, payload))
+            assert resp["result"]["fingerprint"] == \
+                dataset_fingerprint(shadow)
+            acked.append(resp["result"]["fingerprint"])
+
+        # phase 2: the storm -- pipelined unacked inserts racing the kill
+        tail = []
+        for i in range(TAIL_INSERTS):
+            pts = rng.uniform(0, DOMAIN * 0.9, (2, 2))
+            rows = np.clip(np.hstack([pts, pts + 20.0]), 0,
+                           DOMAIN - 1).round()
+            tail.append(rows)
+            client.send_only({"id": 1000 + i, "kind": "insert",
+                              "fingerprint": fp, "lines": rows.tolist()})
+        time.sleep(0.05)          # let some commits reach mid-flight
+        proc.kill()               # SIGKILL: no flush, no close, no mercy
+        proc.wait(timeout=20)
+        client.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20)
+
+    # legal recovered contents: the acked shadow plus any prefix of the
+    # tail (inserts append in submission order under any coalescing)
+    candidates = {}
+    cur = shadow
+    candidates[dataset_fingerprint(cur)] = cur
+    for rows in tail:
+        cur = canonical(np.vstack([cur, rows]))
+        candidates[dataset_fingerprint(cur)] = cur
+
+    with SpatialQueryEngine(workers=2, journal_dir=str(tmp_path / "wal"),
+                            journal_fsync=fsync) as eng:
+        (report,) = eng.recover()
+
+        # 1. zero acked writes lost
+        for fingerprint in acked:
+            assert eng.registry.version_of(fingerprint) >= 0, \
+                f"acked commit {fingerprint} lost by recovery"
+
+        # 2. no partial batch visible: the head is a legal outcome
+        head = eng.registry.resolve(fp)
+        assert head.fingerprint == report.fingerprint
+        assert head.fingerprint in candidates, \
+            f"recovered head {head.fingerprint} is not a legal outcome"
+        matching = candidates[head.fingerprint]
+        assert head.num_lines == matching.shape[0]
+
+        # 3. answers identical to the mutation differential oracle
+        got = sorted(eng.window(fp, RECT).tolist())
+        want = sorted(brute_window_query(matching, RECT).tolist())
+        assert got == want
+
+
+@pytest.mark.parametrize("fsync", ["commit"])
+def test_sigkill_with_checkpoints_truncated_prefix_still_recovers(
+        tmp_path, fsync):
+    """Same chaos, but checkpoints truncate the WAL prefix mid-storm."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in (env.get("PYTHONPATH"),) if p]
+        + [os.path.join(os.path.dirname(__file__), "..", "..", "src")])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0",
+         "--n", str(N), "--domain", str(DOMAIN), "--seed", str(SEED),
+         "--journal-dir", str(tmp_path / "wal"), "--fsync-policy", fsync,
+         "--checkpoint-every", "4", "--max-wait", "0.001"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    port = None
+    for line in proc.stdout:
+        m = re.search(r"on 127\.0\.0\.1:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+            break
+    assert port is not None
+    rng = np.random.default_rng(SEED)
+    try:
+        client = ServeClient("127.0.0.1", port, reconnect_attempts=0)
+        fp = client.datasets()["result"][0]["fingerprint"]
+        shadow = canonical(_make_map("uniform", N, DOMAIN, SEED))
+        last = fp
+        for i in range(10):
+            op, payload = seeded_batch(rng, i, shadow.shape[0])
+            if op == "delete":
+                resp = client.delete(fp, [int(v) for v in payload])
+            else:
+                resp = client.insert(fp, payload.tolist())
+            assert resp["status"] == 200, resp
+            shadow = canonical(apply_op(shadow, op, payload))
+            last = resp["result"]["fingerprint"]
+        proc.kill()
+        proc.wait(timeout=20)
+        client.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20)
+
+    with SpatialQueryEngine(workers=2, journal_dir=str(tmp_path / "wal"),
+                            journal_fsync=fsync) as eng:
+        (report,) = eng.recover()
+        assert report.checkpoint_seq >= 4     # prefix truncation happened
+        assert report.fingerprint == last == dataset_fingerprint(shadow)
+        got = sorted(eng.window(fp, RECT).tolist())
+        assert got == sorted(brute_window_query(shadow, RECT).tolist())

@@ -357,7 +357,9 @@ class TestClientDisconnect:
     def test_server_shutdown_rejects_then_closes_cleanly(self, engine):
         fp = engine.register(segments(), domain=DOMAIN)
         st = ServerThread(engine)
-        client = ServeClient(st.host, st.port)
+        # reconnect_attempts=0: this test wants the raw fail-fast
+        # behaviour, not the redial-and-resend loop
+        client = ServeClient(st.host, st.port, reconnect_attempts=0)
         assert client.window(fp, [0, 0, 50, 50])["status"] == 200
         st.stop()
         with pytest.raises(ServeConnectionError):

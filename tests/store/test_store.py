@@ -256,3 +256,40 @@ class TestDeletion:
         assert entry.fingerprint == key.fingerprint
         assert entry.structure == "rtree"
         assert entry.checksum is None
+
+
+class TestOrphanSweep:
+    def plant_orphans(self, cache_dir):
+        paths = [os.path.join(cache_dir, ".tmp-dead1.npz"),
+                 os.path.join(cache_dir, ".tmp-dead2.json")]
+        for p in paths:
+            with open(p, "wb") as fh:
+                fh.write(b"half-written by a killed process")
+        return paths
+
+    def test_startup_sweeps_crashed_writer_leftovers(self, tmp_path):
+        # a store that crashed mid-_atomic_* leaves unclaimed .tmp- files
+        IndexStore(tmp_path).put(key_for("pmr"), make_tree("pmr", segs(1)))
+        orphans = self.plant_orphans(str(tmp_path))
+        store = IndexStore(tmp_path)
+        assert all(not os.path.exists(p) for p in orphans)
+        assert store.orphan_temps_removed == 2
+        assert store.snapshot()["orphan_temps_removed"] == 2
+        # the real entry is untouched
+        (entry,) = store.entries()
+        assert entry.structure == "pmr"
+
+    def test_gc_sweeps_orphans_too(self, tmp_path):
+        store = IndexStore(tmp_path, budget_bytes=1 << 30)
+        store.put(key_for("pmr"), make_tree("pmr", segs(1)))
+        orphans = self.plant_orphans(str(tmp_path))
+        store.gc()
+        assert all(not os.path.exists(p) for p in orphans)
+        assert store.orphan_temps_removed == 2
+
+    def test_readonly_store_does_not_sweep(self, tmp_path):
+        IndexStore(tmp_path).put(key_for("pmr"), make_tree("pmr", segs(1)))
+        orphans = self.plant_orphans(str(tmp_path))
+        store = IndexStore(tmp_path, readonly=True)
+        assert all(os.path.exists(p) for p in orphans)
+        assert store.orphan_temps_removed == 0
