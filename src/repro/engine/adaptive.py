@@ -1,0 +1,405 @@
+"""Adaptive serving: the engine measures itself and tunes its own knobs.
+
+The paper's thesis is that data-parallel spatial performance comes from
+choosing the *shape* of the work to fit the data -- batch widths sized
+to amortise per-round overhead, space-sort partitions cut to the data's
+distribution.  The serving stack exposed those shapes as static config
+(``max_batch``/``max_wait``/``shards``/``ordering``); this module turns
+them into measured, feedback-controlled choices.  Three controllers,
+one tick loop:
+
+* :class:`CoalescerTuner` -- an AIMD loop over the engine's
+  :class:`~repro.engine.stats.LatencyReservoir` drives the coalescer
+  triggers toward a target p95.  Additive increase while under target
+  (grow ``max_batch`` to amortise per-batch overhead -- doubled growth
+  under the process backend, where ``ipc_bytes_sent / ipc_jobs`` prices
+  every dispatch), multiplicative decrease when over it (halve
+  ``max_wait`` when the deadline window dominates the latency, halve
+  ``max_batch`` under bursty thread-backend load where giant batches
+  head-of-line block).  ``max_wait`` is clamped so exact ``0``
+  (immediate flush) stays reachable, and recoverable: once load fills
+  batches again the additive side grows the window back.
+
+* :class:`SkewWatch` -- per-dataset shard balance (segment counts from
+  the live decomposition, per-shard service-time EWMAs from
+  :class:`~repro.engine.stats.EngineStats`).  Skew past the threshold
+  for ``patience`` consecutive ticks triggers an online re-shard
+  through the engine's MVCC commit machinery: the rebalanced
+  decomposition is built off the read path under a fresh index key
+  (stage -> warm build -> flip), so readers never block and in-flight
+  batches finish against the decomposition they resolved.
+
+* :func:`probe_shard_params` -- K/ordering for a *new* dataset from a
+  cheap measured probe instead of a blind default: sample the segments,
+  sort their curve keys per ordering (the same sample-sort cut
+  ``build_sharded`` uses), and score each candidate cut by how tightly
+  its ranges pack (summed per-range midpoint bbox area -- tight ranges
+  mean tight shard MBRs mean more fan-out culling).
+
+Correctness is free by construction: the differential harness proves
+any (K, ordering) decomposition answers bit-identically, so every
+controller decision changes the *speed* of an answer, never its value.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..structures.sharded import ORDERINGS, shard_keys
+
+__all__ = ["CoalescerTuner", "SkewWatch", "AdaptiveController",
+           "probe_shard_params"]
+
+
+# -- K / ordering probe ----------------------------------------------------
+
+def probe_shard_params(lines: np.ndarray, domain: float,
+                       target_per_shard: int = 8192,
+                       max_shards: int = 32,
+                       sample: int = 4096,
+                       seed: int = 0x51AB) -> Dict[str, object]:
+    """Measured (K, ordering) for a dataset, from a sample-sorted probe.
+
+    K targets ``target_per_shard`` segments per shard (nearest power of
+    two, clamped to ``[2, max_shards]``); datasets under two shards'
+    worth stay unsharded.  The target is deliberately coarse: each
+    probed shard is one executor dispatch, and measured against this
+    engine's thread pool the per-dispatch overhead beats the per-shard
+    scan savings until shards carry thousands of segments -- small
+    datasets are served best unsharded or barely sharded, and a traffic
+    hotspot that later concentrates load can always refine the cut
+    through the online re-shard path.
+
+    The ordering is chosen by measurement, not default: up to
+    ``sample`` segments are drawn deterministically, their curve keys
+    computed per ordering and cut into K equal-count ranges exactly as
+    :func:`~repro.structures.sharded.build_sharded` would cut them, and
+    each ordering is scored by the summed area of its ranges' midpoint
+    bounding boxes (normalised by the domain).  Lower is better: tight
+    ranges become tight shard MBRs, and tight MBRs are what lets the
+    fan-out planner cull shards.  Ties keep morton (the cheaper encode).
+    """
+    lines = np.asarray(lines, dtype=np.float64).reshape(-1, 4)
+    n = lines.shape[0]
+    if n < 2 * target_per_shard:
+        return {"shards": 1, "ordering": ORDERINGS[0],
+                "scores": {}, "sampled": 0}
+    K = 1 << int(round(np.log2(n / float(target_per_shard))))
+    K = int(min(max(K, 2), max_shards))
+    m = min(int(sample), n)
+    if m < n:
+        rng = np.random.default_rng(seed)
+        idx = np.sort(rng.choice(n, m, replace=False))
+        sub = lines[idx]
+    else:
+        sub = lines
+    mids = 0.5 * (sub[:, 0:2] + sub[:, 2:4])
+    scores: Dict[str, float] = {}
+    for ordering in ORDERINGS:
+        keys = shard_keys(sub, domain, ordering)
+        order = np.argsort(keys, kind="stable")
+        cuts = [(i * m) // K for i in range(K + 1)]
+        area = 0.0
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            if hi <= lo:
+                continue
+            pts = mids[order[lo:hi]]
+            ext = pts.max(axis=0) - pts.min(axis=0)
+            area += float(ext[0] * ext[1])
+        scores[ordering] = area / (float(domain) ** 2)
+    best = min(ORDERINGS, key=lambda o: scores[o])
+    return {"shards": K, "ordering": best, "scores": scores,
+            "sampled": int(m)}
+
+
+# -- coalescer tuner -------------------------------------------------------
+
+class CoalescerTuner:
+    """AIMD loop driving the coalescer triggers toward a target p95.
+
+    One :meth:`tick` per control interval; a tick without at least
+    ``min_samples`` fresh latency samples is a hold (no signal, no
+    move -- an idle engine must not drift).  Overshoot is split into
+    two regimes first: **window-dominated** (p95 within a small factor
+    of ``max_wait`` and the target -- the coalescing deadline itself is
+    the latency) and **backlogged** (p95 far above both -- queueing:
+    per-dispatch overhead is the bottleneck, and the cure is *more*
+    coalescing, not less; without this regime the loop can tune
+    ``max_wait`` to 0 at light load and then have no road back when a
+    rate step turns singleton dispatches into a death spiral).  The
+    decision table, with ``fill`` = mean recent batch / ``max_batch``:
+
+    ====================  ======================================result
+    backlogged                double ``max_batch`` and ``max_wait``
+                              (multiplicative reopen: amortise the
+                              per-batch overhead, escape fast)
+    over, fill low            halve ``max_wait`` (deadline window
+                              dominates the latency; 0 is reachable)
+    over, fill high           process backend: double ``max_batch``
+                              (count-bound and IPC-priced: amortise);
+                              thread backend: halve ``max_batch``
+                              (bursty load, giant batches head-of-line
+                              block the pool)
+    under, fill high          additive increase: ``max_batch`` += step,
+                              and when batches saturate with the window
+                              at 0, additively reopen ``max_wait``
+    under, fill low           hold (deadline-bound at low load; there
+                              is nothing to amortise)
+    ====================  ======================================
+    """
+
+    def __init__(self, coalescer, stats, target_p95_ms: float,
+                 is_process: bool = False,
+                 min_batch: int = 8, max_batch_cap: int = 2048,
+                 max_wait_cap: float = 0.02,
+                 batch_step: int = 16, wait_step: float = 0.0005,
+                 wait_floor: float = 1e-4, min_samples: int = 8):
+        self.coalescer = coalescer
+        self.stats = stats
+        self.target_p95_ms = float(target_p95_ms)
+        self.is_process = bool(is_process)
+        self.min_batch = int(min_batch)
+        self.max_batch_cap = int(max_batch_cap)
+        self.max_wait_cap = float(max_wait_cap)
+        self.batch_step = int(batch_step)
+        self.wait_step = float(wait_step)
+        self.wait_floor = float(wait_floor)
+        self.min_samples = int(min_samples)
+        self.ticks = 0
+        self.decisions: Dict[str, int] = {}
+        self.trajectory: deque = deque(maxlen=256)
+        self._last_count = stats.latency.count
+        self._over_ticks = 0
+        self._started: Optional[float] = None
+
+    def tick(self, now: float) -> str:
+        """One control step; returns the decision name."""
+        if self._started is None:
+            self._started = now
+        self.ticks += 1
+        count = self.stats.latency.count
+        fresh = count - self._last_count
+        if fresh < self.min_samples:
+            return self._record(now, None, "idle")
+        self._last_count = count
+        p95 = self.stats.latency.percentile(95) * 1e3
+        batch = int(self.coalescer.max_batch)
+        wait = float(self.coalescer.max_wait)
+        fill = self.stats.recent_batch_mean() / max(batch, 1)
+        decision = "hold"
+        if p95 > self.target_p95_ms:
+            self._over_ticks += 1
+            backlogged = p95 > max(4.0 * wait * 1e3,
+                                   2.0 * self.target_p95_ms)
+            if backlogged:
+                # p95 far beyond both the wait window and the target:
+                # queueing, not the window -- reopen coalescing hard so
+                # batches amortise the per-dispatch overhead again.  The
+                # window is capped at the target itself: a coalescing
+                # delay larger than the whole latency budget can only
+                # rail the loop into self-inflicted overshoot
+                batch = min(self.max_batch_cap, batch * 2)
+                wait = min(self.max_wait_cap, self.target_p95_ms * 1e-3,
+                           max(wait * 2, self.wait_step))
+                decision = "amortize_backlog"
+            elif fill < 0.5:
+                # deadline-released batches: the wait window itself is
+                # the latency; multiplicative backoff, snapping to the
+                # immediate-flush end of the knob once below the floor
+                wait = 0.0 if wait <= self.wait_floor else wait * 0.5
+                decision = "shrink_wait"
+            elif self.is_process:
+                batch = min(self.max_batch_cap, batch * 2)
+                decision = "grow_batch_ipc"
+            else:
+                batch = max(self.min_batch, batch // 2)
+                decision = "shrink_batch"
+        else:
+            self._over_ticks = 0
+            if fill >= 0.7 and batch < self.max_batch_cap:
+                step = self.batch_step * (2 if self.is_process else 1)
+                batch = min(self.max_batch_cap, batch + step)
+                decision = "grow_batch"
+            if fill >= 0.9 and wait < self.max_wait_cap:
+                # count-saturated with latency headroom: additively
+                # reopen the window (the road back from max_wait = 0)
+                wait = min(self.max_wait_cap, wait + self.wait_step)
+                decision = ("grow_batch_wait" if decision == "grow_batch"
+                            else "grow_wait")
+        if batch != self.coalescer.max_batch \
+                or wait != self.coalescer.max_wait:
+            self.coalescer.retune(max_batch=batch, max_wait=wait)
+        return self._record(now, p95, decision)
+
+    def _record(self, now: float, p95: Optional[float],
+                decision: str) -> str:
+        self.decisions[decision] = self.decisions.get(decision, 0) + 1
+        if decision != "idle":
+            self.trajectory.append({
+                "t": round(now - (self._started or now), 3),
+                "p95_ms": round(p95, 3) if p95 is not None else None,
+                "max_batch": int(self.coalescer.max_batch),
+                "max_wait_ms": round(self.coalescer.max_wait * 1e3, 4),
+                "decision": decision,
+            })
+        return decision
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "target_p95_ms": self.target_p95_ms,
+            "max_batch": int(self.coalescer.max_batch),
+            "max_wait_ms": round(self.coalescer.max_wait * 1e3, 4),
+            "ticks": self.ticks,
+            "decisions": dict(self.decisions),
+            "trajectory": list(self.trajectory)[-32:],
+        }
+
+
+# -- shard balance watchdog ------------------------------------------------
+
+class SkewWatch:
+    """Debounced skew trigger: fire after ``patience`` bad ticks in a row.
+
+    A single slow tick (GC pause, one hot query) must not pay a
+    re-shard; sustained imbalance -- repair-grown shards or a traffic
+    hotspot -- should.  After firing, the streak resets so the next
+    re-shard needs fresh evidence against the *new* decomposition.
+    """
+
+    def __init__(self, threshold: float, patience: int = 2):
+        if threshold <= 1.0:
+            raise ValueError("skew threshold must be > 1")
+        self.threshold = float(threshold)
+        self.patience = max(int(patience), 1)
+        self._streaks: Dict[str, int] = {}
+
+    def observe(self, root: str, skew: float) -> bool:
+        """Record one tick's skew; True when a re-shard should fire."""
+        if skew > self.threshold:
+            streak = self._streaks.get(root, 0) + 1
+        else:
+            streak = 0
+        self._streaks[root] = streak
+        if streak >= self.patience:
+            self._streaks[root] = 0
+            return True
+        return False
+
+    def forget(self, root: str) -> None:
+        self._streaks.pop(root, None)
+
+
+# -- controller ------------------------------------------------------------
+
+class AdaptiveController:
+    """The engine's feedback loop: one daemon thread, three controllers.
+
+    Every ``interval`` seconds (or on an explicit :meth:`tick` with a
+    fake clock, for tests) it runs the coalescer tuner, then sweeps the
+    registered datasets for shard skew and triggers
+    :meth:`~repro.engine.engine.SpatialQueryEngine.reshard` when the
+    watchdog fires.  :meth:`snapshot` is the ``health()["adaptive"]``
+    block.
+    """
+
+    def __init__(self, engine, target_p95_ms: float = 25.0,
+                 skew_threshold: float = 3.0, interval: float = 0.25,
+                 patience: int = 2,
+                 clock: Callable[[], float] = time.monotonic):
+        self.engine = engine
+        self.interval = float(interval)
+        self.clock = clock
+        self.tuner = CoalescerTuner(engine._coalescer, engine.stats,
+                                    target_p95_ms,
+                                    is_process=engine._is_process)
+        self.watch = SkewWatch(skew_threshold, patience=patience)
+        self.ticks = 0
+        self.errors = 0
+        self.skew: Dict[str, float] = {}
+        self.reshard_log: deque = deque(maxlen=32)
+        self.initial_choices: Dict[str, Dict[str, object]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-engine-adaptive")
+        self._thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:   # noqa: BLE001 - the loop must survive
+                self.errors += 1
+
+    # -- control ---------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """One control step: tune the coalescer, then check balance."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            self.ticks += 1
+            self.tuner.tick(now)
+            self._check_balance()
+
+    def choose_initial(self, root: str, lines: np.ndarray,
+                       domain: float) -> Optional[Tuple[int, str]]:
+        """Measured (K, ordering) for a newly registered dataset."""
+        choice = probe_shard_params(lines, domain)
+        with self._lock:
+            self.initial_choices[root] = choice
+        return int(choice["shards"]), str(choice["ordering"])
+
+    def _check_balance(self) -> None:
+        eng = self.engine
+        for row in eng.registry.datasets_info():
+            if not row.get("latest"):
+                continue
+            root = row["root"]
+            skew, shards = eng._shard_skew(row["fingerprint"])
+            if skew is None:
+                continue
+            self.skew[root] = round(float(skew), 3)
+            if not self.watch.observe(root, skew):
+                continue
+            try:
+                report = eng.reshard(root)
+            except Exception as exc:  # noqa: BLE001 - log, keep ticking
+                self.errors += 1
+                self.reshard_log.append({"root": root, "skew": self.skew[root],
+                                         "error": repr(exc)})
+            else:
+                if report is not None:
+                    self.reshard_log.append(report)
+
+    # -- readout ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            out = {"enabled": True, "interval_s": self.interval,
+                   "ticks": self.ticks, "errors": self.errors,
+                   "skew_threshold": self.watch.threshold,
+                   "skew": dict(self.skew),
+                   "reshards": list(self.reshard_log),
+                   "initial_choices": {
+                       root[:12]: choice
+                       for root, choice in self.initial_choices.items()}}
+            out.update(self.tuner.snapshot())
+            return out

@@ -12,6 +12,15 @@ dispatched as one batch when either
 whichever comes first.  This is the classic throughput/latency knob of
 batched serving: larger windows amortise the per-round vector work over
 more queries, smaller ones bound the queueing delay.
+
+Both triggers are **runtime-retunable** (:meth:`Coalescer.retune`): the
+adaptive controller (:mod:`repro.engine.adaptive`) moves ``max_batch``
+and ``max_wait`` while traffic is in flight.  To honour a retune on the
+very next timer tick, the watcher stores each group's *head timestamp*
+(when its oldest probe arrived) and recomputes the deadline as
+``head + max_wait`` at wait time -- never a deadline frozen at enqueue.
+``max_wait = 0`` degenerates to immediate dispatch: every submit
+flushes its group synchronously, the zero-latency end of the knob.
 """
 
 from __future__ import annotations
@@ -58,7 +67,10 @@ class Coalescer:
         self.max_wait = max_wait
         self._cv = threading.Condition()
         self._groups: Dict[Hashable, List[Probe]] = {}
-        self._deadlines: Dict[Hashable, float] = {}
+        # group key -> the oldest probe's submit timestamp; the actual
+        # deadline is derived as head + max_wait *at wait time*, so a
+        # retuned window applies to groups already in flight
+        self._heads: Dict[Hashable, float] = {}
         self._closed = False
         self._timer = threading.Thread(target=self._run, daemon=True,
                                        name="repro-engine-coalescer")
@@ -73,15 +85,35 @@ class Coalescer:
             group = self._groups.setdefault(key, [])
             group.append(probe)
             if len(group) == 1:
-                self._deadlines[key] = probe.submitted_at + self.max_wait
+                self._heads[key] = probe.submitted_at
                 self._cv.notify()
-            if len(group) >= self.max_batch:
+            if len(group) >= self.max_batch or self.max_wait <= 0:
                 ready = self._take(key)
         if ready is not None:
             self._flush_fn(key, ready)
 
+    def retune(self, max_batch: Optional[int] = None,
+               max_wait: Optional[float] = None) -> None:
+        """Move the triggers while serving; takes effect on the next tick.
+
+        The deadline watcher recomputes every group's deadline from the
+        *current* ``max_wait``, so shrinking the window releases groups
+        that are already past the new deadline immediately, and
+        ``max_wait = 0`` drains pending groups on this very call.
+        """
+        with self._cv:
+            if max_batch is not None:
+                if max_batch < 1:
+                    raise ValueError("max_batch must be >= 1")
+                self.max_batch = int(max_batch)
+            if max_wait is not None:
+                if max_wait < 0:
+                    raise ValueError("max_wait must be >= 0")
+                self.max_wait = float(max_wait)
+            self._cv.notify()
+
     def _take(self, key: Hashable) -> List[Probe]:
-        self._deadlines.pop(key, None)
+        self._heads.pop(key, None)
         return self._groups.pop(key)
 
     def _run(self) -> None:
@@ -91,15 +123,20 @@ class Coalescer:
             with self._cv:
                 if self._closed:
                     return
-                if not self._deadlines:
+                if not self._heads:
                     self._cv.wait()
                 else:
                     now = time.monotonic()
-                    soonest = min(self._deadlines.values())
+                    soonest = min(self._heads.values()) + self.max_wait
                     if soonest > now:
                         self._cv.wait(soonest - now)
                     now = time.monotonic()
-                    due = [k for k, d in self._deadlines.items() if d <= now]
+                    # re-read max_wait after the wait: a retune during
+                    # the nap moves every in-flight group's deadline
+                    wait = self.max_wait
+                    due = [k for k, h in self._heads.items()
+                           if h + wait <= now
+                           or len(self._groups[k]) >= self.max_batch]
                     batches = [(k, self._take(k)) for k in due]
             for key, probes in batches:
                 self._flush_fn(key, probes)

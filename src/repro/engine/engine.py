@@ -63,6 +63,7 @@ from ..structures.sharded import ORDERINGS, ShardedIndex, sharded_join
 from ..shm import DATASET_PREFIX, INDEX_PREFIX, ShmArena
 from ..store import store_key_id
 from ..structures.io import structure_payload
+from .adaptive import AdaptiveController
 from .coalescer import Coalescer, Probe
 from .executor import BoundedExecutor, ProcessBackend, RejectedError
 from .registry import IndexKey, IndexRegistry
@@ -134,6 +135,11 @@ class EngineConfig:
     default_timeout: Optional[float] = 30.0  # sync helper timeout (seconds)
     shards: int = 1               # >1: space-sorted sharded indexes
     ordering: str = "morton"      # shard cut order: morton | hilbert
+    # -- adaptive serving --------------------------------------------------
+    adaptive: bool = False        # self-tuning controller (engine/adaptive.py)
+    target_p95_ms: float = 25.0   # latency target the coalescer tuner chases
+    skew_threshold: float = 3.0   # shard imbalance triggering online re-shard
+    adaptive_interval: float = 0.25   # controller tick period (seconds)
     versions_retained: int = 2    # dataset versions kept warm (MVCC)
     cache_dir: Optional[str] = None   # persistent index store directory
     disk_budget_bytes: Optional[int] = None  # store byte budget (None: unbounded)
@@ -169,6 +175,12 @@ class EngineConfig:
         if self.ordering not in ORDERINGS:
             raise ValueError(f"unknown ordering {self.ordering!r}; "
                              f"choose from {ORDERINGS}")
+        if self.target_p95_ms <= 0:
+            raise ValueError("target_p95_ms must be > 0")
+        if self.skew_threshold <= 1:
+            raise ValueError("skew_threshold must be > 1")
+        if self.adaptive_interval <= 0:
+            raise ValueError("adaptive_interval must be > 0")
         if self.versions_retained < 1:
             raise ValueError("versions_retained must be >= 1")
         if self.disk_budget_bytes is not None:
@@ -225,11 +237,11 @@ class SpatialQueryEngine:
             injector=self.faults,
             versions_retained=config.versions_retained)
         self._is_process = config.executor == "process"
-        # workers materialise indexes canonically (store bytes or a
-        # deterministic rebuild); a parent-side incremental repair could
-        # disagree with their shard cuts, so the fast path is gated to
-        # the in-process backend where one tree object serves the batch
-        self.registry.repair_enabled = not self._is_process
+        # incremental shard repair serves both backends: the commit
+        # path makes every repaired payload worker-visible (store bytes
+        # and/or arena pages) *before* reads flip, and falls back to a
+        # canonical rebuild when it cannot -- so workers always agree
+        # with the parent's shard cuts (registry.repair_enabled stays on)
         self._mutation_lock = threading.Lock()
         self._mutation_root_locks: Dict[str, threading.Lock] = {}
         self._mutation_threads: List[threading.Thread] = []
@@ -271,13 +283,42 @@ class SpatialQueryEngine:
         self._coalescer = Coalescer(self._dispatch,
                                     max_batch=config.max_batch,
                                     max_wait=config.max_wait)
+        # online re-shard overrides: root -> (shards, ordering, gen).
+        # The generation feeds the index *key*, so a rebalance mints
+        # fresh cache/store/arena entries and worker tree caches (keyed
+        # by store key id) can never serve a stale decomposition
+        self._shard_overrides: Dict[str, Tuple[int, str, int]] = {}
+        self.adaptive: Optional[AdaptiveController] = None
+        if config.adaptive:
+            self.adaptive = AdaptiveController(
+                self, target_p95_ms=config.target_p95_ms,
+                skew_threshold=config.skew_threshold,
+                interval=config.adaptive_interval)
+            self.adaptive.start()
         self._closed = False
 
     # -- datasets --------------------------------------------------------
 
     def register(self, lines: np.ndarray, domain: Optional[int] = None) -> str:
-        """Register a segment map; returns the fingerprint probes use."""
-        return self.registry.register(lines, domain=domain)
+        """Register a segment map; returns the fingerprint probes use.
+
+        With the adaptive controller enabled, a *new* dataset's shard
+        count and curve ordering are chosen by a cheap measured probe
+        (:func:`~repro.engine.adaptive.probe_shard_params`) instead of
+        the static config defaults; the choice shows up in the
+        ``adaptive`` health block and can later be revised by an online
+        re-shard.
+        """
+        fp = self.registry.register(lines, domain=domain)
+        if self.adaptive is not None \
+                and fp not in self.adaptive.initial_choices \
+                and self.registry.resolve(fp).root == fp:
+            k, ordn = self.adaptive.choose_initial(
+                fp, self.registry.dataset(fp),
+                float(self.registry.domain(fp)))
+            if (k, ordn) != (self.config.shards, self.config.ordering):
+                self._shard_overrides[fp] = (k, ordn, 0)
+        return fp
 
     def submit_insert(self, fingerprint: str, new_lines) -> Future:
         """Asynchronously append segments to a registered map.
@@ -572,6 +613,146 @@ class SpatialQueryEngine:
         with self._root_lock(info.root):
             return self._checkpoint_locked(info.root)
 
+    # -- adaptive serving ------------------------------------------------
+
+    def _shard_skew_parts(
+            self, fingerprint: str
+    ) -> Tuple[Optional[float], Optional[float], int]:
+        """``(size_skew, time_skew, shards)`` of a live decomposition.
+
+        **Size** skew is the largest shard over the balanced share --
+        the ratio repair drift grows.  **Service-time** skew is the
+        slowest shard EWMA over the median -- which catches a traffic
+        hotspot even when the cut is numerically balanced.  ``(None,
+        None, 0)`` when the index is unsharded or not in the memory
+        tier: a decomposition nobody keeps warm is not worth
+        rebalancing.
+        """
+        try:
+            key = self._index_key(fingerprint, None)
+        except (KeyError, ValueError):
+            return None, None, 0
+        if int(dict(key.params).get("shards", 1)) <= 1:
+            return None, None, 0
+        entry = self.registry.peek(key)
+        if entry is None or not isinstance(entry.tree, ShardedIndex):
+            return None, None, 0
+        tree: ShardedIndex = entry.tree
+        K = tree.num_shards
+        if K <= 1:
+            return None, None, K
+        sizes = tree.shard_sizes()
+        n = int(sizes.sum())
+        size_skew = float(sizes.max()) / max(-(-n // K), 1) if n else 0.0
+        time_skew = None
+        ewmas = sorted(
+            self.stats.shard_service_snapshot(fingerprint).values())
+        if len(ewmas) >= 2:
+            med = ewmas[len(ewmas) // 2]
+            if med > 0:
+                time_skew = ewmas[-1] / med
+        return size_skew, time_skew, K
+
+    def _shard_skew(self, fingerprint: str) -> Tuple[Optional[float], int]:
+        """``(skew, shards)``: the worse of the two skew components."""
+        size_skew, time_skew, K = self._shard_skew_parts(fingerprint)
+        parts = [s for s in (size_skew, time_skew) if s is not None]
+        return (max(parts) if parts else None), K
+
+    def reshard(self, fingerprint: str, shards: Optional[int] = None,
+                ordering: Optional[str] = None,
+                structure: Optional[str] = None,
+                force: bool = False) -> Optional[Dict[str, object]]:
+        """Rebalance a dataset's shard decomposition online.
+
+        Runs through the same stage -> warm -> flip discipline as a
+        mutation commit, under the chain's root lock: the rebalanced
+        index is built (and, under the process backend, published to
+        the store/arena) against a **fresh generation key** before the
+        per-root override flips new probes onto it -- readers never
+        block, and batches already in flight finish against the
+        decomposition they resolved.  With neither ``shards`` nor
+        ``ordering`` given, the current cut is kept and the re-shard
+        only fires when :meth:`_shard_skew` exceeds
+        ``config.skew_threshold`` (``force=True`` overrides); returns
+        the re-shard report, or ``None`` when balance was fine.  The
+        old generation's entries are left for version-retirement GC --
+        in-flight fan-outs may still hold their pages.
+        """
+        info = self.registry.resolve(fingerprint)
+        root = info.root
+        with self._root_lock(root):
+            started = time.monotonic()
+            cur = self.registry.resolve(root)
+            old_key = self._index_key(cur.fingerprint, structure)
+            old_params = dict(old_key.params)
+            old_k = int(old_params.get("shards", 1))
+            old_ord = str(old_params.get("ordering", self.config.ordering))
+            K = int(shards) if shards is not None else old_k
+            ordn = str(ordering) if ordering is not None else old_ord
+            if K < 1:
+                raise ValueError("shards must be >= 1")
+            if ordn not in ORDERINGS:
+                raise ValueError(f"unknown ordering {ordn!r}; "
+                                 f"choose from {ORDERINGS}")
+            if K <= 1 and old_k <= 1:
+                return None   # nothing is or would become sharded
+            size_skew, time_skew, _ = self._shard_skew_parts(
+                cur.fingerprint)
+            parts = [s for s in (size_skew, time_skew) if s is not None]
+            skew_before = max(parts) if parts else None
+            if shards is None and ordering is None and not force \
+                    and skew_before is not None \
+                    and skew_before > self.config.skew_threshold \
+                    and (size_skew is None
+                         or size_skew <= self.config.skew_threshold):
+                # the cut is numerically balanced but a traffic hotspot
+                # drags one shard's service time: re-cutting at the
+                # same K reproduces the same decomposition, so refine
+                # instead -- double K (capped) to spread the hot region
+                # across more shards
+                K = min(old_k * 2, 32)
+            if (K, ordn) == (old_k, old_ord) and not force \
+                    and (skew_before is None
+                         or skew_before <= self.config.skew_threshold):
+                return None   # same cut requested and balance is fine
+            ov = self._shard_overrides.get(root)
+            gen = (ov[2] if ov is not None else 0) + 1
+            new_params = {k: v for k, v in old_params.items()
+                          if k not in ("shards", "ordering", "gen")}
+            if K > 1:
+                new_params.update(shards=K, ordering=ordn, gen=gen)
+            # warm build off the read path: probes keep resolving the
+            # old generation until the override flips below
+            entry = self.registry.get(cur.fingerprint, old_key.structure,
+                                      **new_params)
+            new_key = entry.key
+            if self._is_process and K > 1:
+                if self.store is not None \
+                        and not self.store.contains(new_key):
+                    try:
+                        self.store.put(new_key, entry.tree,
+                                       build_steps=entry.build_steps,
+                                       build_primitives=entry.build_primitives,
+                                       num_lines=entry.num_lines)
+                    except (OSError, InjectedFault):
+                        pass
+                self._publish_index(new_key, entry.tree)
+            self._shard_overrides[root] = (K, ordn, gen)
+            self.stats.record_reshard()
+            # the old decomposition's service EWMAs must not judge the
+            # new one
+            self.stats.drop_shard_service(cur.fingerprint)
+            skew_after, _ = self._shard_skew(cur.fingerprint)
+            return {"root": root, "fingerprint": cur.fingerprint,
+                    "version": cur.version, "gen": gen,
+                    "shards": [old_k, K], "ordering": [old_ord, ordn],
+                    "skew_before": (round(skew_before, 3)
+                                    if skew_before is not None else None),
+                    "skew_after": (round(skew_after, 3)
+                                   if skew_after is not None else None),
+                    "build_ms": round((time.monotonic() - started) * 1e3, 3)}
+
     # -- lifecycle / introspection ---------------------------------------
 
     def flush(self) -> None:
@@ -664,6 +845,9 @@ class SpatialQueryEngine:
                 "journals": {root: j.snapshot()
                              for root, j in self._journals.items()},
             },
+            "adaptive": (self.adaptive.snapshot()
+                         if self.adaptive is not None
+                         else {"enabled": False}),
             "versions_committed": self.registry.versions_committed,
             "versions_collected": self.registry.versions_collected,
             "queue_depth": self._executor.queue_depth,
@@ -676,6 +860,10 @@ class SpatialQueryEngine:
         if self._closed:
             return
         self._closed = True
+        # the controller first: a tick racing the teardown could submit
+        # a re-shard build against a closing registry
+        if self.adaptive is not None:
+            self.adaptive.close()
         self._coalescer.close()
         with self._mutation_lock:
             pending = list(self._mutation_threads)
@@ -746,10 +934,33 @@ class SpatialQueryEngine:
             params = {"capacity": self.config.capacity}
         else:
             params = {}
-        if self.config.shards > 1:
-            params["shards"] = self.config.shards
-            params["ordering"] = self.config.ordering
+        shards, ordering, gen = (self.config.shards,
+                                 self.config.ordering, 0)
+        override = self._shard_override_for(fingerprint)
+        if override is not None:
+            shards, ordering, gen = override
+        if shards > 1:
+            params["shards"] = shards
+            params["ordering"] = ordering
+            if gen:
+                params["gen"] = gen
         return IndexKey.make(fingerprint, structure, **params)
+
+    def _shard_override_for(
+            self, fingerprint: str) -> Optional[Tuple[int, str, int]]:
+        """The dataset's live (shards, ordering, gen) override, if any.
+
+        Overrides are kept per *root* (the whole chain reshapes
+        together -- a mutation commit inherits the current cut), set by
+        the register-time probe and advanced by :meth:`reshard`.
+        """
+        if not self._shard_overrides:
+            return None
+        try:
+            root = self.registry.resolve(fingerprint).root
+        except KeyError:
+            return None
+        return self._shard_overrides.get(root)
 
     def _submit(self, kind: str, fingerprint: str, payload: np.ndarray,
                 structure: Optional[str], exact: bool,
@@ -1065,6 +1276,43 @@ class SpatialQueryEngine:
         arena.publish_payload(tag, arrays,
                               meta={"fingerprint": key.fingerprint})
 
+    def _worker_visible(self, key: IndexKey) -> bool:
+        """Can a pool worker warm-load this exact index (arena or store)?"""
+        if self._arena is not None \
+                and self._arena.handle(INDEX_PREFIX + store_key_id(key)) \
+                is not None:
+            return True
+        return self.store is not None and self.store.contains(key)
+
+    def _share_commit(self, key: IndexKey, entry) -> object:
+        """Make a freshly committed index worker-visible (process backend).
+
+        Feeds both warm tiers -- the store (durable bytes, best effort)
+        and the arena (zero-copy pages) -- so workers adopt the parent's
+        build instead of each paying a rebuild.  For an incrementally
+        *repaired* entry visibility is a correctness requirement, not a
+        nicety: a worker that cannot load the repaired payload would
+        rebuild canonically and disagree with the parent's shard plan.
+        If neither tier took the payload, the repaired tree is retracted
+        and rebuilt canonically here (raising like any failed warm
+        build).  Returns the entry that will serve reads.
+        """
+        if self.store is not None and not self.store.contains(key):
+            try:
+                self.store.put(key, entry.tree,
+                               build_steps=entry.build_steps,
+                               build_primitives=entry.build_primitives,
+                               num_lines=entry.num_lines)
+            except (OSError, InjectedFault):
+                pass   # disk full: the arena may still carry it
+        self._publish_index(key, entry.tree)
+        if entry.repaired_from is None or self._worker_visible(key):
+            return entry
+        self.registry.discard(key)
+        self.registry.drop_repair_hint(key.fingerprint)
+        return self.registry.get(key.fingerprint, key.structure,
+                                 **dict(key.params))
+
     def _dispatch_process(self, index_key: IndexKey, kind: str, exact: bool,
                           probes: List[Probe]) -> None:
         """One coalesced group as one :class:`JobSpec` to the pool.
@@ -1318,6 +1566,14 @@ class SpatialQueryEngine:
             try:
                 entry = self.registry.get(key.fingerprint, key.structure,
                                           **dict(key.params))
+                if self._is_process:
+                    # worker visibility comes BEFORE the flip: the new
+                    # version's payload lands in the store and/or the
+                    # arena first, so the first post-flip worker batch
+                    # adopts the parent's build -- including an
+                    # incrementally *repaired* decomposition, whose
+                    # cuts a canonical worker rebuild would not match
+                    entry = self._share_commit(key, entry)
             except Exception as exc:  # noqa: BLE001 - any failed warm build
                 if journal is not None:
                     journal.abandon_last(seq)
@@ -1329,21 +1585,6 @@ class SpatialQueryEngine:
                     _reject(p.future, exc)
                 return
             info = self.registry.activate_version(staged.fingerprint)
-            if self._is_process and self.store is not None \
-                    and not self.store.contains(key):
-                # workers take the warm path to the *same bytes* the
-                # parent just built, instead of a per-worker rebuild
-                try:
-                    self.store.put(key, entry.tree,
-                                   build_steps=entry.build_steps,
-                                   build_primitives=entry.build_primitives,
-                                   num_lines=entry.num_lines)
-                except (OSError, InjectedFault):
-                    pass
-            if self._is_process:
-                # same idea, zero-copy tier: the committed version's
-                # payload is published once and mapped by every worker
-                self._publish_index(key, entry.tree)
             repaired = bool(entry.repair
                             and not entry.repair.get("full_rebuild"))
             self.stats.record_mutation(len(live), int(del_ids.size),
@@ -1730,6 +1971,7 @@ class _ShardedMerge:
                                version=self.version)
             else:
                 work = self._make_job(k, sel)
+            t0 = time.monotonic()
             try:
                 fut = self.engine._submit_job_with_retry(work)
             except RejectedError as exc:
@@ -1738,9 +1980,11 @@ class _ShardedMerge:
                 self._fail(RejectedError(str(exc), reason=exc.reason))
                 return
             # the probe selection rides in the callback, not the result,
-            # so both backends deliver through the same path
+            # so both backends deliver through the same path; the shard
+            # id and submit time feed the per-shard service EWMAs the
+            # balance watchdog reads
             fut.add_done_callback(
-                lambda done, s=sel: self._deliver(done, s))
+                lambda done, s=sel, k=k, t0=t0: self._deliver(done, s, k, t0))
 
     def _make_job(self, k: int, sel: np.ndarray):
         def job(machine):
@@ -1753,11 +1997,17 @@ class _ShardedMerge:
             return results, machine.steps, machine.total_primitives
         return job
 
-    def _deliver(self, done: Future, sel: np.ndarray) -> None:
+    def _deliver(self, done: Future, sel: np.ndarray,
+                 shard: Optional[int] = None,
+                 submitted: Optional[float] = None) -> None:
         exc = done.exception()
         if exc is not None:
             self._fail(exc)
             return
+        if shard is not None and submitted is not None:
+            # queue + kernel time, what a probe actually waits on
+            self.engine.stats.record_shard_service(
+                self.fingerprint, shard, time.monotonic() - submitted)
         res = done.result()
         if isinstance(res, WorkerResult):
             results, steps, primitives = res.values, res.steps, res.primitives

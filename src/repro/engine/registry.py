@@ -61,8 +61,11 @@ import numpy as np
 
 from ..machine import Machine, use_machine
 from ..resilience.faults import InjectedFault
+from ..shm import INDEX_PREFIX, attach_payload
+from ..store import store_key_id
 from ..structures import (build_bucket_pmr, build_pm1, build_rtree,
                           build_sharded)
+from ..structures.io import payload_to_tree
 from ..structures.sharded import ShardedIndex, repair_sharded
 
 __all__ = ["dataset_fingerprint", "IndexKey", "BuiltIndex", "VersionInfo",
@@ -168,10 +171,12 @@ class IndexRegistry:
         #: published shared-memory blocks so workers cannot map stale
         #: datasets or index payloads
         self.arena = None
-        #: incremental shard repair on first read of a new version; the
-        #: engine clears it under the process backend, where workers
-        #: materialise indexes canonically and must agree with the
-        #: parent's decomposition shard for shard
+        #: incremental shard repair on first read of a new version.
+        #: Workers must agree with the parent's decomposition shard for
+        #: shard, so the engine's commit path makes every repaired
+        #: payload worker-visible (store bytes and/or arena pages)
+        #: *before* reads flip -- and falls back to a canonical rebuild
+        #: when it cannot
         self.repair_enabled = True
         self._lock = threading.RLock()
         self._datasets: "OrderedDict[str, np.ndarray]" = OrderedDict()
@@ -195,6 +200,7 @@ class IndexRegistry:
         self.disk_hits = 0
         self.repairs = 0
         self.repair_full_rebuilds = 0
+        self.shm_rehydrations = 0
         self.versions_committed = 0
         self.versions_collected = 0
 
@@ -545,7 +551,17 @@ class IndexRegistry:
             lines = self.dataset(fingerprint)
             dom = self._domains[fingerprint]
         # load / build outside the lock: builds are deterministic, so a
-        # racing duplicate wastes work but never yields a wrong entry
+        # racing duplicate wastes work but never yields a wrong entry.
+        # The arena tier comes first: for a *repaired* index published
+        # by a mutation commit it holds the exact pages the workers
+        # map, so an evicted parent entry reloads the same cuts the
+        # fan-out plan must agree with -- a rebuild here could not
+        # guarantee that
+        if self.arena is not None:
+            entry = self._rehydrate_from_arena(key, lines)
+            if entry is not None:
+                self._insert(entry)
+                return entry
         if self.store is not None:
             probe = self.store.get(key)
             if probe is not None:
@@ -611,6 +627,54 @@ class IndexRegistry:
         return BuiltIndex(key, tree, machine.steps,
                           machine.total_primitives, int(lines.shape[0]),
                           repaired_from=parent_fp, repair=rstats)
+
+    def _rehydrate_from_arena(self, key: IndexKey,
+                              lines: np.ndarray) -> Optional[BuiltIndex]:
+        """Reload an evicted index from its own published arena payload.
+
+        The rebuilt tree's arrays alias the mapped shared pages, so the
+        attachment is pinned on the tree object to keep the mapping
+        alive for the tree's lifetime.  Any failure (block gone, bad
+        checksum) returns ``None`` and the caller falls through to the
+        store / build tiers.
+        """
+        handle = self.arena.handle(INDEX_PREFIX + store_key_id(key))
+        if handle is None:
+            return None
+        try:
+            att = attach_payload(handle)
+            tree = payload_to_tree(att.value)
+        except Exception:  # noqa: BLE001 - degrade to store/build
+            return None
+        try:
+            tree._shm_attachment = att
+        except AttributeError:
+            return None   # slotted tree type: cannot pin, do not risk it
+        with self._lock:
+            self.shm_rehydrations += 1
+        return BuiltIndex(key, tree, 0.0, 0, int(lines.shape[0]))
+
+    def peek(self, key: IndexKey) -> Optional[BuiltIndex]:
+        """Memory-tier lookup without miss accounting, LRU touch, or
+        build -- what the adaptive controller's balance watchdog reads
+        (an index nobody keeps warm is not worth rebalancing)."""
+        with self._lock:
+            return self._cache.get(key)
+
+    def discard(self, key: IndexKey) -> bool:
+        """Drop one memory-tier entry (no store/arena side effects).
+
+        The commit path uses this to retract a repaired tree it could
+        not make worker-visible before rebuilding canonically.
+        """
+        with self._lock:
+            return self._cache.pop(key, None) is not None
+
+    def drop_repair_hint(self, fingerprint: str) -> None:
+        """Forget a staged version's repair lineage so the next
+        :meth:`get` pays the canonical build instead of a repair."""
+        with self._lock:
+            self._repair_hints.pop(fingerprint, None)
 
     def _insert(self, entry: BuiltIndex) -> None:
         """Admit one entry to the memory tier, spilling any evictees.
@@ -752,6 +816,7 @@ class IndexRegistry:
                 "disk_hits": float(self.disk_hits),
                 "repairs": float(self.repairs),
                 "repair_full_rebuilds": float(self.repair_full_rebuilds),
+                "shm_rehydrations": float(self.shm_rehydrations),
                 "versions_committed": float(self.versions_committed),
                 "versions_collected": float(self.versions_collected),
                 "versions_retained": float(self.versions_retained),
@@ -767,8 +832,14 @@ class IndexRegistry:
             return list(self._cache)
 
 
+# ``gen`` is the online re-shard generation: it never changes what is
+# built (the canonical cut of (data, shards, ordering) is unique), only
+# the cache/store/arena *key*, so a rebalance mints fresh entries in
+# every tier instead of colliding with the old decomposition
+
+
 def _build_pmr(lines, domain, capacity: int = 8, max_depth=None,
-               shards: int = 1, ordering: str = "morton"):
+               shards: int = 1, ordering: str = "morton", gen: int = 0):
     if int(shards) > 1:
         return build_sharded(lines, domain, structure="pmr", shards=shards,
                              ordering=ordering, capacity=capacity,
@@ -778,7 +849,7 @@ def _build_pmr(lines, domain, capacity: int = 8, max_depth=None,
 
 
 def _build_pm1(lines, domain, max_depth=None,
-               shards: int = 1, ordering: str = "morton"):
+               shards: int = 1, ordering: str = "morton", gen: int = 0):
     if int(shards) > 1:
         return build_sharded(lines, domain, structure="pm1", shards=shards,
                              ordering=ordering, max_depth=max_depth)
@@ -787,7 +858,7 @@ def _build_pm1(lines, domain, max_depth=None,
 
 
 def _build_rtree(lines, domain, min_fill: int = 2, capacity: int = 8,
-                 shards: int = 1, ordering: str = "morton"):
+                 shards: int = 1, ordering: str = "morton", gen: int = 0):
     # domain is irrelevant to the R-tree itself but keys the shard cut
     if int(shards) > 1:
         return build_sharded(lines, domain, structure="rtree", shards=shards,

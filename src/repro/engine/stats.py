@@ -10,6 +10,7 @@ paper survive into the serving layer.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -63,6 +64,13 @@ class EngineStats:
         self.shard_batches = 0
         self.shards_probed = 0
         self.shards_skipped = 0
+        # -- adaptive serving ---------------------------------------------
+        #: fingerprint -> shard id -> EWMA of shard-job service seconds
+        #: (queue + kernel, what a probe actually waits on); the balance
+        #: watchdog reads the spread to decide an online re-shard
+        self.shard_service: "OrderedDict[str, Dict[int, float]]" = OrderedDict()
+        self.shard_service_alpha = 0.3
+        self.reshards = 0            # online re-shards committed
         self.disk_hits = 0
         self.disk_misses = 0
         self.spills = 0
@@ -273,6 +281,51 @@ class EngineStats:
             self.shards_probed += probed
             self.shards_skipped += total_shards - probed
 
+    def record_shard_service(self, fingerprint: str, shard: int,
+                             seconds: float) -> None:
+        """One shard job's service time folded into its EWMA.
+
+        Keyed by content fingerprint so a mutation commit naturally
+        starts a fresh row; rows beyond the 64 most recently touched
+        fingerprints age out (dead versions stop being recorded).
+        """
+        with self._lock:
+            per = self.shard_service.setdefault(fingerprint, {})
+            self.shard_service.move_to_end(fingerprint)
+            prev = per.get(shard)
+            a = self.shard_service_alpha
+            per[shard] = (seconds if prev is None
+                          else (1.0 - a) * prev + a * seconds)
+            while len(self.shard_service) > 64:
+                self.shard_service.popitem(last=False)
+
+    def shard_service_snapshot(self, fingerprint: str) -> Dict[int, float]:
+        """Copy of one fingerprint's per-shard EWMAs (seconds)."""
+        with self._lock:
+            return dict(self.shard_service.get(fingerprint, {}))
+
+    def drop_shard_service(self, fingerprint: str) -> None:
+        """Forget a fingerprint's shard EWMAs (after an online re-shard:
+        the old decomposition's timings must not judge the new cut)."""
+        with self._lock:
+            self.shard_service.pop(fingerprint, None)
+
+    def record_reshard(self, n: int = 1) -> None:
+        """One online re-shard committed by the adaptive controller."""
+        with self._lock:
+            self.reshards += n
+
+    def recent_batch_mean(self, n: int = 64) -> float:
+        """Mean size of the last ``n`` dispatched batches (0.0: none).
+
+        The coalescer tuner reads this as the *fill ratio* signal:
+        batches near ``max_batch`` are count-triggered (the window is
+        not binding), small ones were released by the deadline.
+        """
+        with self._lock:
+            tail = self.batch_sizes[-n:]
+            return float(np.mean(tail)) if tail else 0.0
+
     #: MutationJournal / recovery event name -> EngineStats counter
     _WAL_EVENTS = {"wal_append": "wal_appends",
                    "wal_append_failure": "wal_append_failures",
@@ -382,6 +435,11 @@ class EngineStats:
                 "shard_batches": self.shard_batches,
                 "shards_probed": self.shards_probed,
                 "shards_skipped": self.shards_skipped,
+                "reshards": self.reshards,
+                "shard_service_ms": {
+                    fp: {int(k): round(v * 1e3, 3)
+                         for k, v in per.items()}
+                    for fp, per in self.shard_service.items()},
                 "mean_shards_probed": (
                     self.shards_probed / self.shard_batches
                     if self.shard_batches else 0.0),

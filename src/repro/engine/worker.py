@@ -79,6 +79,12 @@ FAMILY = {"pmr": "quadtree", "pm1": "quadtree", "rtree": "rtree"}
 WORKER_FAULT_KINDS = ("latency", "stall")
 
 
+def _degenerate_rects(points) -> np.ndarray:
+    """Zero-area windows ``[px, py, px, py]`` for a point batch."""
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    return np.column_stack([pts[:, 0], pts[:, 1], pts[:, 0], pts[:, 1]])
+
+
 def batch_kernel(structure: str, kind: str, exact: bool):
     """The vectorized batch kernel for one (structure, kind) pair.
 
@@ -93,10 +99,19 @@ def batch_kernel(structure: str, kind: str, exact: bool):
         return lambda tree, v, m: batch_window_query_rtree(
             tree, v, exact=exact, machine=m)
     if kind == "point":
+        # point probes serve the decomposition-independent stabbing
+        # contract (segments through the point, as degenerate exact
+        # windows): an online re-shard -- or any other shard-layout
+        # difference -- must never change an answer.  ``exact=False``
+        # keeps the structure-native candidate semantics reachable
+        # (quadtree: the leaf's residents, via batch_point_query_*).
         if family == "quadtree":
-            # out-of-domain points were rejected at submit time
-            return lambda tree, v, m: batch_point_query_quadtree(
-                tree, v, strict=False, machine=m)
+            if not exact:
+                # out-of-domain points were rejected at submit time
+                return lambda tree, v, m: batch_point_query_quadtree(
+                    tree, v, strict=False, machine=m)
+            return lambda tree, v, m: batch_window_query_quadtree(
+                tree, _degenerate_rects(v), exact=True, machine=m)
         return lambda tree, v, m: batch_point_query_rtree(
             tree, v, exact=exact, machine=m)
     if family == "quadtree":

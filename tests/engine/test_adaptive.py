@@ -1,0 +1,454 @@
+"""The adaptive serving controllers: tuner, watchdog, probe, re-shard.
+
+The fast cells drive :class:`~repro.engine.adaptive.CoalescerTuner`
+with a fake clock and fake stats (deterministic convergence and backoff
+claims, no sleeps), the :class:`~repro.engine.adaptive.SkewWatch`
+debounce, the :func:`~repro.engine.adaptive.probe_shard_params`
+properties, and the engine's online :meth:`reshard` -- including the
+differential claim that no controller decision ever changes an answer.
+The ``slow`` cells spin up real process pools and a live network
+server: repaired-payload adoption through the shared-memory arena,
+arena rehydration after eviction, and a skewed mutation storm that
+must trigger an online re-shard while serving.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute import brute_point_query, brute_window_query
+from repro.engine import SpatialQueryEngine
+from repro.engine.adaptive import (AdaptiveController, CoalescerTuner,
+                                   SkewWatch, probe_shard_params)
+from repro.geometry import random_segments
+
+DOMAIN = 1024
+
+
+def make_lines(seed, n=400):
+    return np.unique(random_segments(n, DOMAIN, 48, seed=seed), axis=0)
+
+
+def make_windows(k, seed):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, DOMAIN * 0.8, (k, 2))
+    hi = np.minimum(lo + rng.uniform(8, DOMAIN * 0.3, (k, 2)), DOMAIN)
+    return np.hstack([lo, hi])
+
+
+# -- fakes for the tuner ---------------------------------------------------
+
+class FakeCoalescer:
+    def __init__(self, max_batch=64, max_wait=0.002):
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.retunes = 0
+
+    def retune(self, max_batch=None, max_wait=None):
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+        if max_wait is not None:
+            self.max_wait = float(max_wait)
+        self.retunes += 1
+
+
+class FakeLatency:
+    def __init__(self):
+        self.count = 0
+        self.p95_s = 0.0
+
+    def percentile(self, q):
+        return self.p95_s
+
+
+class FakeStats:
+    def __init__(self):
+        self.latency = FakeLatency()
+        self.batch_mean = 0.0
+
+    def recent_batch_mean(self, n=64):
+        return self.batch_mean
+
+    def feed(self, samples, p95_ms, batch_mean):
+        self.latency.count += samples
+        self.latency.p95_s = p95_ms * 1e-3
+        self.batch_mean = batch_mean
+
+
+def make_tuner(target_p95_ms=5.0, is_process=False, **kw):
+    co = FakeCoalescer()
+    st = FakeStats()
+    return CoalescerTuner(co, st, target_p95_ms,
+                          is_process=is_process, **kw), co, st
+
+
+# -- tuner units -----------------------------------------------------------
+
+def test_tuner_idles_without_fresh_samples():
+    tuner, co, st = make_tuner()
+    before = (co.max_batch, co.max_wait)
+    assert tuner.tick(0.0) == "idle"
+    st.feed(3, p95_ms=50.0, batch_mean=64)   # below min_samples
+    assert tuner.tick(1.0) == "idle"
+    assert (co.max_batch, co.max_wait) == before
+    assert co.retunes == 0
+
+
+def test_tuner_shrinks_wait_when_deadline_bound_and_zero_is_reachable():
+    # over target with near-empty batches and a p95 that tracks the
+    # window: the wait itself IS the latency, and 0 must be reachable
+    tuner, co, st = make_tuner(target_p95_ms=0.25)
+    waits = []
+    for i in range(16):
+        st.feed(32, p95_ms=co.max_wait * 1e3 * 1.2 + 0.3, batch_mean=4)
+        tuner.tick(float(i))
+        waits.append(co.max_wait)
+    assert waits[0] == pytest.approx(0.001)   # halved from 2 ms
+    assert co.max_wait == 0.0                 # snapped to immediate flush
+    assert all(b <= a for a, b in zip(waits, waits[1:]))
+
+
+def test_tuner_reopens_wait_from_zero_once_batches_saturate():
+    tuner, co, st = make_tuner(target_p95_ms=10.0)
+    co.max_wait = 0.0
+    st.feed(32, p95_ms=2.0, batch_mean=co.max_batch)   # fill = 1.0
+    decision = tuner.tick(0.0)
+    assert decision in ("grow_batch_wait", "grow_wait")
+    assert co.max_wait > 0.0
+
+
+def test_tuner_backoff_direction_depends_on_backend():
+    # mild count-bound overshoot: thread halves (head-of-line),
+    # process doubles (amortise the per-dispatch IPC price)
+    tuner, co, st = make_tuner(target_p95_ms=2.0, is_process=False)
+    st.feed(32, p95_ms=3.0, batch_mean=60)
+    assert tuner.tick(0.0) == "shrink_batch"
+    assert co.max_batch == 32
+
+    tuner, co, st = make_tuner(target_p95_ms=2.0, is_process=True)
+    st.feed(32, p95_ms=3.0, batch_mean=60)
+    assert tuner.tick(0.0) == "grow_batch_ipc"
+    assert co.max_batch == 128
+
+
+def test_tuner_escapes_backlog_by_reopening_coalescing():
+    """p95 far beyond both the window and the target is queueing, and
+    the only road out is more batching -- even from ``max_wait == 0``,
+    where the old always-shrink rule had no escape."""
+    tuner, co, st = make_tuner(target_p95_ms=5.0,
+                               max_batch_cap=256, max_wait_cap=0.008)
+    co.max_wait = 0.0                         # tuned to zero at light load
+    for i in range(16):                       # then a rate step hits
+        st.feed(32, p95_ms=200.0, batch_mean=2)
+        assert tuner.tick(float(i)) == "amortize_backlog"
+    assert co.max_batch == 256                # doubled up to the cap
+    # the reopened window rails at the target itself, not the raw cap:
+    # a wait larger than the latency budget is self-inflicted overshoot
+    assert co.max_wait == pytest.approx(0.005)
+    assert co.max_wait > 0.0                  # the window reopened
+
+
+def test_tuner_respects_caps_and_floors():
+    tuner, co, st = make_tuner(target_p95_ms=4.0, min_batch=8,
+                               max_batch_cap=128, max_wait_cap=0.004)
+    for i in range(32):   # relentless mild bursty overshoot, full batches
+        st.feed(32, p95_ms=6.0, batch_mean=co.max_batch)
+        tuner.tick(float(i))
+    assert co.max_batch == 8
+    tuner2, co2, st2 = make_tuner(target_p95_ms=100.0, max_batch_cap=128,
+                                  max_wait_cap=0.004)
+    for i in range(64):   # relentless under-target saturated load
+        st2.feed(32, p95_ms=1.0, batch_mean=co2.max_batch)
+        tuner2.tick(float(i))
+    assert co2.max_batch == 128
+    assert co2.max_wait == pytest.approx(0.004)
+
+
+def test_tuner_converges_onto_target_in_closed_loop():
+    """A modelled plant: p95 = wait + queueing that falls with batch.
+
+    The AIMD loop must drive p95 under target within a bounded number
+    of ticks and then hold without oscillating back over.
+    """
+    tuner, co, st = make_tuner(target_p95_ms=4.0)
+    co.max_wait = 0.016   # start badly deadline-bound
+
+    def plant_p95_ms():
+        return co.max_wait * 1e3 + 2.0   # 2 ms of service under the window
+
+    history = []
+    for i in range(40):
+        st.feed(32, p95_ms=plant_p95_ms(), batch_mean=8)
+        tuner.tick(float(i))
+        history.append(plant_p95_ms())
+    assert history[-1] <= 4.0
+    settle = next(i for i, v in enumerate(history) if v <= 4.0)
+    assert settle < 10
+    assert all(v <= 4.0 for v in history[settle:])
+    traj = tuner.snapshot()["trajectory"]
+    assert traj and {"t", "p95_ms", "max_batch", "max_wait_ms",
+                     "decision"} <= set(traj[0])
+
+
+# -- skew watchdog ---------------------------------------------------------
+
+def test_skew_watch_fires_above_threshold_not_below():
+    watch = SkewWatch(2.0, patience=2)
+    assert not watch.observe("a", 1.5)
+    assert not watch.observe("a", 1.9)
+    assert not watch.observe("a", 2.5)        # first bad tick: debounced
+    assert watch.observe("a", 2.5)            # second: fire
+    assert not watch.observe("a", 2.5)        # streak reset after firing
+    # a good tick in between resets the streak
+    assert not watch.observe("b", 3.0)
+    assert not watch.observe("b", 1.0)
+    assert not watch.observe("b", 3.0)
+
+
+def test_skew_watch_rejects_degenerate_threshold():
+    with pytest.raises(ValueError):
+        SkewWatch(1.0)
+
+
+# -- K / ordering probe ----------------------------------------------------
+
+def test_probe_keeps_small_datasets_unsharded():
+    lines = make_lines(1, n=300)
+    choice = probe_shard_params(lines, DOMAIN)
+    assert choice["shards"] == 1
+    # mid-size datasets stay unsharded too: per-dispatch overhead beats
+    # per-shard scan savings until shards carry thousands of segments
+    mid = np.unique(random_segments(9000, 4096, 64, seed=3), axis=0)
+    assert probe_shard_params(mid, 4096)["shards"] == 1
+
+
+def test_probe_picks_power_of_two_within_caps():
+    lines = np.unique(random_segments(40000, 4096, 64, seed=3), axis=0)
+    choice = probe_shard_params(lines, 4096)
+    k = choice["shards"]
+    assert k >= 2 and (k & (k - 1)) == 0
+    assert k <= 32
+    assert choice["ordering"] in ("morton", "hilbert")
+    assert set(choice["scores"]) == {"morton", "hilbert"}
+    # deterministic: same inputs, same choice
+    assert probe_shard_params(lines, 4096) == choice
+
+
+def test_probe_scores_orderings_by_range_tightness():
+    lines = np.unique(random_segments(40000, 4096, 64, seed=4), axis=0)
+    choice = probe_shard_params(lines, 4096)
+    best = choice["ordering"]
+    assert choice["scores"][best] == min(choice["scores"].values())
+
+
+# -- engine re-shard -------------------------------------------------------
+
+def test_reshard_flips_decomposition_and_preserves_answers():
+    lines = make_lines(7, n=600)
+    rects = make_windows(10, 8)
+    with SpatialQueryEngine(shards=2, ordering="morton", max_batch=8,
+                            max_wait=0.0, workers=2) as eng:
+        fp = eng.register(lines, domain=DOMAIN)
+        eng.warm(fp)
+        before = [eng.submit_window(fp, r) for r in rects]
+        eng.flush()
+        before = [f.result(10) for f in before]
+        report = eng.reshard(fp, shards=4, ordering="hilbert", force=True)
+        assert report is not None
+        assert report["shards"] == [2, 4]
+        assert report["ordering"] == ["morton", "hilbert"]
+        assert report["gen"] == 1
+        key = eng._index_key(fp, None)
+        assert dict(key.params)["shards"] == 4
+        assert dict(key.params)["gen"] == 1
+        after = [eng.submit_window(fp, r) for r in rects]
+        eng.flush()
+        after = [f.result(10) for f in after]
+        for a, b, r in zip(before, after, rects):
+            want = np.sort(brute_window_query(lines, r))
+            assert np.array_equal(np.sort(np.asarray(a)), want)
+            assert np.array_equal(np.sort(np.asarray(b)), want)
+        assert eng.stats.snapshot()["reshards"] == 1
+
+
+def test_reshard_holds_when_balance_is_fine():
+    lines = make_lines(9, n=600)
+    with SpatialQueryEngine(shards=2, max_batch=8, max_wait=0.0,
+                            workers=2) as eng:
+        fp = eng.register(lines, domain=DOMAIN)
+        eng.warm(fp)
+        # same cut requested, skew ~1 on an equal-count build: no-op
+        assert eng.reshard(fp) is None
+        assert eng.stats.snapshot()["reshards"] == 0
+
+
+def test_controller_tick_triggers_reshard_on_service_skew():
+    """Fake-clock controller: sustained EWMA skew past the threshold
+    fires exactly one re-shard (debounced, then evidence reset)."""
+    lines = make_lines(11, n=600)
+    with SpatialQueryEngine(shards=4, max_batch=8, max_wait=0.0,
+                            workers=2, skew_threshold=1.5) as eng:
+        fp = eng.register(lines, domain=DOMAIN)
+        eng.warm(fp)
+        ctrl = AdaptiveController(eng, target_p95_ms=25.0,
+                                  skew_threshold=1.5, interval=999.0,
+                                  clock=lambda: 0.0)
+        # a hot shard: 10x the service time of its three siblings
+        for shard, secs in ((0, 0.001), (1, 0.001), (2, 0.001), (3, 0.01)):
+            eng.stats.record_shard_service(fp, shard, secs)
+        ctrl.tick(0.0)                      # first bad tick: debounced
+        assert not ctrl.reshard_log
+        ctrl.tick(1.0)                      # second: fire
+        assert len(ctrl.reshard_log) == 1
+        rep = ctrl.reshard_log[0]
+        assert "error" not in rep and rep["gen"] == 1
+        # balanced sizes + hot service time: re-cutting the same K
+        # could not help, so the re-shard refines the cut instead
+        assert rep["shards"] == [4, 8]
+        # the EWMAs were dropped with the old decomposition: the next
+        # ticks see no time skew and must not fire again
+        ctrl.tick(2.0)
+        ctrl.tick(3.0)
+        assert len(ctrl.reshard_log) == 1
+        snap = ctrl.snapshot()
+        assert snap["enabled"] and snap["ticks"] == 4
+        assert len(snap["reshards"]) == 1
+
+
+def test_adaptive_engine_answers_match_static_engine():
+    """The differential claim: enabling the controller changes speed
+    knobs only, never an answer."""
+    lines = np.unique(random_segments(5000, DOMAIN, 48, seed=13), axis=0)
+    rects = make_windows(16, 14)
+    rng = np.random.default_rng(15)
+    pts = rng.uniform(0, DOMAIN, (12, 2))
+    # half the points lie on segment midpoints, so the exact stabbing
+    # answers are non-trivial
+    mids = 0.5 * (lines[:, 0:2] + lines[:, 2:4])
+    pts[::2] = mids[rng.integers(0, mids.shape[0], pts[::2].shape[0])]
+    answers = {}
+    for adaptive in (False, True):
+        with SpatialQueryEngine(shards=4, max_batch=8, max_wait=0.001,
+                                workers=2, adaptive=adaptive,
+                                target_p95_ms=0.5,
+                                adaptive_interval=0.02) as eng:
+            fp = eng.register(lines, domain=DOMAIN)
+            eng.warm(fp)
+            got = []
+            for r in rects:
+                got.append(np.sort(np.asarray(
+                    eng.window(fp, r))))
+            for p in pts:
+                got.append(np.sort(np.asarray(eng.point(fp, p))))
+                got.append(int(eng.nearest(fp, p)[0]))
+            if adaptive:
+                # the controller genuinely ran while we served
+                time.sleep(0.1)
+                snap = eng.health()["adaptive"]
+                assert snap["enabled"] and snap["ticks"] > 0
+            answers[adaptive] = got
+    for a, b in zip(answers[False], answers[True]):
+        if isinstance(a, int):
+            assert a == b
+        else:
+            assert np.array_equal(a, b)
+    for i, r in enumerate(rects):
+        want = np.sort(brute_window_query(lines, r))
+        assert np.array_equal(answers[True][i], want)
+    for j, p in enumerate(pts):
+        got = answers[True][len(rects) + 2 * j]
+        want = np.sort(brute_point_query(lines, p[0], p[1]))
+        assert np.array_equal(got, want)
+
+
+# -- slow: process-backend adoption + live re-shard ------------------------
+
+@pytest.mark.slow
+def test_process_backend_adopts_repaired_payload_via_arena():
+    """Satellite claim: a repaired sharded index is published through
+    the arena before the flip, so process workers execute the *same*
+    decomposition the parent planned against -- never a divergent
+    canonical rebuild."""
+    lines = np.unique(random_segments(3000, DOMAIN, 48, seed=21), axis=0)
+    rects = make_windows(8, 22)
+    with SpatialQueryEngine(executor="process", workers=2, shards=2,
+                            max_batch=8, max_wait=0.0) as eng:
+        fp = eng.register(lines, domain=DOMAIN)
+        eng.warm(fp)
+        extra = random_segments(60, DOMAIN, 32, seed=23)
+        fp2 = eng.insert_lines(fp, extra)
+        assert eng.registry.repairs >= 1
+        key = eng._index_key(fp2, None)
+        assert eng._worker_visible(key)
+        merged = np.vstack([lines, np.asarray(extra,
+                                              dtype=np.float64).reshape(-1, 4)])
+        for r in rects:
+            got = np.sort(np.asarray(eng.window(fp2, r)))
+            assert np.array_equal(got, np.sort(brute_window_query(merged, r)))
+
+
+@pytest.mark.slow
+def test_arena_rehydration_restores_published_pages():
+    lines = np.unique(random_segments(2000, DOMAIN, 48, seed=31), axis=0)
+    rects = make_windows(6, 32)
+    with SpatialQueryEngine(executor="process", workers=2, shards=2,
+                            max_batch=8, max_wait=0.0) as eng:
+        fp = eng.register(lines, domain=DOMAIN)
+        eng.warm(fp)
+        key = eng._index_key(fp, None)
+        assert eng.registry.discard(key)        # evict the memory tier
+        entry = eng.registry.get(key.fingerprint, key.structure,
+                                 **dict(key.params))
+        assert eng.registry.shm_rehydrations == 1
+        assert entry.build_steps == 0           # attached, not rebuilt
+        for r in rects:
+            got = np.sort(np.asarray(eng.window(fp, r)))
+            assert np.array_equal(got, np.sort(brute_window_query(lines, r)))
+
+
+@pytest.mark.slow
+def test_skewed_mutation_storm_triggers_online_reshard_while_serving():
+    """The e2e: a live ``serve --listen`` server under a clustered
+    insert storm re-shards itself and keeps answering correctly."""
+    from repro.net import ServeClient, ServerThread
+
+    domain = 4096
+    # large enough that the register-time probe shards it (K=4 at the
+    # 8192-per-shard calibration)
+    lines = np.unique(random_segments(33000, domain, 64, seed=41), axis=0)
+    with SpatialQueryEngine(shards=4, workers=2, max_batch=32,
+                            max_wait=0.001, adaptive=True,
+                            target_p95_ms=25.0, skew_threshold=1.5,
+                            adaptive_interval=0.05) as eng:
+        fp = eng.register(lines, domain=domain)
+        eng.warm(fp)
+        with ServerThread(eng) as st:
+            with ServeClient(st.host, st.port) as client:
+                # clustered storm: every insert lands in one corner, so
+                # repair grows one shard far past the balanced share
+                rng = np.random.default_rng(42)
+                head = fp
+                for _ in range(4):
+                    pts = rng.uniform(0, domain * 0.06, (2000, 2))
+                    seg = np.hstack([pts, pts + rng.uniform(
+                        4, 32, (2000, 2))]).clip(0, domain)
+                    resp = client.insert(head, seg.tolist())
+                    assert resp["status"] == 200, resp
+                    head = resp["result"]["fingerprint"]
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    snap = eng.health()["adaptive"]
+                    if snap["reshards"]:
+                        break
+                    time.sleep(0.1)
+                assert snap["reshards"], snap
+                assert all("error" not in r for r in snap["reshards"])
+                # the served answers survive the flip
+                rect = [0.0, 0.0, domain * 0.1, domain * 0.1]
+                resp = client.window(head, rect)
+                assert resp["status"] == 200
+                merged = eng.registry.dataset(head)
+                want = np.sort(brute_window_query(merged, np.asarray(rect)))
+                assert np.array_equal(np.sort(np.asarray(resp["result"])),
+                                      want)

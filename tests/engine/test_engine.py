@@ -7,6 +7,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 import numpy as np
 import pytest
 
+from repro.baselines.brute import brute_point_query
 from repro.engine import EngineConfig, RejectedError, SpatialQueryEngine
 from repro.geometry import random_segments
 from repro.structures import (
@@ -71,7 +72,10 @@ def test_batched_results_identical_to_scalar(structure, seed, backend):
             want = np.unique(tree.window_query(r))
             assert np.array_equal(w_futs[i].result(10), want)
         for i, (x, y) in enumerate(pts):
-            want = np.unique(tree.point_query(x, y))
+            # the engine's point contract is decomposition-independent
+            # stabbing (degenerate exact window), not the structure's
+            # native leaf-candidate set
+            want = brute_point_query(lines, x, y)
             assert np.array_equal(p_futs[i].result(10), want)
         for i, (x, y) in enumerate(pts):
             assert n_futs[i].result(10) == brute_nearest(lines, x, y)
@@ -153,8 +157,8 @@ def test_point_outside_domain_fails_only_that_probe():
         eng.flush()
         with pytest.raises(ValueError, match="outside the domain"):
             bad.result(10)
-        tree = scalar_tree("pmr", lines)
-        assert np.array_equal(good.result(10), tree.point_query(5.0, 5.0))
+        assert np.array_equal(good.result(10),
+                              brute_point_query(lines, 5.0, 5.0))
 
 
 class TestRejectionPaths:
